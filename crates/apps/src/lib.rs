@@ -1,0 +1,111 @@
+//! # wmm-apps — the ten application case studies (Tab. 4)
+//!
+//! The paper evaluates its testing environment on ten CUDA applications
+//! derived from seven code bases, all using fine-grained inter-block
+//! concurrency: custom spinlocks, non-blocking queues, last-block
+//! reductions, MP-style handshakes, and lock-free tree construction.
+//! This crate ports each case study to the `wmm-sim` kernel IR with the
+//! same communication idiom and the same functional post-condition:
+//!
+//! | app | idiom | post-condition |
+//! |---|---|---|
+//! | [`cbe_ht`] | hashtable insertion under custom spinlocks | all inserted elements present |
+//! | [`cbe_dot`] | global reduction under one spinlock (Fig. 1) | GPU result = CPU reference |
+//! | [`ct_octree`] | non-blocking queue feeding a tree build | all particles in the final tree |
+//! | [`tpo_tm`] | task queue under a custom mutex | expected number of tasks executed |
+//! | [`sdk_red`] | last-block (atomic counter) combine, fenced | GPU result = CPU reference |
+//! | [`cub_scan`] | decoupled-lookback scan, MP handshakes, fenced | GPU result = CPU reference |
+//! | [`ls_bh`] | CAS tree build + summary + force kernels, *insufficiently* fenced | structure & totals match reference |
+//!
+//! `sdk-red`, `cub-scan` and `ls-bh` ship with fences; their `-nf`
+//! variants are manufactured by stripping them (Sec. 4.1), exactly as in
+//! the paper. [`all_apps`] returns the full set of ten.
+
+pub mod cbe_dot;
+pub mod cbe_ht;
+pub mod ct_octree;
+pub mod cub_scan;
+pub mod ls_bh;
+pub mod sdk_red;
+pub mod tpo_tm;
+
+pub use cbe_dot::CbeDot;
+pub use cbe_ht::CbeHt;
+pub use ct_octree::CtOctree;
+pub use cub_scan::CubScan;
+pub use ls_bh::LsBh;
+pub use sdk_red::SdkRed;
+pub use tpo_tm::TpoTm;
+
+use wmm_core::app::Application;
+
+/// The ten case studies in Tab. 4's order.
+pub fn all_apps() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(CbeHt::new()),
+        Box::new(CbeDot::new()),
+        Box::new(CtOctree::new()),
+        Box::new(TpoTm::new()),
+        Box::new(SdkRed::new(true)),
+        Box::new(SdkRed::new(false)),
+        Box::new(CubScan::new(true)),
+        Box::new(CubScan::new(false)),
+        Box::new(LsBh::new(true)),
+        Box::new(LsBh::new(false)),
+    ]
+}
+
+/// Look up a case study by its Tab. 4 short name (e.g. `"cbe-dot"`,
+/// `"ls-bh-nf"`).
+pub fn app_by_name(name: &str) -> Option<Box<dyn Application>> {
+    all_apps().into_iter().find(|a| a.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_apps_with_table_4_names() {
+        let names: Vec<String> = all_apps().iter().map(|a| a.name().to_string()).collect();
+        for expect in [
+            "cbe-ht",
+            "cbe-dot",
+            "ct-octree",
+            "tpo-tm",
+            "sdk-red",
+            "sdk-red-nf",
+            "cub-scan",
+            "cub-scan-nf",
+            "ls-bh",
+            "ls-bh-nf",
+        ] {
+            assert!(names.iter().any(|n| n == expect), "missing {expect}");
+        }
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(app_by_name("cbe-dot").is_some());
+        assert!(app_by_name("ls-bh-nf").is_some());
+        assert!(app_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn fenced_apps_contain_fences_and_nf_do_not() {
+        for (name, fences) in [
+            ("sdk-red", true),
+            ("cub-scan", true),
+            ("ls-bh", true),
+            ("sdk-red-nf", false),
+            ("cub-scan-nf", false),
+            ("ls-bh-nf", false),
+            ("cbe-dot", false),
+            ("cbe-ht", false),
+        ] {
+            let app = app_by_name(name).unwrap();
+            assert_eq!(app.spec().fence_count() > 0, fences, "{name}");
+        }
+    }
+}

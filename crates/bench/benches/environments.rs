@@ -1,0 +1,31 @@
+//! Criterion bench: application execution under each testing environment
+//! (the unit of Tab. 5's campaign cells).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmm_apps::CbeDot;
+use wmm_core::env::{AppHarness, Environment};
+use wmm_sim::chip::Chip;
+
+fn bench_envs(c: &mut Criterion) {
+    let chip = Chip::by_short("K20").unwrap();
+    let app = CbeDot::new();
+    let h = AppHarness::new(&chip, &app);
+    let mut group = c.benchmark_group("environments");
+    for env in Environment::all_eight(&chip) {
+        let mut seed = 0u64;
+        group.bench_function(env.name(), |b| {
+            b.iter(|| {
+                seed += 1;
+                h.run_once(&env, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_envs
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: native execution cost of the three fencing
+//! strategies (the wall-clock analogue of Fig. 5's simulated-cycle
+//! comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmm_apps::CbeDot;
+use wmm_core::app::Application;
+use wmm_core::env::{AppHarness, Environment};
+use wmm_sim::chip::Chip;
+
+fn bench_fences(c: &mut Criterion) {
+    let chip = Chip::by_short("C2075").unwrap();
+    let app = CbeDot::new();
+    let base = app.spec().clone();
+    let sites = base.fence_sites();
+    let variants = [
+        ("no-fences", base.clone()),
+        ("emp-fences", base.with_fences(&sites[..1])),
+        ("cons-fences", base.with_all_fences()),
+    ];
+    let mut group = c.benchmark_group("fences");
+    for (name, spec) in variants {
+        let h = AppHarness::with_spec(&chip, &app, spec);
+        let env = Environment::native();
+        let mut seed = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                seed += 1;
+                h.run_once(&env, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fences
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: litmus execution throughput (native and stressed),
+//! the unit cost underlying the Fig. 3 / Tab. 2 grids.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmm_core::stress::{build_systematic_at, Scratchpad};
+use wmm_litmus::{run_instance, LitmusInstance, LitmusLayout, LitmusTest};
+use wmm_sim::chip::Chip;
+use wmm_sim::exec::Gpu;
+
+fn bench_litmus(c: &mut Criterion) {
+    let chip = Chip::by_short("Titan").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let mut group = c.benchmark_group("litmus");
+    for test in LitmusTest::ALL {
+        let inst = LitmusInstance::build(test, LitmusLayout::standard(64, pad.required_words()));
+        let mut gpu = Gpu::new(chip.clone());
+        let mut seed = 0u64;
+        group.bench_function(format!("{test}-native"), |b| {
+            b.iter(|| {
+                seed += 1;
+                run_instance(&mut gpu, &inst, (Vec::new(), Vec::new()), false, seed)
+            })
+        });
+        group.bench_function(format!("{test}-sys-str"), |b| {
+            b.iter(|| {
+                seed += 1;
+                let s = build_systematic_at(pad, &chip.preferred_seq, &[0], 256, 40);
+                run_instance(&mut gpu, &inst, (s.groups, s.init), true, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_litmus
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: one patch-finding sweep (the unit of Tab. 2's
+//! tuning pipeline and Fig. 3's panels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmm_core::tuning::{patch, TuningConfig};
+use wmm_litmus::LitmusTest;
+use wmm_sim::chip::Chip;
+
+fn bench_tuning(c: &mut Criterion) {
+    let chip = Chip::by_short("Titan").unwrap();
+    let mut cfg = TuningConfig::quick();
+    cfg.execs = 8;
+    cfg.location_step = 32;
+    let mut group = c.benchmark_group("tuning");
+    group.bench_function("patch-sweep-mp-d64", |b| {
+        b.iter(|| patch::sweep(&chip, LitmusTest::Mp, 64, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tuning
+}
+criterion_main!(benches);

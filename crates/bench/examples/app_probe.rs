@@ -1,0 +1,22 @@
+//! Probe: error rates for all apps under native vs sys-str+ on one chip.
+use wmm_apps::all_apps;
+use wmm_core::env::{AppHarness, Environment};
+use wmm_sim::chip::Chip;
+
+fn main() {
+    let short = std::env::args().nth(1).unwrap_or_else(|| "K20".into());
+    let runs: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let chip = Chip::by_short(&short).expect("chip");
+    println!("chip = {short}, runs = {runs}");
+    println!("{:12} {:>10} {:>10}", "app", "no-str-", "sys-str+");
+    for app in all_apps() {
+        let h = AppHarness::new(&chip, app.as_ref());
+        let native = h.campaign(&Environment::native(), runs, 1, 0);
+        let sys = h.campaign(&Environment::sys_str_plus(&chip), runs, 2, 0);
+        println!(
+            "{:12} {:>6}/{:<4} {:>6}/{:<4}  (pc={} to={} f={})",
+            app.name(), native.errors, native.runs, sys.errors, sys.runs,
+            sys.postcondition_failures, sys.timeouts, sys.faults,
+        );
+    }
+}

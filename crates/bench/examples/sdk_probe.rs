@@ -1,0 +1,24 @@
+//! Diagnose sdk-red-nf: bypasses vs failures.
+use wmm_apps::SdkRed;
+use wmm_core::app::Application;
+use wmm_core::env::{AppHarness, Environment, RunVerdict};
+use wmm_sim::chip::Chip;
+
+fn main() {
+    let chip = Chip::by_short("K20").unwrap();
+    let app = SdkRed::new(false);
+    let h = AppHarness::new(&chip, &app);
+    let env = Environment::sys_str_plus(&chip);
+    let mut fails = 0;
+    for seed in 0..400u64 {
+        let out = h.run_once(&env, seed);
+        if out.verdict != RunVerdict::Pass {
+            fails += 1;
+            if fails <= 3 {
+                println!("seed {seed}: {:?}", out.verdict);
+            }
+        }
+    }
+    println!("failures: {fails}/400");
+    let _ = app.spec();
+}

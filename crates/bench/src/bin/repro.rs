@@ -1,0 +1,103 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment> [--chips A,B,...] [--execs N] [--runs N] [--full]
+//!
+//! experiments:
+//!   fig3            patch-finding plots (Titan, C2075, 980)
+//!   table2          tuned stressing parameters per chip
+//!   table3          access-sequence ranking snippet (Titan)
+//!   fig4            spread-finding curves (980, K20)
+//!   table5          testing-environment effectiveness
+//!   table6          empirical fence insertion
+//!   fig5            fence runtime/energy cost
+//!   running-example cbe-dot on the K20 (Sec. 1)
+//!   all             everything above, in order
+//! ```
+
+use wmm_bench::{fig3, fig4, fig5, running, table2, table3, table5, table6, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return;
+    };
+    let mut scale = if args.iter().any(|a| a == "--full") {
+        Scale::full()
+    } else {
+        Scale::quick()
+    };
+    let mut chips: Option<Vec<String>> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chips" => {
+                chips = it
+                    .next()
+                    .map(|v| v.split(',').map(str::to_string).collect());
+            }
+            "--execs" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    scale.execs = v;
+                }
+            }
+            "--runs" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    scale.app_runs = v;
+                }
+            }
+            "--full" => {}
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+                return;
+            }
+        }
+    }
+    match cmd.as_str() {
+        "fig3" => fig3::run(scale),
+        "table2" => {
+            table2::run(chips, scale);
+        }
+        "table3" => table3::run("Titan", scale),
+        "fig4" => fig4::run(scale),
+        "table5" => {
+            table5::run(chips, scale);
+        }
+        "table6" => {
+            table6::run(chips, scale);
+        }
+        "fig5" => {
+            fig5::run(chips, scale);
+        }
+        "running-example" => {
+            running::run(scale);
+        }
+        "all" => {
+            running::run(scale);
+            println!("\n{}\n", "=".repeat(76));
+            fig3::run(scale);
+            println!("\n{}\n", "=".repeat(76));
+            table2::run(chips.clone(), scale);
+            println!("\n{}\n", "=".repeat(76));
+            table3::run("Titan", scale);
+            println!("\n{}\n", "=".repeat(76));
+            fig4::run(scale);
+            println!("\n{}\n", "=".repeat(76));
+            table5::run(chips.clone(), scale);
+            println!("\n{}\n", "=".repeat(76));
+            table6::run(chips.clone(), scale);
+            println!("\n{}\n", "=".repeat(76));
+            fig5::run(chips, scale);
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|all> \
+         [--chips A,B] [--execs N] [--runs N] [--full]"
+    );
+}

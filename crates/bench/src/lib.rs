@@ -1,0 +1,101 @@
+//! # wmm-bench — the experiment harness
+//!
+//! One generator per table and figure of the paper's evaluation:
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig3`] | Fig. 3 — patch finding plots (Titan, C2075, 980) |
+//! | [`table2`] | Tab. 2 — tuned stressing parameters per chip |
+//! | [`table3`] | Tab. 3 — access-sequence ranking snippet (Titan) |
+//! | [`fig4`] | Fig. 4 — spread finding curves (980, K20) |
+//! | [`table5`] | Tab. 5 — testing-environment effectiveness |
+//! | [`table6`] | Tab. 6 — empirical fence insertion results |
+//! | [`fig5`] | Fig. 5 — fence runtime/energy cost scatter |
+//! | [`running`] | Sec. 1 — the cbe-dot running example |
+//!
+//! Every generator takes a [`Scale`] so the half-billion-execution grids
+//! of the paper shrink to laptop scale while preserving the shapes; the
+//! `repro` binary exposes them as subcommands.
+
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod running;
+pub mod table2;
+pub mod table3;
+pub mod table5;
+pub mod table6;
+
+/// Execution-budget scaling shared by the experiment generators.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Litmus executions per tuning configuration (the paper's C = 1000).
+    pub execs: u32,
+    /// Application executions per campaign cell (the paper runs "for one
+    /// hour", i.e. hundreds to thousands of executions).
+    pub app_runs: u32,
+    /// Per-check iteration count I for fence insertion (paper: 32).
+    pub harden_iters: u32,
+    /// Runs of the final empirical-stability check.
+    pub harden_stable: u32,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Quick defaults: every experiment finishes in minutes on one core.
+    pub fn quick() -> Self {
+        Scale {
+            execs: 32,
+            app_runs: 120,
+            harden_iters: 24,
+            harden_stable: 120,
+            seed: 2016,
+        }
+    }
+
+    /// Heavier defaults for overnight runs.
+    pub fn full() -> Self {
+        Scale {
+            execs: 200,
+            app_runs: 600,
+            harden_iters: 32,
+            harden_stable: 600,
+            seed: 2016,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::quick()
+    }
+}
+
+/// Render a histogram bar for plot-style terminal output.
+pub fn bar(count: u64, max: u64, width: usize) -> String {
+    if max == 0 {
+        return String::new();
+    }
+    let n = ((count as f64 / max as f64) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0, 10, 10), "");
+        assert_eq!(bar(10, 10, 10), "##########");
+        assert_eq!(bar(5, 10, 10), "#####");
+        assert_eq!(bar(7, 0, 10), "");
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::full().execs > Scale::quick().execs);
+        assert!(Scale::full().app_runs > Scale::quick().app_runs);
+    }
+}

@@ -1,0 +1,34 @@
+//! The Sec. 1 running example: `cbe-dot` on the Tesla K20.
+//!
+//! "No erroneous behaviour is observed when conducting 1000 executions
+//! of the application on a Tesla K20 GPU. [...] Under our testing
+//! environment, errors (due to weak memory) appear in 102 out of 1000
+//! executions of cbe-dot on the K20."
+
+use crate::Scale;
+use wmm_apps::CbeDot;
+use wmm_core::env::{AppHarness, Environment};
+use wmm_sim::chip::Chip;
+
+/// Run the example and print both campaign results.
+pub fn run(scale: Scale) -> (u32, u32) {
+    let runs = scale.app_runs.max(200);
+    let chip = Chip::by_short("K20").expect("K20");
+    let app = CbeDot::new();
+    let h = AppHarness::new(&chip, &app);
+    println!("Running example (Sec. 1): cbe-dot on {}, {} executions\n", chip.name, runs);
+    let native = h.campaign(&Environment::native(), runs, scale.seed, 0);
+    println!(
+        "native (no-str-): {:>4} / {} erroneous   (paper: 0 / 1000)",
+        native.errors, native.runs
+    );
+    let sys = h.campaign(&Environment::sys_str_plus(&chip), runs, scale.seed + 1, 0);
+    println!(
+        "under sys-str+ :  {:>4} / {} erroneous   (paper: 102 / 1000)",
+        sys.errors, sys.runs
+    );
+    println!(
+        "\nA developer who is not suspicious about weak memory effects might conclude\nthe application is correct — until it runs under the testing environment."
+    );
+    (native.errors, sys.errors)
+}

@@ -1,0 +1,42 @@
+//! Calibration probe: weak-behaviour rates per (test, d, stress location).
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
+use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_sim::chip::Chip;
+
+fn main() {
+    let chip = Chip::by_short("Titan").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let seq = chip.preferred_seq.clone();
+    let c = 200u32;
+    // Native rates first.
+    for t in LitmusTest::ALL {
+        let inst = LitmusInstance::build(t, LitmusLayout::standard(64, pad.required_words()));
+        let h = run_many(&chip, &inst, |_| (Vec::new(), Vec::new()), RunManyConfig { count: 1000, base_seed: 1, ..Default::default() });
+        println!("native {t} d=64: {}/{}", h.weak(), h.total());
+    }
+    for t in LitmusTest::ALL {
+        for d in [0u32, 32, 64] {
+            let inst = LitmusInstance::build(t, LitmusLayout::standard(d, pad.required_words()));
+            print!("{t} d={d:3}: ");
+            for l in (0..256).step_by(32) {
+                let chip2 = chip.clone();
+                let pad2 = pad;
+                let seq2 = seq.clone();
+                let h = run_many(
+                    &chip,
+                    &inst,
+                    move |rng: &mut SmallRng| {
+                        let threads = litmus_stress_threads(&chip2, rng);
+                        let s = build_systematic_at(pad2, &seq2, &[l], threads, 40);
+                        (s.groups, s.init)
+                    },
+                    RunManyConfig { count: c, base_seed: 42, ..Default::default() },
+                );
+                print!("{:4}", h.weak());
+            }
+            println!("   (per {c} runs, l=0,32,..224)");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Probe the sequence and spread stages separately for one chip.
+use wmm_core::tuning::{sequence, spread, TuningConfig};
+use wmm_litmus::LitmusTest;
+use wmm_sim::chip::Chip;
+
+fn main() {
+    let short = std::env::args().nth(1).unwrap_or_else(|| "Titan".into());
+    let stage = std::env::args().nth(2).unwrap_or_else(|| "both".into());
+    let chip = Chip::by_short(&short).expect("chip");
+    let mut cfg = TuningConfig::scaled();
+    cfg.execs = 60;
+    if stage == "seq" || stage == "both" {
+        let scores = sequence::score_sequences(&chip, chip.patch_words, &cfg);
+        let win = sequence::most_effective(&scores);
+        println!("{short} seq winner: '{}' {:?} (expected '{}')", win.seq, win.scores, chip.preferred_seq);
+        for t in LitmusTest::ALL {
+            let ranked = scores.ranked_for(t);
+            let top: Vec<String> = ranked.iter().take(3).map(|e| format!("{}", e.seq)).collect();
+            let bot: Vec<String> = ranked.iter().rev().take(3).map(|e| format!("{}", e.seq)).collect();
+            let pos = ranked.iter().position(|e| e.seq == chip.preferred_seq).unwrap() + 1;
+            println!("  {t}: top3={top:?} bottom3={bot:?} preferred-rank={pos}");
+        }
+    }
+    if stage == "spread" || stage == "both" {
+        let ss = spread::score_spreads(&chip, chip.patch_words, &chip.preferred_seq, &cfg);
+        println!("{short} spread curve:");
+        for (m, s) in &ss.entries {
+            println!("  m={m:2}: MP={} LB={} SB={} total={}", s[0], s[1], s[2], s[0]+s[1]+s[2]);
+        }
+        println!("best = {}", spread::best_spread(&ss));
+    }
+}

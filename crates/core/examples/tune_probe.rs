@@ -1,0 +1,15 @@
+//! End-to-end tuning probe for one chip.
+use wmm_core::tuning::{tune_chip, TuningConfig};
+use wmm_sim::chip::Chip;
+
+fn main() {
+    let short = std::env::args().nth(1).unwrap_or_else(|| "Titan".into());
+    let chip = Chip::by_short(&short).expect("chip");
+    let mut cfg = TuningConfig::scaled();
+    cfg.execs = 48; // keep the probe quick on one core
+    let t = tune_chip(&chip, &cfg);
+    println!(
+        "{}: patch={} seq='{}' spread={} (expected patch={} seq='{}' spread=2) [{} execs, {:?}]",
+        t.chip, t.patch_words, t.seq, t.spread, chip.patch_words, chip.preferred_seq, t.executions, t.elapsed
+    );
+}

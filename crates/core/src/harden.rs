@@ -1,0 +1,300 @@
+//! Empirical fence insertion — Algorithm 1 (Sec. 5).
+//!
+//! Starting from a fence after every global memory access, repeatedly
+//! remove fences — first halving the set (*binary reduction*), then one
+//! at a time (*linear reduction*) — using the testing environment to
+//! check, empirically, whether each removal introduces errors. The
+//! procedure converges to a set of fences that is *empirically stable*
+//! (no errors over a long campaign) and minimal in the sense that
+//! removing any single fence exposed errors during reduction. If the
+//! final stability check fails, the whole reduction restarts with a
+//! doubled per-check iteration count, exactly as in Alg. 1.
+
+use crate::app::{AppSpec, Application, FenceSite};
+use crate::env::{AppHarness, Environment};
+use wmm_sim::chip::Chip;
+
+/// Configuration of empirical fence insertion.
+#[derive(Debug, Clone)]
+pub struct HardenConfig {
+    /// Initial per-check iteration count `I` (the paper uses 32).
+    pub initial_iters: u32,
+    /// Executions of the final empirical-stability check (the paper's
+    /// "repeatedly executed for one hour").
+    pub stable_runs: u32,
+    /// Give up after this many doubling rounds.
+    pub max_rounds: u32,
+    /// Base seed.
+    pub base_seed: u64,
+    /// Worker threads (0 ⇒ all cores).
+    pub parallelism: usize,
+}
+
+impl Default for HardenConfig {
+    fn default() -> Self {
+        HardenConfig {
+            initial_iters: 32,
+            stable_runs: 300,
+            max_rounds: 4,
+            base_seed: 0xface,
+            parallelism: 0,
+        }
+    }
+}
+
+/// The outcome of empirical fence insertion.
+#[derive(Debug, Clone)]
+pub struct HardenResult {
+    /// The initial fence count (one per global access).
+    pub initial_fences: usize,
+    /// The surviving (empirically required) fence sites.
+    pub fences: Vec<FenceSite>,
+    /// Whether the final set passed the empirical stability check.
+    pub converged: bool,
+    /// Doubling rounds used.
+    pub rounds: u32,
+    /// Total application executions spent.
+    pub executions: u64,
+    /// Wall-clock time spent.
+    pub elapsed: std::time::Duration,
+}
+
+/// Internal driver: owns the counters shared by the reduction passes.
+struct Reducer<'a> {
+    chip: &'a Chip,
+    app: &'a dyn Application,
+    base: AppSpec,
+    env: Environment,
+    cfg: &'a HardenConfig,
+    executions: u64,
+    check_counter: u64,
+}
+
+impl<'a> Reducer<'a> {
+    /// `CheckApplication(A, F, I)`: run `A + F` for `iters` executions;
+    /// true iff no errors are observed.
+    fn check_application(&mut self, fences: &[FenceSite], iters: u32) -> bool {
+        let spec = self.base.with_fences(fences);
+        let harness = AppHarness::with_spec(self.chip, self.app, spec);
+        self.check_counter += 1;
+        let seed = self
+            .cfg
+            .base_seed
+            .wrapping_mul(31)
+            .wrapping_add(self.check_counter);
+        let result = harness.campaign(&self.env, iters, seed, self.cfg.parallelism);
+        self.executions += u64::from(result.runs);
+        !result.any_error()
+    }
+
+    /// `BinaryReduction(A, F, I)`: repeatedly try to discard half the
+    /// remaining fences.
+    fn binary_reduction(&mut self, mut fences: Vec<FenceSite>, iters: u32) -> Vec<FenceSite> {
+        while fences.len() > 1 {
+            let mid = fences.len() / 2;
+            // SplitFences: fences are kept sorted by program location;
+            // F1 is the first half, F2 the second.
+            let without_first: Vec<FenceSite> = fences[mid..].to_vec();
+            if self.check_application(&without_first, iters) {
+                fences = without_first;
+                continue;
+            }
+            let without_second: Vec<FenceSite> = fences[..mid].to_vec();
+            if self.check_application(&without_second, iters) {
+                fences = without_second;
+                continue;
+            }
+            return fences;
+        }
+        fences
+    }
+
+    /// `LinearReduction(A, F, I)`: try to remove fences one at a time.
+    fn linear_reduction(&mut self, fences: Vec<FenceSite>, iters: u32) -> Vec<FenceSite> {
+        let mut kept: Vec<FenceSite> = fences;
+        let mut i = 0;
+        while i < kept.len() {
+            let mut candidate = kept.clone();
+            candidate.remove(i);
+            if self.check_application(&candidate, iters) {
+                kept = candidate; // fence removed; do not advance
+            } else {
+                i += 1;
+            }
+        }
+        kept
+    }
+
+    /// `EmpiricallyStable(A, F)`: the long final check.
+    fn empirically_stable(&mut self, fences: &[FenceSite]) -> bool {
+        self.check_application(fences, self.cfg.stable_runs)
+    }
+}
+
+/// Empirical fence insertion (Alg. 1) for `app` on `chip`, testing under
+/// `sys-str+`. The application must be fence-free (strip it first for
+/// the shipped `sdk-red`/`cub-scan`/`ls-bh`).
+///
+/// # Panics
+///
+/// Panics if `app`'s spec still contains fences.
+pub fn empirical_fence_insertion(
+    chip: &Chip,
+    app: &dyn Application,
+    cfg: &HardenConfig,
+) -> HardenResult {
+    let start = std::time::Instant::now();
+    let base = app.spec().clone();
+    assert_eq!(
+        base.fence_count(),
+        0,
+        "empirical fence insertion starts from the fence-free program"
+    );
+    let all_sites = base.fence_sites();
+    let mut reducer = Reducer {
+        chip,
+        app,
+        base,
+        env: Environment::sys_str_plus(chip),
+        cfg,
+        executions: 0,
+        check_counter: 0,
+    };
+    let mut iters = cfg.initial_iters;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let fb = reducer.binary_reduction(all_sites.clone(), iters);
+        let fl = reducer.linear_reduction(fb, iters);
+        if reducer.empirically_stable(&fl) {
+            return HardenResult {
+                initial_fences: all_sites.len(),
+                fences: fl,
+                converged: true,
+                rounds,
+                executions: reducer.executions,
+                elapsed: start.elapsed(),
+            };
+        }
+        if rounds >= cfg.max_rounds {
+            return HardenResult {
+                initial_fences: all_sites.len(),
+                fences: fl,
+                converged: false,
+                rounds,
+                executions: reducer.executions,
+                elapsed: start.elapsed(),
+            };
+        }
+        iters *= 2; // Alg. 1, line 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppSpec, Phase};
+    use wmm_sim::ir::builder::KernelBuilder;
+    use wmm_sim::Word;
+
+    /// The miniature lock counter of `env`'s tests: one real fence site
+    /// (between the critical-section store and the unlock) suffices.
+    struct LockCounter {
+        spec: AppSpec,
+        expected: u32,
+    }
+
+    fn lock_counter(blocks: u32) -> LockCounter {
+        let mut b = KernelBuilder::new("lock-counter");
+        let tid = b.tid();
+        let zero = b.const_(0);
+        let is0 = b.eq(tid, zero);
+        b.if_(is0, |b| {
+            let lock = b.const_(0);
+            let cell = b.const_(128);
+            b.spin_lock(lock);
+            let v = b.load_global(cell);
+            let one = b.const_(1);
+            let v1 = b.add(v, one);
+            b.store_global(cell, v1);
+            b.unlock(lock);
+        });
+        let program = b.finish().unwrap();
+        LockCounter {
+            spec: AppSpec {
+                name: "lock-counter".into(),
+                phases: vec![Phase {
+                    program,
+                    blocks,
+                    threads_per_block: 32,
+                    shared_words: 0,
+                }],
+                global_words: 192,
+                init: vec![],
+                max_turns_per_phase: 2_000_000,
+            },
+            expected: blocks,
+        }
+    }
+
+    impl crate::app::Application for LockCounter {
+        fn name(&self) -> &str {
+            "lock-counter"
+        }
+        fn spec(&self) -> &AppSpec {
+            &self.spec
+        }
+        fn check(&self, memory: &[Word]) -> Result<(), String> {
+            if memory[128] == self.expected {
+                Ok(())
+            } else {
+                Err(format!("{} != {}", memory[128], self.expected))
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_finds_small_stable_set() {
+        let chip = Chip::by_short("Titan").unwrap();
+        let app = lock_counter(8);
+        let cfg = HardenConfig {
+            initial_iters: 24,
+            stable_runs: 60,
+            max_rounds: 3,
+            base_seed: 5,
+            parallelism: 0,
+        };
+        let r = empirical_fence_insertion(&chip, &app, &cfg);
+        assert!(r.initial_fences >= 4);
+        assert!(
+            r.fences.len() < r.initial_fences,
+            "reduction removed nothing: {r:?}"
+        );
+        // The surviving set must keep the application stable.
+        let spec = app.spec().with_fences(&r.fences);
+        let h = AppHarness::with_spec(&chip, &app, spec);
+        let check = h.campaign(&Environment::sys_str_plus(&chip), 60, 99, 0);
+        assert_eq!(check.errors, 0, "{check:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fence-free")]
+    fn fenced_input_rejected() {
+        let chip = Chip::by_short("K20").unwrap();
+        let app = lock_counter(4);
+        let fenced = app.spec().with_all_fences();
+        struct Fenced(AppSpec);
+        impl crate::app::Application for Fenced {
+            fn name(&self) -> &str {
+                "fenced"
+            }
+            fn spec(&self) -> &AppSpec {
+                &self.0
+            }
+            fn check(&self, _: &[Word]) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let _ = empirical_fence_insertion(&chip, &Fenced(fenced), &HardenConfig::default());
+    }
+}

@@ -1,0 +1,18 @@
+//! # wmm-core — the PLDI 2016 testing environment
+//!
+//! The paper's primary contribution, built on the `wmm-sim` substrate and
+//! the `wmm-litmus` tests:
+//!
+//! * [`stress`] — the four memory stressing strategies (`no-str`,
+//!   `rand-str`, `cache-str`, and the tuned `sys-str`) targeting a
+//!   scratchpad disjoint from the application (Sec. 3, 4.2).
+
+pub mod app;
+pub mod env;
+pub mod harden;
+pub mod tuning;
+pub mod stress;
+
+pub use app::{AppSpec, Application, Phase};
+pub use env::{AppHarness, CampaignResult, Environment, RunVerdict};
+pub use stress::{Scratchpad, StressStrategy, SystematicParams};

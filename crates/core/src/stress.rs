@@ -1,0 +1,473 @@
+//! Memory stressing strategies (Sec. 3 and Sec. 4.2).
+//!
+//! All strategies target a *scratchpad*: a region of global memory
+//! completely disjoint from the application's data, accessed by stressing
+//! blocks completely disjoint from the application's blocks — so the set
+//! of possible application behaviours is unchanged.
+//!
+//! Four strategies are evaluated in the paper:
+//!
+//! * [`StressStrategy::None`] (`no-str`) — run natively;
+//! * [`StressStrategy::Random`] (`rand-str`) — each stressing access picks
+//!   a random scratchpad location and a random load/store;
+//! * [`StressStrategy::CacheSized`] (`cache-str`) — an L2-cache-sized
+//!   scratchpad swept with a load + store per location;
+//! * [`StressStrategy::Systematic`] (`sys-str`) — the paper's tuned
+//!   strategy: stress the first location of `spread` randomly chosen
+//!   critical-patch-sized regions, with the chip's most effective access
+//!   sequence.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::sync::Arc;
+use wmm_sim::chip::Chip;
+use wmm_sim::exec::{KernelGroup, Role};
+use wmm_sim::ir::builder::KernelBuilder;
+use wmm_sim::ir::{BinOp, Program};
+use wmm_sim::seq::{Acc, AccessSeq};
+use wmm_sim::Word;
+
+/// The scratchpad region stressing threads target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scratchpad {
+    /// First word of the scratchpad (keep line-aligned).
+    pub base: u32,
+    /// Scratchpad size in words.
+    pub words: u32,
+    /// Base of a small table region used to pass per-run stress locations
+    /// to the kernel (disjoint from the scratchpad and the application).
+    pub table_base: u32,
+}
+
+impl Scratchpad {
+    /// A scratchpad of `words` words at `base`, with the location table
+    /// immediately before it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no room for the table below `base`.
+    pub fn new(base: u32, words: u32) -> Self {
+        assert!(base >= 64, "need room for the location table below base");
+        Scratchpad {
+            base,
+            words,
+            table_base: base - 64,
+        }
+    }
+
+    /// Words of global memory a launch must provide to cover this
+    /// scratchpad.
+    pub fn required_words(&self) -> u32 {
+        self.base + self.words
+    }
+}
+
+/// Parameters of the systematic (tuned) stress — Tab. 2's columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystematicParams {
+    /// The chip's critical patch size in words.
+    pub patch_words: u32,
+    /// The most effective access sequence.
+    pub seq: AccessSeq,
+    /// How many patch-sized regions to stress simultaneously.
+    pub spread: u32,
+}
+
+impl SystematicParams {
+    /// The paper's published tuning for a chip (Tab. 2).
+    pub fn from_paper(chip: &Chip) -> Self {
+        let (patch_words, seq, spread) = chip.paper_tuning();
+        SystematicParams {
+            patch_words,
+            seq,
+            spread,
+        }
+    }
+}
+
+/// A memory stressing strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StressStrategy {
+    /// `no-str`: no stressing blocks at all.
+    None,
+    /// `rand-str`: random location, random access kind, every iteration.
+    Random,
+    /// `cache-str`: sweep an L2-sized scratchpad with a load and store per
+    /// location.
+    CacheSized,
+    /// `sys-str`: the tuned strategy of Sec. 3.
+    Systematic(SystematicParams),
+}
+
+impl StressStrategy {
+    /// The paper's name for the strategy (`no-str`, `rand-str`,
+    /// `cache-str`, `sys-str`).
+    pub fn short(&self) -> &'static str {
+        match self {
+            StressStrategy::None => "no-str",
+            StressStrategy::Random => "rand-str",
+            StressStrategy::CacheSized => "cache-str",
+            StressStrategy::Systematic(_) => "sys-str",
+        }
+    }
+}
+
+/// A fully instantiated stress configuration for one run: kernel groups
+/// plus the memory initialisation they need.
+#[derive(Debug, Clone, Default)]
+pub struct StressSetup {
+    /// Stressing kernel groups (empty for `no-str`).
+    pub groups: Vec<KernelGroup>,
+    /// Global-memory initialisation (the location table).
+    pub init: Vec<(u32, Word)>,
+}
+
+/// Build the stressing blocks for one run.
+///
+/// * `threads` — total stressing threads to launch (the paper randomises
+///   this per run; see [`litmus_stress_threads`] and
+///   [`app_stress_blocks`]).
+/// * `iters` — stressing loop iterations (sized so stress outlives the
+///   kernel under test, Sec. 4.2).
+pub fn build_stress(
+    chip: &Chip,
+    strategy: &StressStrategy,
+    pad: Scratchpad,
+    threads: u32,
+    iters: u32,
+    rng: &mut SmallRng,
+) -> StressSetup {
+    match strategy {
+        StressStrategy::None => StressSetup::default(),
+        StressStrategy::Random => {
+            let program = random_stress_kernel(pad, iters, rng.gen());
+            StressSetup {
+                groups: groups_for(program, threads),
+                init: Vec::new(),
+            }
+        }
+        StressStrategy::CacheSized => {
+            let words = pad.words.min(chip.l2_scaled_words).max(1);
+            let program = cache_stress_kernel(pad, words, iters);
+            StressSetup {
+                groups: groups_for(program, threads),
+                init: Vec::new(),
+            }
+        }
+        StressStrategy::Systematic(p) => {
+            let regions = (pad.words / p.patch_words).max(1);
+            let spread = p.spread.clamp(1, regions).min(64);
+            // Choose `spread` distinct regions; stress the first location
+            // of each (stressing multiple locations of one patch is
+            // redundant, Sec. 3.3).
+            let mut picks: Vec<u32> = Vec::with_capacity(spread as usize);
+            while picks.len() < spread as usize {
+                let r = rng.gen_range(0..regions);
+                if !picks.contains(&r) {
+                    picks.push(r);
+                }
+            }
+            let locations: Vec<u32> = picks.iter().map(|&r| r * p.patch_words).collect();
+            build_systematic_at(pad, &p.seq, &locations, threads, iters)
+        }
+    }
+}
+
+/// Systematic stress pinned to explicit scratchpad locations (word
+/// offsets within the pad) — the form the tuning micro-benchmarks use,
+/// where `⟨T_d, σ@L⟩` stresses a *specific* location set `L`.
+///
+/// At least 32 threads per location are used so every location receives
+/// stress; threads distribute round-robin over the locations.
+///
+/// # Panics
+///
+/// Panics if `rel_locations` is empty or any location exceeds the pad.
+pub fn build_systematic_at(
+    pad: Scratchpad,
+    seq: &AccessSeq,
+    rel_locations: &[u32],
+    threads: u32,
+    iters: u32,
+) -> StressSetup {
+    assert!(!rel_locations.is_empty(), "need at least one location");
+    for &l in rel_locations {
+        assert!(l < pad.words, "location {l} outside scratchpad");
+    }
+    let spread = rel_locations.len() as u32;
+    let init: Vec<(u32, Word)> = rel_locations
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (pad.table_base + i as u32, pad.base + l))
+        .collect();
+    let program = systematic_stress_kernel(pad, seq, spread, iters);
+    let threads = threads.max(spread * 32);
+    StressSetup {
+        groups: groups_for(program, threads),
+        init,
+    }
+}
+
+fn groups_for(program: Program, threads: u32) -> Vec<KernelGroup> {
+    let tpb = 64;
+    let blocks = threads.div_ceil(tpb).max(1);
+    vec![KernelGroup {
+        program: Arc::new(program),
+        blocks,
+        threads_per_block: tpb,
+        role: Role::Stress,
+    }]
+}
+
+/// The systematic stressing kernel: each thread reads its target location
+/// from the table (indexed by global thread id modulo the spread, so
+/// threads spread evenly across locations) and hammers it with the access
+/// sequence in a loop.
+fn systematic_stress_kernel(pad: Scratchpad, seq: &AccessSeq, spread: u32, iters: u32) -> Program {
+    let mut b = KernelBuilder::new(format!("sys-str[{seq}]x{spread}"));
+    let gtid = b.global_tid();
+    let m = b.const_(spread);
+    let slot = b.rem_u(gtid, m);
+    let tbase = b.const_(pad.table_base);
+    let taddr = b.add(tbase, slot);
+    let loc = b.load_global(taddr);
+    let val = b.const_(0xabcd);
+    let i = b.reg();
+    b.assign_const(i, 0);
+    let n = b.const_(iters);
+    let one = b.const_(1);
+    b.while_(
+        |b| b.lt_u(i, n),
+        |b| {
+            for acc in seq.accs() {
+                match acc {
+                    Acc::Ld => {
+                        let _ = b.load_global(loc);
+                    }
+                    Acc::St => b.store_global(loc, val),
+                }
+            }
+            b.bin_into(i, BinOp::Add, i, one);
+        },
+    );
+    b.finish().expect("stress kernel is valid by construction")
+}
+
+/// The `rand-str` kernel: an in-kernel xorshift PRNG picks a fresh
+/// location and access kind every iteration (standing in for the paper's
+/// use of `curand`).
+fn random_stress_kernel(pad: Scratchpad, iters: u32, seed: u32) -> Program {
+    let mut b = KernelBuilder::new("rand-str");
+    let gtid = b.global_tid();
+    let seed_r = b.const_(seed | 1);
+    let state = b.reg();
+    b.bin_into(state, BinOp::Xor, gtid, seed_r);
+    let one = b.const_(1);
+    let state1 = b.add(state, one); // avoid the all-zero fixed point
+    let base = b.const_(pad.base);
+    let words = b.const_(pad.words.max(1));
+    let val = b.const_(0x5117);
+    let i = b.reg();
+    b.assign_const(i, 0);
+    let n = b.const_(iters);
+    let c13 = b.const_(13);
+    let c17 = b.const_(17);
+    let c5 = b.const_(5);
+    b.while_(
+        |b| b.lt_u(i, n),
+        |b| {
+            // xorshift32
+            let t1 = b.bin(BinOp::Shl, state1, c13);
+            b.bin_into(state1, BinOp::Xor, state1, t1);
+            let t2 = b.bin(BinOp::Shr, state1, c17);
+            b.bin_into(state1, BinOp::Xor, state1, t2);
+            let t3 = b.bin(BinOp::Shl, state1, c5);
+            b.bin_into(state1, BinOp::Xor, state1, t3);
+            let off = b.rem_u(state1, words);
+            let addr = b.add(base, off);
+            let bit = b.and(state1, one);
+            b.if_else(
+                bit,
+                |b| b.store_global(addr, val),
+                |b| {
+                    let _ = b.load_global(addr);
+                },
+            );
+            b.bin_into(i, BinOp::Add, i, one);
+        },
+    );
+    b.finish().expect("stress kernel is valid by construction")
+}
+
+/// The `cache-str` kernel: each block sweeps the (L2-sized) scratchpad,
+/// performing a load then a store at every location.
+fn cache_stress_kernel(pad: Scratchpad, words: u32, iters: u32) -> Program {
+    let mut b = KernelBuilder::new("cache-str");
+    let tid = b.tid();
+    let base = b.const_(pad.base);
+    let words_r = b.const_(words);
+    let dim = b.block_dim();
+    let outer = b.reg();
+    b.assign_const(outer, 0);
+    // Scale the outer trip count so total accesses roughly match the
+    // systematic strategy's budget.
+    let outer_n = b.const_(iters.div_ceil(words / 64 + 1).max(1));
+    let one = b.const_(1);
+    let j = b.reg();
+    b.while_(
+        |b| b.lt_u(outer, outer_n),
+        |b| {
+            b.assign(j, tid);
+            b.while_(
+                |b| b.lt_u(j, words_r),
+                |b| {
+                    let addr = b.add(base, j);
+                    let v = b.load_global(addr);
+                    b.store_global(addr, v);
+                    b.bin_into(j, BinOp::Add, j, dim);
+                },
+            );
+            b.bin_into(outer, BinOp::Add, outer, one);
+        },
+    );
+    b.finish().expect("stress kernel is valid by construction")
+}
+
+/// The paper's per-run stressing-thread count for litmus tuning: a random
+/// total in [50%, 100%] of the chip's concurrent capacity, minus the test
+/// threads (Sec. 3.2).
+pub fn litmus_stress_threads(chip: &Chip, rng: &mut SmallRng) -> u32 {
+    let cap = chip.max_concurrent_threads;
+    let target = rng.gen_range(cap / 2..=cap);
+    target.saturating_sub(64).max(64)
+}
+
+/// The paper's per-run stressing-block count for application testing: a
+/// random count in [15%, 50%] of the application's block count
+/// (Sec. 4.2), converted to threads of 64.
+pub fn app_stress_blocks(app_blocks: u32, rng: &mut SmallRng) -> u32 {
+    let lo = (app_blocks * 15).div_ceil(100).max(1);
+    let hi = (app_blocks * 50).div_ceil(100).max(lo);
+    rng.gen_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chip() -> Chip {
+        Chip::by_short("Titan").unwrap()
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn none_strategy_is_empty() {
+        let s = build_stress(
+            &chip(),
+            &StressStrategy::None,
+            Scratchpad::new(2048, 2048),
+            256,
+            100,
+            &mut rng(),
+        );
+        assert!(s.groups.is_empty());
+        assert!(s.init.is_empty());
+    }
+
+    #[test]
+    fn systematic_builds_table_of_region_starts() {
+        let c = chip();
+        let pad = Scratchpad::new(2048, 2048);
+        let p = SystematicParams::from_paper(&c);
+        let s = build_stress(
+            &c,
+            &StressStrategy::Systematic(p.clone()),
+            pad,
+            256,
+            100,
+            &mut rng(),
+        );
+        assert_eq!(s.init.len(), p.spread as usize);
+        for &(addr, loc) in &s.init {
+            assert!(addr >= pad.table_base && addr < pad.base);
+            assert!(loc >= pad.base && loc < pad.base + pad.words);
+            assert_eq!((loc - pad.base) % p.patch_words, 0, "region-aligned");
+        }
+        // Distinct regions.
+        let mut locs: Vec<Word> = s.init.iter().map(|&(_, l)| l).collect();
+        locs.sort_unstable();
+        locs.dedup();
+        assert_eq!(locs.len(), p.spread as usize);
+        assert_eq!(s.groups.len(), 1);
+        assert!(s.groups[0].blocks * s.groups[0].threads_per_block >= 256);
+    }
+
+    #[test]
+    fn strategies_produce_runnable_kernels() {
+        use wmm_sim::exec::{Gpu, LaunchSpec, Role};
+        let c = chip();
+        let pad = Scratchpad::new(2048, c.l2_scaled_words);
+        for strat in [
+            StressStrategy::Random,
+            StressStrategy::CacheSized,
+            StressStrategy::Systematic(SystematicParams::from_paper(&c)),
+        ] {
+            let s = build_stress(&c, &strat, pad, 128, 20, &mut rng());
+            assert_eq!(s.groups.len(), 1, "{}", strat.short());
+            // Run the stress kernel *as an app* so the run completes.
+            let mut groups = s.groups.clone();
+            groups[0].role = Role::App;
+            let spec = LaunchSpec {
+                groups,
+                global_words: pad.required_words(),
+                shared_words: 0,
+                init_image: Vec::new(),
+                init: s.init.clone(),
+                max_turns: 4_000_000,
+                randomize_ids: false,
+            };
+            let mut gpu = Gpu::new(c.clone());
+            let r = gpu.run(&spec, 5);
+            assert!(
+                r.status.is_completed(),
+                "{}: {:?}",
+                strat.short(),
+                r.status
+            );
+            assert!(r.instructions > 1000, "{}", strat.short());
+        }
+    }
+
+    #[test]
+    fn litmus_thread_counts_in_band() {
+        let c = chip();
+        let mut r = rng();
+        for _ in 0..100 {
+            let t = litmus_stress_threads(&c, &mut r);
+            assert!(t >= 64);
+            assert!(t <= c.max_concurrent_threads);
+        }
+    }
+
+    #[test]
+    fn app_stress_blocks_in_band() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let b = app_stress_blocks(8, &mut r);
+            assert!((1..=4).contains(&b), "got {b}");
+        }
+    }
+
+    #[test]
+    fn strategy_names_match_paper() {
+        assert_eq!(StressStrategy::None.short(), "no-str");
+        assert_eq!(StressStrategy::Random.short(), "rand-str");
+        assert_eq!(StressStrategy::CacheSized.short(), "cache-str");
+        let p = SystematicParams::from_paper(&chip());
+        assert_eq!(StressStrategy::Systematic(p).short(), "sys-str");
+    }
+}

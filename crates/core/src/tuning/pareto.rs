@@ -1,0 +1,105 @@
+//! Pareto selection over per-litmus-test scores (Sec. 3.3–3.4).
+//!
+//! A candidate (access sequence or spread) is *maximally effective* if no
+//! other candidate is observed to be more effective with respect to **all
+//! three** litmus tests — i.e. it is Pareto optimal over (MP, LB, SB)
+//! scores. Ties are broken by the paper's rule: pick the candidate that is
+//! most effective for two of the three tests; if that still ties, fall
+//! back to the highest total score (our deterministic extension).
+
+/// Indices of the Pareto-optimal score vectors. `a` dominates `b` when
+/// `a` is strictly greater on every test.
+pub fn pareto_front(scores: &[[u64; 3]]) -> Vec<usize> {
+    (0..scores.len())
+        .filter(|&i| {
+            !scores
+                .iter()
+                .any(|other| (0..3).all(|k| other[k] > scores[i][k]))
+        })
+        .collect()
+}
+
+/// Select the single winner: the Pareto front filtered by the
+/// two-of-three tie-break, then by total score, then by lowest index
+/// (fully deterministic).
+///
+/// # Panics
+///
+/// Panics if `scores` is empty.
+pub fn select_winner(scores: &[[u64; 3]]) -> usize {
+    assert!(!scores.is_empty(), "no candidates to select from");
+    let front = pareto_front(scores);
+    // For each front member, count the tests on which it attains the
+    // maximum among front members.
+    let mut best_idx = front[0];
+    let mut best_key = (0usize, 0u64);
+    for &i in &front {
+        let mut wins = 0;
+        for k in 0..3 {
+            let max_k = front.iter().map(|&j| scores[j][k]).max().unwrap_or(0);
+            if scores[i][k] == max_k {
+                wins += 1;
+            }
+        }
+        let total: u64 = scores[i].iter().sum();
+        let key = (wins, total);
+        if key > best_key || (key == best_key && i < best_idx) {
+            best_key = key;
+            best_idx = i;
+        }
+    }
+    best_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_candidate_wins() {
+        assert_eq!(select_winner(&[[1, 2, 3]]), 0);
+    }
+
+    #[test]
+    fn dominated_candidates_excluded() {
+        let scores = [[10, 10, 10], [5, 5, 5], [11, 9, 10]];
+        let front = pareto_front(&scores);
+        assert!(front.contains(&0));
+        assert!(!front.contains(&1), "strictly dominated by candidate 0");
+        assert!(front.contains(&2), "not dominated (better on test 0)");
+    }
+
+    #[test]
+    fn winner_takes_two_of_three() {
+        // Candidate 0 is best on MP and LB; candidate 1 only on SB.
+        let scores = [[10, 10, 1], [9, 9, 20]];
+        assert_eq!(select_winner(&scores), 0);
+    }
+
+    #[test]
+    fn equal_scores_pick_lowest_index() {
+        let scores = [[5, 5, 5], [5, 5, 5]];
+        assert_eq!(select_winner(&scores), 0);
+    }
+
+    #[test]
+    fn clear_dominator_always_wins() {
+        let scores = [[1, 1, 1], [9, 9, 9], [3, 3, 3]];
+        assert_eq!(select_winner(&scores), 1);
+        assert_eq!(pareto_front(&scores), vec![1]);
+    }
+
+    #[test]
+    fn all_zero_scores_handled() {
+        let scores = [[0, 0, 0], [0, 0, 0], [0, 0, 0]];
+        let w = select_winner(&scores);
+        assert_eq!(w, 0);
+        assert_eq!(pareto_front(&scores).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidates")]
+    fn empty_input_panics() {
+        let _ = select_winner(&[]);
+    }
+}

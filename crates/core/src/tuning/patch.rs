@@ -1,0 +1,287 @@
+//! Patch finding: identifying effective locations to stress (Sec. 3.2).
+//!
+//! For each litmus test `T`, distance `d` and scratchpad location `l`,
+//! run `C` executions of `⟨T_d, l⟩` — the test with stress applied at
+//! location `l` — and count weak behaviours. Contiguous runs of locations
+//! whose counts exceed the noise threshold ε form *ε-patches*; the patch
+//! size that occurs most often, agreed across the three tests, is the
+//! chip's **critical patch size**.
+//!
+//! Patch-finding stress uses the paper's pre-tuning sequence: each
+//! stressing thread "stores to and then loads from location l" (`st ld`).
+
+use super::TuningConfig;
+use crate::stress::{build_systematic_at, litmus_stress_threads};
+use wmm_litmus::runner::mix_seed;
+use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_sim::chip::Chip;
+use wmm_sim::seq::AccessSeq;
+
+/// Weak-behaviour counts over a location sweep for one `(test, d)`.
+#[derive(Debug, Clone)]
+pub struct PatchGrid {
+    /// The litmus test.
+    pub test: LitmusTest,
+    /// The distance between communication locations.
+    pub distance: u32,
+    /// Location stride of the sweep.
+    pub step: u32,
+    /// `counts[i]` = weak behaviours at location `i * step` over
+    /// `execs` runs.
+    pub counts: Vec<u64>,
+}
+
+/// An ε-patch: a maximal contiguous run of effective locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Patch {
+    /// First location of the run (in words).
+    pub start: u32,
+    /// Size of the run in words (`samples × step`).
+    pub size_words: u32,
+}
+
+/// The patch-finding stage's full output.
+#[derive(Debug, Clone)]
+pub struct PatchReport {
+    /// All sweeps performed.
+    pub grids: Vec<PatchGrid>,
+    /// Patch size concluded per test (None if that test showed no
+    /// patches even after the extended-distance probe).
+    pub per_test: Vec<(LitmusTest, Option<u32>)>,
+    /// The critical patch size, if the tests agree.
+    pub critical: Option<u32>,
+    /// Whether MP needed the extended-distance probe (the 980 quirk).
+    pub used_extended_mp: bool,
+    /// Litmus executions spent.
+    pub executions: u64,
+}
+
+/// Sweep stress location `l` over `0, step, …` for one `(test, d)`.
+pub fn sweep(chip: &Chip, test: LitmusTest, distance: u32, cfg: &TuningConfig) -> PatchGrid {
+    let pad = cfg.scratchpad(chip);
+    let inst = LitmusInstance::build(test, LitmusLayout::standard(distance, pad.required_words()));
+    let seq: AccessSeq = "st ld".parse().expect("literal");
+    let test_idx = LitmusTest::ALL.iter().position(|t| *t == test).unwrap() as u64;
+    let mut counts = Vec::new();
+    let mut l = 0u32;
+    while l < cfg.locations {
+        let chip2 = chip.clone();
+        let seq2 = seq.clone();
+        let iters = cfg.stress_iters;
+        let h = run_many(
+            chip,
+            &inst,
+            move |rng| {
+                let threads = litmus_stress_threads(&chip2, rng);
+                let s = build_systematic_at(pad, &seq2, &[l], threads, iters);
+                (s.groups, s.init)
+            },
+            RunManyConfig {
+                count: cfg.execs,
+                base_seed: mix_seed(
+                    cfg.base_seed,
+                    (test_idx * 1_000_003 + u64::from(distance)) * 1_000_003 + u64::from(l),
+                ),
+                randomize_ids: false,
+                parallelism: cfg.parallelism,
+            },
+        );
+        counts.push(h.weak());
+        l += cfg.location_step;
+    }
+    PatchGrid {
+        test,
+        distance,
+        step: cfg.location_step,
+        counts,
+    }
+}
+
+/// Extract the ε-patches of a grid: maximal runs of sampled locations
+/// with more than `noise` weak behaviours.
+pub fn epsilon_patches(grid: &PatchGrid, noise: u64) -> Vec<Patch> {
+    let mut out = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for (i, &c) in grid.counts.iter().enumerate() {
+        if c > noise {
+            run_start.get_or_insert(i);
+        } else if let Some(s) = run_start.take() {
+            out.push(Patch {
+                start: s as u32 * grid.step,
+                size_words: (i - s) as u32 * grid.step,
+            });
+        }
+    }
+    if let Some(s) = run_start {
+        out.push(Patch {
+            start: s as u32 * grid.step,
+            size_words: (grid.counts.len() - s) as u32 * grid.step,
+        });
+    }
+    out
+}
+
+/// Snap an observed patch size to the nearest power of two (sampling at
+/// `location_step > 1` quantises sizes).
+pub fn snap_size(words: u32) -> u32 {
+    if words == 0 {
+        return 0;
+    }
+    let mut best = 8u32;
+    let mut best_d = u32::MAX;
+    let mut p = 8u32;
+    while p <= 256 {
+        let d = p.abs_diff(words);
+        if d < best_d || (d == best_d && p > best) {
+            best = p;
+            best_d = d;
+        }
+        p *= 2;
+    }
+    best
+}
+
+/// The modal (snapped) patch size across a set of grids, if any patches
+/// were seen.
+pub fn modal_patch_size(grids: &[&PatchGrid], noise: u64) -> Option<u32> {
+    let mut histogram: std::collections::BTreeMap<u32, usize> = Default::default();
+    for g in grids {
+        for p in epsilon_patches(g, noise) {
+            *histogram.entry(snap_size(p.size_words)).or_insert(0) += 1;
+        }
+    }
+    histogram
+        .into_iter()
+        .max_by_key(|&(size, n)| (n, size))
+        .map(|(size, _)| size)
+}
+
+/// The full patch-finding stage for one chip.
+pub fn find_patch_size(chip: &Chip, cfg: &TuningConfig) -> PatchReport {
+    let mut grids = Vec::new();
+    let mut executions = 0u64;
+    let samples_per_sweep = u64::from(cfg.locations.div_ceil(cfg.location_step));
+    for test in LitmusTest::ALL {
+        for &d in &cfg.patch_distances {
+            grids.push(sweep(chip, test, d, cfg));
+            executions += samples_per_sweep * u64::from(cfg.execs);
+        }
+    }
+    let mut per_test = Vec::new();
+    let mut used_extended_mp = false;
+    for test in LitmusTest::ALL {
+        let test_grids: Vec<&PatchGrid> = grids.iter().filter(|g| g.test == test).collect();
+        let mut size = modal_patch_size(&test_grids, cfg.noise);
+        if size.is_none() && test == LitmusTest::Mp {
+            // The paper's 980 path: MP patches only emerge at larger
+            // distances; probe the extended range.
+            used_extended_mp = true;
+            let mut extra = Vec::new();
+            for &d in &cfg.extended_distances {
+                extra.push(sweep(chip, test, d, cfg));
+                executions += samples_per_sweep * u64::from(cfg.execs);
+            }
+            let refs: Vec<&PatchGrid> = extra.iter().collect();
+            size = modal_patch_size(&refs, cfg.noise);
+            grids.extend(extra);
+        }
+        per_test.push((test, size));
+    }
+    // The paper calls P critical when all three tests agree; for
+    // judgement-call chips (980) we accept the majority of the observed
+    // sizes.
+    let sizes: Vec<u32> = per_test.iter().filter_map(|&(_, s)| s).collect();
+    let critical = if sizes.is_empty() {
+        None
+    } else {
+        let mut hist: std::collections::BTreeMap<u32, usize> = Default::default();
+        for &s in &sizes {
+            *hist.entry(s).or_insert(0) += 1;
+        }
+        hist.into_iter()
+            .max_by_key(|&(s, n)| (n, s))
+            .map(|(s, _)| s)
+    };
+    PatchReport {
+        grids,
+        per_test,
+        critical,
+        used_extended_mp,
+        executions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(counts: Vec<u64>, step: u32) -> PatchGrid {
+        PatchGrid {
+            test: LitmusTest::Mp,
+            distance: 64,
+            step,
+            counts,
+        }
+    }
+
+    #[test]
+    fn no_patches_in_quiet_grid() {
+        let g = grid(vec![0, 1, 0, 1, 0], 8);
+        assert!(epsilon_patches(&g, 1).is_empty());
+    }
+
+    #[test]
+    fn single_patch_detected() {
+        let g = grid(vec![0, 0, 9, 8, 7, 5, 0, 0], 8);
+        let ps = epsilon_patches(&g, 1);
+        assert_eq!(
+            ps,
+            vec![Patch {
+                start: 16,
+                size_words: 32
+            }]
+        );
+    }
+
+    #[test]
+    fn patch_at_end_of_sweep_closed() {
+        let g = grid(vec![0, 0, 0, 0, 6, 6, 6, 6], 8);
+        let ps = epsilon_patches(&g, 1);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].size_words, 32);
+    }
+
+    #[test]
+    fn multiple_patches_detected() {
+        let g = grid(vec![9, 9, 0, 0, 9, 9, 0, 0], 16);
+        let ps = epsilon_patches(&g, 1);
+        assert_eq!(ps.len(), 2);
+        assert!(ps.iter().all(|p| p.size_words == 32));
+    }
+
+    #[test]
+    fn noise_threshold_respected() {
+        let g = grid(vec![2, 2, 2, 2], 8);
+        assert!(epsilon_patches(&g, 3).is_empty());
+        assert_eq!(epsilon_patches(&g, 1).len(), 1);
+    }
+
+    #[test]
+    fn snap_sizes() {
+        assert_eq!(snap_size(32), 32);
+        assert_eq!(snap_size(24), 32, "ties snap upward");
+        assert_eq!(snap_size(40), 32);
+        assert_eq!(snap_size(56), 64);
+        assert_eq!(snap_size(64), 64);
+        assert_eq!(snap_size(300), 256);
+    }
+
+    #[test]
+    fn modal_size_across_grids() {
+        let g1 = grid(vec![9, 9, 9, 9, 0, 0, 0, 0], 8); // 32 words
+        let g2 = grid(vec![0, 0, 9, 9, 9, 9, 0, 0], 8); // 32 words
+        let g3 = grid(vec![9, 9, 9, 9, 9, 9, 9, 9], 8); // 64 words
+        let refs: Vec<&PatchGrid> = vec![&g1, &g2, &g3];
+        assert_eq!(modal_patch_size(&refs, 1), Some(32));
+    }
+}

@@ -1,0 +1,156 @@
+//! Access-sequence search (Sec. 3.3).
+//!
+//! Enumerate every σ ∈ (ld|st)+ with |σ| ≤ N, score each against the
+//! three litmus tests — summing weak behaviours over all distances and
+//! patch-aligned stressing locations — and select the maximally
+//! effective sequence (Pareto optimal, two-of-three tie-break).
+
+use super::pareto::select_winner;
+use super::TuningConfig;
+use crate::stress::{build_systematic_at, litmus_stress_threads};
+use wmm_litmus::runner::mix_seed;
+use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_sim::chip::Chip;
+use wmm_sim::seq::AccessSeq;
+
+/// Seed salt separating this stage's randomness from the other stages.
+const SEQ_STAGE_SALT: u64 = 0x5e9;
+
+/// One sequence's scores: weak-behaviour totals per test (MP, LB, SB).
+#[derive(Debug, Clone)]
+pub struct SeqScore {
+    /// The access sequence.
+    pub seq: AccessSeq,
+    /// Weak totals, indexed by [`LitmusTest::ALL`] order.
+    pub scores: [u64; 3],
+}
+
+/// The sequence stage's full output, ordered as enumerated.
+#[derive(Debug, Clone)]
+pub struct SeqScores {
+    /// Per-sequence scores.
+    pub entries: Vec<SeqScore>,
+    /// Litmus executions spent.
+    pub executions: u64,
+}
+
+impl SeqScores {
+    /// Entries ranked by score for one test, best first (Tab. 3's
+    /// per-test ranking).
+    pub fn ranked_for(&self, test: LitmusTest) -> Vec<&SeqScore> {
+        let k = LitmusTest::ALL.iter().position(|t| *t == test).unwrap();
+        let mut v: Vec<&SeqScore> = self.entries.iter().collect();
+        v.sort_by(|a, b| b.scores[k].cmp(&a.scores[k]));
+        v
+    }
+}
+
+/// Score every sequence up to the configured length.
+///
+/// Stress is applied at the first location of each critical-patch-sized
+/// region (`{l : P | l}` — "stressing multiple locations in a patch is
+/// not worthwhile").
+pub fn score_sequences(chip: &Chip, patch_words: u32, cfg: &TuningConfig) -> SeqScores {
+    let pad = cfg.scratchpad(chip);
+    let seqs = AccessSeq::enumerate(cfg.max_seq_len);
+    let region_starts: Vec<u32> = (0..cfg.locations)
+        .step_by(patch_words.max(1) as usize)
+        .collect();
+    let mut entries = Vec::with_capacity(seqs.len());
+    let mut executions = 0u64;
+    for (si, seq) in seqs.iter().enumerate() {
+        let mut scores = [0u64; 3];
+        for (ti, test) in LitmusTest::ALL.iter().enumerate() {
+            for &d in &cfg.distances {
+                let inst =
+                    LitmusInstance::build(*test, LitmusLayout::standard(d, pad.required_words()));
+                for &l in &region_starts {
+                    let chip2 = chip.clone();
+                    let seq2 = seq.clone();
+                    let iters = cfg.stress_iters;
+                    let h = run_many(
+                        chip,
+                        &inst,
+                        move |rng| {
+                            let threads = litmus_stress_threads(&chip2, rng);
+                            let s = build_systematic_at(pad, &seq2, &[l], threads, iters);
+                            (s.groups, s.init)
+                        },
+                        RunManyConfig {
+                            count: cfg.execs,
+                            base_seed: mix_seed(
+                                cfg.base_seed ^ SEQ_STAGE_SALT,
+                                ((si as u64 * 31 + ti as u64) * 1_000_003 + u64::from(d))
+                                    * 1_000_003
+                                    + u64::from(l),
+                            ),
+                            randomize_ids: false,
+                            parallelism: cfg.parallelism,
+                        },
+                    );
+                    scores[ti] += h.weak();
+                    executions += u64::from(cfg.execs);
+                }
+            }
+        }
+        entries.push(SeqScore {
+            seq: seq.clone(),
+            scores,
+        });
+    }
+    SeqScores {
+        entries,
+        executions,
+    }
+}
+
+/// The maximally effective sequence per the paper's selection rule.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty.
+pub fn most_effective(scores: &SeqScores) -> &SeqScore {
+    let vecs: Vec<[u64; 3]> = scores.entries.iter().map(|e| e.scores).collect();
+    &scores.entries[select_winner(&vecs)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(s: &str, scores: [u64; 3]) -> SeqScore {
+        SeqScore {
+            seq: s.parse().unwrap(),
+            scores,
+        }
+    }
+
+    #[test]
+    fn winner_is_pareto_two_of_three() {
+        let scores = SeqScores {
+            entries: vec![
+                entry("ld", [10, 2, 3]),
+                entry("st", [1, 1, 1]),
+                entry("ld st", [9, 9, 9]),
+                entry("st ld", [2, 10, 2]),
+            ],
+            executions: 0,
+        };
+        assert_eq!(most_effective(&scores).seq.to_string(), "ld st");
+    }
+
+    #[test]
+    fn ranked_for_orders_descending() {
+        let scores = SeqScores {
+            entries: vec![
+                entry("ld", [1, 0, 0]),
+                entry("st", [5, 0, 0]),
+                entry("ld st", [3, 0, 0]),
+            ],
+            executions: 0,
+        };
+        let ranked = scores.ranked_for(LitmusTest::Mp);
+        let names: Vec<String> = ranked.iter().map(|e| e.seq.to_string()).collect();
+        assert_eq!(names, vec!["st", "ld st", "ld"]);
+    }
+}

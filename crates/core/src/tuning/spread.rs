@@ -1,0 +1,140 @@
+//! Spread search: how many locations to stress simultaneously (Sec. 3.4).
+//!
+//! With the critical patch size and the most effective access sequence
+//! fixed, score each spread `m ∈ 1..=M`: per execution, stress a
+//! randomly chosen `m`-subset of the first locations of the `M`
+//! patch-sized scratchpad regions, with stressing threads distributed
+//! evenly over the chosen locations. The best spread is selected by the
+//! same Pareto rule as the sequence stage (the paper found 2 on every
+//! chip, with a U-shaped score curve — Fig. 4).
+
+use super::pareto::select_winner;
+use super::TuningConfig;
+use crate::stress::{build_stress, litmus_stress_threads, StressStrategy, SystematicParams};
+use wmm_litmus::runner::mix_seed;
+use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_sim::chip::Chip;
+use wmm_sim::seq::AccessSeq;
+
+/// Seed salt separating this stage's randomness from the other stages.
+const SPREAD_STAGE_SALT: u64 = 0x59ead;
+
+/// The spread stage's output.
+#[derive(Debug, Clone)]
+pub struct SpreadScores {
+    /// `(m, weak totals per test)` for each spread, in increasing `m`.
+    pub entries: Vec<(u32, [u64; 3])>,
+    /// Litmus executions spent.
+    pub executions: u64,
+}
+
+/// Score every spread `1..=M`.
+pub fn score_spreads(
+    chip: &Chip,
+    patch_words: u32,
+    seq: &AccessSeq,
+    cfg: &TuningConfig,
+) -> SpreadScores {
+    // The paper's scratchpad for this stage has exactly M regions.
+    let mut pad = cfg.scratchpad(chip);
+    pad.words = pad.words.min(patch_words * cfg.max_spread).max(patch_words);
+    // Densify the distance grid: this stage sums scores over distances
+    // (Sec. 3.4) and has few configurations, so extra distances buy
+    // variance reduction cheaply.
+    let mut distances = cfg.distances.clone();
+    for extra in [96, 160] {
+        if !distances.contains(&extra) {
+            distances.push(extra);
+        }
+    }
+    let mut entries = Vec::new();
+    let mut executions = 0u64;
+    for m in 1..=cfg.max_spread {
+        let mut scores = [0u64; 3];
+        for (ti, test) in LitmusTest::ALL.iter().enumerate() {
+            for &d in &distances {
+                let inst =
+                    LitmusInstance::build(*test, LitmusLayout::standard(d, pad.required_words()));
+                let chip2 = chip.clone();
+                let strategy = StressStrategy::Systematic(SystematicParams {
+                    patch_words,
+                    seq: seq.clone(),
+                    spread: m,
+                });
+                let iters = cfg.stress_iters;
+                let h = run_many(
+                    chip,
+                    &inst,
+                    move |rng| {
+                        let threads = litmus_stress_threads(&chip2, rng);
+                        let s = build_stress(&chip2, &strategy, pad, threads, iters, rng);
+                        (s.groups, s.init)
+                    },
+                    RunManyConfig {
+                        // This stage has far fewer configurations than the
+                        // location/sequence sweeps (the paper compensates
+                        // with its much denser distance grid), so spend
+                        // more executions per spread for a stable curve.
+                        count: cfg.execs * 10,
+                        base_seed: mix_seed(
+                            cfg.base_seed ^ SPREAD_STAGE_SALT,
+                            (u64::from(m) * 31 + ti as u64) * 1_000_003 + u64::from(d),
+                        ),
+                        randomize_ids: false,
+                        parallelism: cfg.parallelism,
+                    },
+                );
+                scores[ti] += h.weak();
+                executions += u64::from(cfg.execs * 10);
+            }
+        }
+        entries.push((m, scores));
+    }
+    SpreadScores {
+        entries,
+        executions,
+    }
+}
+
+/// The maximally effective spread per the paper's Pareto rule.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty.
+pub fn best_spread(scores: &SpreadScores) -> u32 {
+    let vecs: Vec<[u64; 3]> = scores.entries.iter().map(|&(_, s)| s).collect();
+    scores.entries[select_winner(&vecs)].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_spread_picks_pareto_winner() {
+        let scores = SpreadScores {
+            entries: vec![
+                (1, [5, 5, 5]),
+                (2, [9, 8, 9]),
+                (3, [6, 9, 6]),
+                (4, [2, 2, 2]),
+            ],
+            executions: 0,
+        };
+        assert_eq!(best_spread(&scores), 2);
+    }
+
+    #[test]
+    fn u_shape_with_clear_peak() {
+        let scores = SpreadScores {
+            entries: (1..=8)
+                .map(|m| {
+                    let v = 10u64.saturating_sub(u64::from((i64::from(m) - 2).unsigned_abs()) * 2);
+                    (m, [v, v, v])
+                })
+                .collect(),
+            executions: 0,
+        };
+        assert_eq!(best_spread(&scores), 2);
+    }
+}

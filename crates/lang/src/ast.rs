@@ -1,0 +1,83 @@
+//! Abstract syntax of the kernel language.
+
+use crate::Pos;
+
+/// A binary operator, spelled as in the source.
+pub type BinOpName = &'static str;
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(u32),
+    /// Variable reference.
+    Var(String, Pos),
+    /// `global[e]` load.
+    GlobalLoad(Box<Expr>),
+    /// `shared[e]` load.
+    SharedLoad(Box<Expr>),
+    /// A geometry intrinsic: `tid`, `bid`, `blockdim`, `griddim`, `gtid`.
+    Intrinsic(&'static str),
+    /// `cas(addr, cmp, val)` — atomicCAS on global memory.
+    Cas(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `exch(addr, val)` — atomicExch on global memory.
+    Exch(Box<Expr>, Box<Expr>),
+    /// `atomic_add(addr, val)` — atomicAdd on global memory.
+    AtomicAdd(Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOpName, Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var x = e;` — introduce a variable.
+    Var(String, Expr, Pos),
+    /// `x = e;` — assign an existing variable.
+    Assign(String, Expr, Pos),
+    /// `global[a] = e;`
+    GlobalStore(Expr, Expr),
+    /// `shared[a] = e;`
+    SharedStore(Expr, Expr),
+    /// An expression evaluated for its effect (atomics).
+    Expr(Expr),
+    /// `fence();`
+    Fence,
+    /// `fence_block();`
+    FenceBlock,
+    /// `barrier();`
+    Barrier,
+    /// `if cond { … } else { … }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while cond { … }`.
+    While(Expr, Vec<Stmt>),
+}
+
+/// A complete kernel: its name and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// The kernel's name.
+    pub name: String,
+    /// The statements of the body.
+    pub body: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_nodes_construct() {
+        let e = Expr::Bin(
+            "+",
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Intrinsic("tid")),
+        );
+        let k = Kernel {
+            name: "k".into(),
+            body: vec![Stmt::GlobalStore(Expr::Int(0), e)],
+        };
+        assert_eq!(k.name, "k");
+        assert_eq!(k.body.len(), 1);
+    }
+}

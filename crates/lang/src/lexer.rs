@@ -1,0 +1,193 @@
+//! Tokeniser for the kernel language.
+
+use crate::{Error, Pos};
+
+/// The kinds of token the language knows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal (decimal or `0x…`).
+    Int(u32),
+    /// A punctuation or operator token, e.g. `"=="` or `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+const PUNCTS: [&str; 22] = [
+    "==", "!=", "<=", ">=", "<<", ">>", "{", "}", "(", ")", "[", "]", ";", ",", "=", "+", "-",
+    "*", "/", "%", "<", ">",
+];
+const EXTRA_PUNCTS: [&str; 3] = ["&", "|", "^"];
+
+/// Tokenise `source`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on an unrecognised character or malformed
+/// number.
+pub fn lex(source: &str) -> Result<Vec<Token>, Error> {
+    let mut out = Vec::new();
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            col += 1;
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+                col += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            out.push(Token {
+                kind: TokenKind::Ident(text),
+                pos,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let hex = c == '0' && bytes.get(i + 1).map(|c| *c == 'x') == Some(true);
+            if hex {
+                i += 2;
+                col += 2;
+            }
+            while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                i += 1;
+                col += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let value = if let Some(h) = text.strip_prefix("0x") {
+                u32::from_str_radix(h, 16)
+            } else {
+                text.parse()
+            }
+            .map_err(|_| Error {
+                pos,
+                message: format!("invalid integer literal `{text}`"),
+            })?;
+            out.push(Token {
+                kind: TokenKind::Int(value),
+                pos,
+            });
+            continue;
+        }
+        // Punctuation: longest match first.
+        let rest: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+        let mut matched: Option<&str> = None;
+        for p in PUNCTS.iter().chain(EXTRA_PUNCTS.iter()) {
+            if rest.starts_with(p) {
+                match matched {
+                    Some(m) if m.len() >= p.len() => {}
+                    _ => matched = Some(*p),
+                }
+            }
+        }
+        match matched {
+            Some(p) => {
+                out.push(Token {
+                    kind: TokenKind::Punct(p),
+                    pos,
+                });
+                i += p.len();
+                col += p.len() as u32;
+            }
+            None => {
+                return Err(Error {
+                    pos,
+                    message: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_identifiers_numbers_puncts() {
+        let toks = lex("kernel k { var x = 0x10 + 2; }").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], TokenKind::Ident(s) if s == "kernel"));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Int(16))));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Int(2))));
+        assert!(matches!(kinds.last(), Some(TokenKind::Eof)));
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        let toks = lex("a == b != c <= d >> e").unwrap();
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "<=", ">>"]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("x // comment\ny").unwrap();
+        assert_eq!(toks.len(), 3); // x, y, eof
+        assert_eq!(toks[1].pos.line, 2);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_char_reported() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        assert!(lex("0xzz").is_err());
+        assert!(lex("12ab").is_err());
+    }
+}

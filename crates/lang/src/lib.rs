@@ -1,0 +1,206 @@
+//! # wmm-lang — a small C-like kernel language for the simulated GPU
+//!
+//! A front-end over the `wmm-sim` IR so kernels (litmus tests, new case
+//! studies) can be written as text instead of builder calls:
+//!
+//! ```
+//! use wmm_lang::compile;
+//!
+//! let program = compile(
+//!     r#"
+//!     kernel handoff {
+//!         if tid() == 0 {
+//!             if bid() == 0 {
+//!                 global[0] = 42;      // payload
+//!                 fence();
+//!                 global[128] = 1;     // flag
+//!             } else {
+//!                 while global[128] == 0 { }
+//!                 global[256] = global[0];
+//!             }
+//!         }
+//!     }
+//!     "#,
+//! )
+//! .expect("valid kernel");
+//! assert!(program.len() > 10);
+//! ```
+//!
+//! The language has `var` bindings, assignments, global/shared array
+//! accesses, the three atomics (`cas`, `exch`, `atomic_add`), `fence()`
+//! / `fence_block()` / `barrier()`, `if`/`else`, `while`, and the
+//! thread-geometry intrinsics `tid()`, `bid()`, `blockdim()`,
+//! `griddim()`, `gtid()`. All values are 32-bit words; arithmetic is
+//! unsigned and wrapping, exactly as in the IR.
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{Expr, Kernel, Stmt};
+pub use lexer::{lex, Token, TokenKind};
+pub use lower::lower;
+pub use parser::parse;
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compilation error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Where the error was detected.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compile kernel source to an IR [`Program`](wmm_sim::Program).
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic [`Error`] found.
+pub fn compile(source: &str) -> Result<wmm_sim::Program, Error> {
+    let tokens = lex(source)?;
+    let kernel = parse(&tokens)?;
+    lower(&kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmm_sim::chip::Chip;
+    use wmm_sim::exec::{Gpu, LaunchSpec};
+
+    fn sc_chip() -> Chip {
+        let mut c = Chip::by_short("K20").unwrap();
+        c.reorder.base = [0.0; 4];
+        c.reorder.gain = [0.0; 4];
+        c
+    }
+
+    #[test]
+    fn compile_and_run_counter() {
+        let p = compile(
+            r#"
+            kernel count {
+                var old = atomic_add(0, 1);
+                global[64 + gtid()] = old;
+            }
+            "#,
+        )
+        .unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        let r = gpu.run(&LaunchSpec::app(p, 2, 32, 256), 3);
+        assert!(r.status.is_completed());
+        assert_eq!(r.word(0), 64);
+    }
+
+    #[test]
+    fn compile_loop_sum() {
+        let p = compile(
+            r#"
+            kernel sum {
+                if tid() == 0 {
+                    var acc = 0;
+                    var i = 0;
+                    while i < 10 {
+                        acc = acc + i;
+                        i = i + 1;
+                    }
+                    global[5] = acc;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        let r = gpu.run(&LaunchSpec::app(p, 1, 32, 16), 1);
+        assert_eq!(r.word(5), 45);
+    }
+
+    #[test]
+    fn compile_spinlock_idiom() {
+        // The Fig. 1 lock/unlock idiom, in the language.
+        let p = compile(
+            r#"
+            kernel mutex {
+                if tid() == 0 {
+                    while cas(0, 0, 1) != 0 { }
+                    global[128] = global[128] + 1;
+                    exch(0, 0);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        let r = gpu.run(&LaunchSpec::app(p, 6, 32, 256), 5);
+        assert!(r.status.is_completed());
+        assert_eq!(r.word(128), 6);
+    }
+
+    #[test]
+    fn shared_memory_and_barrier() {
+        let p = compile(
+            r#"
+            kernel bcast {
+                if tid() == 0 {
+                    shared[3] = 99;
+                }
+                barrier();
+                if tid() == 1 {
+                    global[0] = shared[3];
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        let mut spec = LaunchSpec::app(p, 1, 32, 8);
+        spec.shared_words = 8;
+        let r = gpu.run(&spec, 9);
+        assert_eq!(r.word(0), 99);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = compile("kernel bad {\n  var x = ;\n}").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+        assert!(err.to_string().contains("2:"));
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let err = compile("kernel bad { global[0] = nope; }").unwrap_err();
+        assert!(err.message.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn fences_compile_to_ir_fences() {
+        let p = compile("kernel f { global[0] = 1; fence(); fence_block(); }").unwrap();
+        assert_eq!(p.fence_count(), 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! Lowering from the AST to the `wmm-sim` IR.
+
+use crate::ast::{Expr, Kernel, Stmt};
+use crate::{Error, Pos};
+use std::collections::HashMap;
+use wmm_sim::ir::builder::KernelBuilder;
+use wmm_sim::ir::{BinOp, Reg};
+use wmm_sim::Program;
+
+/// Lower a parsed kernel to an IR program.
+///
+/// # Errors
+///
+/// Returns an [`Error`] for references to undefined variables or
+/// redefinitions.
+pub fn lower(kernel: &Kernel) -> Result<Program, Error> {
+    let mut b = KernelBuilder::new(kernel.name.clone());
+    let mut scope: HashMap<String, Reg> = HashMap::new();
+    lower_block(&mut b, &mut scope, &kernel.body)?;
+    b.finish().map_err(|e| Error {
+        pos: Pos { line: 1, col: 1 },
+        message: format!("internal lowering error: {e}"),
+    })
+}
+
+fn lower_block(
+    b: &mut KernelBuilder,
+    scope: &mut HashMap<String, Reg>,
+    stmts: &[Stmt],
+) -> Result<(), Error> {
+    for stmt in stmts {
+        lower_stmt(b, scope, stmt)?;
+    }
+    Ok(())
+}
+
+fn lower_stmt(
+    b: &mut KernelBuilder,
+    scope: &mut HashMap<String, Reg>,
+    stmt: &Stmt,
+) -> Result<(), Error> {
+    match stmt {
+        Stmt::Var(name, init, pos) => {
+            if scope.contains_key(name) {
+                return Err(Error {
+                    pos: *pos,
+                    message: format!("variable `{name}` is already defined"),
+                });
+            }
+            let v = lower_expr(b, scope, init)?;
+            // Give the variable its own register so later assignments
+            // don't alias the initialiser.
+            let slot = b.mov(v);
+            scope.insert(name.clone(), slot);
+        }
+        Stmt::Assign(name, value, pos) => {
+            let Some(&slot) = scope.get(name) else {
+                return Err(Error {
+                    pos: *pos,
+                    message: format!("assignment to undefined variable `{name}`"),
+                });
+            };
+            let v = lower_expr(b, scope, value)?;
+            b.assign(slot, v);
+        }
+        Stmt::GlobalStore(addr, value) => {
+            let a = lower_expr(b, scope, addr)?;
+            let v = lower_expr(b, scope, value)?;
+            b.store_global(a, v);
+        }
+        Stmt::SharedStore(addr, value) => {
+            let a = lower_expr(b, scope, addr)?;
+            let v = lower_expr(b, scope, value)?;
+            b.store_shared(a, v);
+        }
+        Stmt::Expr(e) => {
+            let _ = lower_expr(b, scope, e)?;
+        }
+        Stmt::Fence => b.fence_device(),
+        Stmt::FenceBlock => b.fence_block(),
+        Stmt::Barrier => b.barrier(),
+        Stmt::If(cond, then, els) => {
+            let c = lower_expr(b, scope, cond)?;
+            // Lower both arms with child scopes (variables do not leak).
+            let mut err = None;
+            if els.is_empty() {
+                b.if_(c, |b| {
+                    let mut inner = scope.clone();
+                    if let Err(e) = lower_block(b, &mut inner, then) {
+                        err = Some(e);
+                    }
+                });
+            } else {
+                let mut err2 = None;
+                b.if_else(
+                    c,
+                    |b| {
+                        let mut inner = scope.clone();
+                        if let Err(e) = lower_block(b, &mut inner, then) {
+                            err = Some(e);
+                        }
+                    },
+                    |b| {
+                        let mut inner = scope.clone();
+                        if let Err(e) = lower_block(b, &mut inner, els) {
+                            err2 = Some(e);
+                        }
+                    },
+                );
+                if let Some(e) = err2 {
+                    return Err(e);
+                }
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Stmt::While(cond, body) => {
+            let mut head_err = None;
+            let mut body_err = None;
+            let head_scope = scope.clone();
+            b.while_(
+                |b| {
+                    let mut inner = head_scope.clone();
+                    match lower_expr(b, &mut inner, cond) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            head_err = Some(e);
+                            b.const_(0)
+                        }
+                    }
+                },
+                |b| {
+                    let mut inner = head_scope.clone();
+                    if let Err(e) = lower_block(b, &mut inner, body) {
+                        body_err = Some(e);
+                    }
+                },
+            );
+            if let Some(e) = head_err {
+                return Err(e);
+            }
+            if let Some(e) = body_err {
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn lower_expr(
+    b: &mut KernelBuilder,
+    scope: &mut HashMap<String, Reg>,
+    expr: &Expr,
+) -> Result<Reg, Error> {
+    Ok(match expr {
+        Expr::Int(v) => b.const_(*v),
+        Expr::Var(name, pos) => {
+            let Some(&slot) = scope.get(name) else {
+                return Err(Error {
+                    pos: *pos,
+                    message: format!("undefined variable `{name}`"),
+                });
+            };
+            slot
+        }
+        Expr::GlobalLoad(addr) => {
+            let a = lower_expr(b, scope, addr)?;
+            b.load_global(a)
+        }
+        Expr::SharedLoad(addr) => {
+            let a = lower_expr(b, scope, addr)?;
+            b.load_shared(a)
+        }
+        Expr::Intrinsic(name) => match *name {
+            "tid" => b.tid(),
+            "bid" => b.bid(),
+            "blockdim" => b.block_dim(),
+            "griddim" => b.grid_dim(),
+            "gtid" => b.global_tid(),
+            other => unreachable!("unknown intrinsic {other}"),
+        },
+        Expr::Cas(addr, cmp, val) => {
+            let a = lower_expr(b, scope, addr)?;
+            let c = lower_expr(b, scope, cmp)?;
+            let v = lower_expr(b, scope, val)?;
+            b.atomic_cas_global(a, c, v)
+        }
+        Expr::Exch(addr, val) => {
+            let a = lower_expr(b, scope, addr)?;
+            let v = lower_expr(b, scope, val)?;
+            b.atomic_exch_global(a, v)
+        }
+        Expr::AtomicAdd(addr, val) => {
+            let a = lower_expr(b, scope, addr)?;
+            let v = lower_expr(b, scope, val)?;
+            b.atomic_add_global(a, v)
+        }
+        Expr::Bin(op, lhs, rhs) => {
+            let l = lower_expr(b, scope, lhs)?;
+            let r = lower_expr(b, scope, rhs)?;
+            match *op {
+                "+" => b.bin(BinOp::Add, l, r),
+                "-" => b.bin(BinOp::Sub, l, r),
+                "*" => b.bin(BinOp::Mul, l, r),
+                "/" => b.bin(BinOp::DivU, l, r),
+                "%" => b.bin(BinOp::RemU, l, r),
+                "&" => b.bin(BinOp::And, l, r),
+                "|" => b.bin(BinOp::Or, l, r),
+                "^" => b.bin(BinOp::Xor, l, r),
+                "<<" => b.bin(BinOp::Shl, l, r),
+                ">>" => b.bin(BinOp::Shr, l, r),
+                "==" => b.bin(BinOp::CmpEq, l, r),
+                "!=" => b.bin(BinOp::CmpNe, l, r),
+                "<" => b.bin(BinOp::CmpLtU, l, r),
+                "<=" => b.bin(BinOp::CmpLeU, l, r),
+                ">" => b.bin(BinOp::CmpLtU, r, l),
+                ">=" => b.bin(BinOp::CmpLeU, r, l),
+                other => unreachable!("unknown operator {other}"),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lex, parse};
+
+    fn compile(src: &str) -> Result<Program, Error> {
+        lower(&parse(&lex(src)?)?)
+    }
+
+    #[test]
+    fn lowers_all_operator_forms() {
+        let p = compile(
+            "kernel ops { var x = 1 + 2 - 3 * 4 / 5 % 6 & 7 | 8 ^ 9 << 1 >> 1; \
+             var c = x == 1; c = x != 1; c = x < 1; c = x <= 1; c = x > 1; c = x >= 1; \
+             global[0] = c; }",
+        )
+        .unwrap();
+        assert!(p.len() > 20);
+    }
+
+    #[test]
+    fn variable_scoping_in_blocks() {
+        // A variable defined in an if-arm is not visible outside.
+        let err = compile("kernel k { if 1 { var x = 2; } global[0] = x; }").unwrap_err();
+        assert!(err.message.contains("undefined variable `x`"));
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let err = compile("kernel k { var x = 1; var x = 2; }").unwrap_err();
+        assert!(err.message.contains("already defined"));
+    }
+
+    #[test]
+    fn while_condition_sees_outer_vars() {
+        let p = compile("kernel k { var i = 0; while i < 3 { i = i + 1; } global[0] = i; }")
+            .unwrap();
+        assert!(p.len() > 6);
+    }
+}

@@ -1,0 +1,386 @@
+//! Recursive-descent parser for the kernel language.
+
+use crate::ast::{Expr, Kernel, Stmt};
+use crate::lexer::{Token, TokenKind};
+use crate::{Error, Pos};
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    at: usize,
+}
+
+/// Parse a token stream into a [`Kernel`].
+///
+/// # Errors
+///
+/// Returns the first syntax [`Error`].
+pub fn parse(tokens: &[Token]) -> Result<Kernel, Error> {
+    let mut p = Parser { tokens, at: 0 };
+    p.expect_ident("kernel")?;
+    let name = p.take_ident()?;
+    p.expect_punct("{")?;
+    let body = p.block_rest()?;
+    p.expect_kind(&TokenKind::Eof)?;
+    Ok(Kernel { name, body })
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at.min(self.tokens.len() - 1)]
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.at < self.tokens.len() - 1 {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, Error> {
+        Err(Error {
+            pos: self.pos(),
+            message: message.into(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(&self.peek().kind, TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), Error> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {:?}", self.peek().kind))
+        }
+    }
+
+    fn expect_kind(&mut self, k: &TokenKind) -> Result<(), Error> {
+        if &self.peek().kind == k {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {k:?}, found {:?}", self.peek().kind))
+        }
+    }
+
+    fn expect_ident(&mut self, name: &str) -> Result<(), Error> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == name => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{name}`, found {other:?}")),
+        }
+    }
+
+    fn take_ident(&mut self) -> Result<String, Error> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Statements until the closing `}` (consumed).
+    fn block_rest(&mut self) -> Result<Vec<Stmt>, Error> {
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek().kind, TokenKind::Eof) {
+                return self.err("unexpected end of input; missing `}`");
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, Error> {
+        self.expect_punct("{")?;
+        self.block_rest()
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Error> {
+        let pos = self.pos();
+        match self.peek().kind.clone() {
+            TokenKind::Ident(word) => match word.as_str() {
+                "var" => {
+                    self.bump();
+                    let name = self.take_ident()?;
+                    self.expect_punct("=")?;
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Var(name, e, pos))
+                }
+                "if" => {
+                    self.bump();
+                    let cond = self.expr()?;
+                    let then = self.block()?;
+                    let els = if matches!(&self.peek().kind, TokenKind::Ident(s) if s == "else") {
+                        self.bump();
+                        self.block()?
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(Stmt::If(cond, then, els))
+                }
+                "while" => {
+                    self.bump();
+                    let cond = self.expr()?;
+                    let body = self.block()?;
+                    Ok(Stmt::While(cond, body))
+                }
+                "fence" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    self.expect_punct(")")?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Fence)
+                }
+                "fence_block" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    self.expect_punct(")")?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::FenceBlock)
+                }
+                "barrier" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    self.expect_punct(")")?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Barrier)
+                }
+                "global" | "shared" => {
+                    self.bump();
+                    self.expect_punct("[")?;
+                    let addr = self.expr()?;
+                    self.expect_punct("]")?;
+                    self.expect_punct("=")?;
+                    let value = self.expr()?;
+                    self.expect_punct(";")?;
+                    if word == "global" {
+                        Ok(Stmt::GlobalStore(addr, value))
+                    } else {
+                        Ok(Stmt::SharedStore(addr, value))
+                    }
+                }
+                "cas" | "exch" | "atomic_add" => {
+                    // Effect-only atomic call statement.
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Expr(e))
+                }
+                _ => {
+                    // Assignment to an existing variable.
+                    self.bump();
+                    self.expect_punct("=")?;
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Assign(word, e, pos))
+                }
+            },
+            other => self.err(format!("expected a statement, found {other:?}")),
+        }
+    }
+
+    // expr := cmp (("=="|"!="|"<"|"<="|">"|">=") cmp)?
+    fn expr(&mut self) -> Result<Expr, Error> {
+        let lhs = self.additive()?;
+        for op in ["==", "!=", "<=", ">=", "<", ">"] {
+            if self.eat_punct(op) {
+                let rhs = self.additive()?;
+                return Ok(Expr::Bin(op_static(op), Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let mut matched = false;
+            for op in ["+", "-", "&", "|", "^", "<<", ">>"] {
+                if self.eat_punct(op) {
+                    let rhs = self.multiplicative()?;
+                    lhs = Expr::Bin(op_static(op), Box::new(lhs), Box::new(rhs));
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.atom()?;
+        loop {
+            let mut matched = false;
+            for op in ["*", "/", "%"] {
+                if self.eat_punct(op) {
+                    let rhs = self.atom()?;
+                    lhs = Expr::Bin(op_static(op), Box::new(lhs), Box::new(rhs));
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, Error> {
+        let pos = self.pos();
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(word) => {
+                self.bump();
+                match word.as_str() {
+                    "global" | "shared" => {
+                        self.expect_punct("[")?;
+                        let addr = self.expr()?;
+                        self.expect_punct("]")?;
+                        if word == "global" {
+                            Ok(Expr::GlobalLoad(Box::new(addr)))
+                        } else {
+                            Ok(Expr::SharedLoad(Box::new(addr)))
+                        }
+                    }
+                    "tid" | "bid" | "blockdim" | "griddim" | "gtid" => {
+                        self.expect_punct("(")?;
+                        self.expect_punct(")")?;
+                        Ok(Expr::Intrinsic(intrinsic_static(&word)))
+                    }
+                    "cas" => {
+                        self.expect_punct("(")?;
+                        let a = self.expr()?;
+                        self.expect_punct(",")?;
+                        let b = self.expr()?;
+                        self.expect_punct(",")?;
+                        let c = self.expr()?;
+                        self.expect_punct(")")?;
+                        Ok(Expr::Cas(Box::new(a), Box::new(b), Box::new(c)))
+                    }
+                    "exch" => {
+                        self.expect_punct("(")?;
+                        let a = self.expr()?;
+                        self.expect_punct(",")?;
+                        let b = self.expr()?;
+                        self.expect_punct(")")?;
+                        Ok(Expr::Exch(Box::new(a), Box::new(b)))
+                    }
+                    "atomic_add" => {
+                        self.expect_punct("(")?;
+                        let a = self.expr()?;
+                        self.expect_punct(",")?;
+                        let b = self.expr()?;
+                        self.expect_punct(")")?;
+                        Ok(Expr::AtomicAdd(Box::new(a), Box::new(b)))
+                    }
+                    _ => Ok(Expr::Var(word, pos)),
+                }
+            }
+            other => self.err(format!("expected an expression, found {other:?}")),
+        }
+    }
+}
+
+fn op_static(op: &str) -> &'static str {
+    for s in [
+        "==", "!=", "<=", ">=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+    ] {
+        if s == op {
+            return s;
+        }
+    }
+    unreachable!("unknown operator {op}")
+}
+
+fn intrinsic_static(name: &str) -> &'static str {
+    for s in ["tid", "bid", "blockdim", "griddim", "gtid"] {
+        if s == name {
+            return s;
+        }
+    }
+    unreachable!("unknown intrinsic {name}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Kernel, Error> {
+        parse(&lex(src)?)
+    }
+
+    #[test]
+    fn parses_minimal_kernel() {
+        let k = parse_src("kernel k { }").unwrap();
+        assert_eq!(k.name, "k");
+        assert!(k.body.is_empty());
+    }
+
+    #[test]
+    fn parses_statements() {
+        let k = parse_src(
+            "kernel k { var x = 1 + 2 * 3; global[x] = tid(); if x < 4 { x = 5; } else { barrier(); } while x != 0 { x = x - 1; } }",
+        )
+        .unwrap();
+        assert_eq!(k.body.len(), 4);
+        assert!(matches!(&k.body[0], Stmt::Var(n, _, _) if n == "x"));
+        assert!(matches!(&k.body[2], Stmt::If(_, t, e) if t.len() == 1 && e.len() == 1));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let k = parse_src("kernel k { var x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Var(_, Expr::Bin("+", _, rhs), _) = &k.body[0] else {
+            panic!("expected +: {:?}", k.body[0]);
+        };
+        assert!(matches!(**rhs, Expr::Bin("*", _, _)));
+    }
+
+    #[test]
+    fn atomics_parse_as_expressions_and_statements() {
+        let k = parse_src("kernel k { var o = cas(0, 0, 1); exch(0, 0); atomic_add(4, 1); }")
+            .unwrap();
+        assert_eq!(k.body.len(), 3);
+        assert!(matches!(&k.body[1], Stmt::Expr(Expr::Exch(_, _))));
+    }
+
+    #[test]
+    fn missing_brace_reported() {
+        let err = parse_src("kernel k { var x = 1;").unwrap_err();
+        assert!(err.message.contains('}'));
+    }
+
+    #[test]
+    fn missing_semicolon_reported() {
+        assert!(parse_src("kernel k { var x = 1 }").is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! # wmm-litmus — weak-memory litmus tests for the simulated GPU
+//!
+//! The MP (message passing), LB (load buffering) and SB (store buffering)
+//! tests of the paper's Fig. 2, parameterised the way Sec. 3 requires:
+//! by the *distance* `d` between the two communication locations, with
+//! the communicating threads placed in distinct blocks and the locations
+//! in global memory.
+//!
+//! The crate builds litmus [instances](LitmusInstance) (kernel + memory
+//! layout + weak-outcome predicate) and [runs](run_many) them repeatedly —
+//! optionally alongside caller-supplied stressing blocks — counting weak
+//! behaviours. The tuning pipeline in `wmm-core` drives these runners for
+//! its patch-finding, access-sequence and spread searches.
+
+pub mod outcome;
+pub mod runner;
+
+pub use outcome::{Histogram, LitmusOutcome};
+pub use runner::{run_instance, run_many, RunManyConfig, StressParts};
+
+use std::fmt;
+use std::sync::Arc;
+use wmm_sim::exec::{KernelGroup, LaunchSpec, Role};
+use wmm_sim::ir::builder::KernelBuilder;
+use wmm_sim::ir::Program;
+
+/// The three idiomatic weak-memory tests of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LitmusTest {
+    /// Message passing: `T1: x←1; y←1` ∥ `T2: r1←y; r2←x`;
+    /// weak when `r1 = 1 ∧ r2 = 0`.
+    Mp,
+    /// Load buffering: `T1: r1←x; y←1` ∥ `T2: r2←y; x←1`;
+    /// weak when `r1 = 1 ∧ r2 = 1`.
+    Lb,
+    /// Store buffering: `T1: x←1; r1←y` ∥ `T2: y←1; r2←x`;
+    /// weak when `r1 = 0 ∧ r2 = 0`.
+    Sb,
+}
+
+impl LitmusTest {
+    /// All three tests in the paper's order.
+    pub const ALL: [LitmusTest; 3] = [LitmusTest::Mp, LitmusTest::Lb, LitmusTest::Sb];
+
+    /// The paper's abbreviation.
+    pub fn short(&self) -> &'static str {
+        match self {
+            LitmusTest::Mp => "MP",
+            LitmusTest::Lb => "LB",
+            LitmusTest::Sb => "SB",
+        }
+    }
+
+    /// Is `(r1, r2)` the weak outcome for this test?
+    pub fn is_weak(&self, r1: u32, r2: u32) -> bool {
+        match self {
+            LitmusTest::Mp => r1 == 1 && r2 == 0,
+            LitmusTest::Lb => r1 == 1 && r2 == 1,
+            LitmusTest::Sb => r1 == 0 && r2 == 0,
+        }
+    }
+}
+
+impl fmt::Display for LitmusTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short())
+    }
+}
+
+/// Memory layout of a litmus instance.
+///
+/// `x` sits at `comm_base` (keep it line-aligned so "distance below the
+/// patch size" means "same line", as in the paper's plots); `y` sits
+/// `distance` words later (adjacent when `distance = 0`). The observed
+/// registers are written to `result_base` and `result_base + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LitmusLayout {
+    /// Address of `x` (word index in global memory).
+    pub comm_base: u32,
+    /// Distance `d` in words between the communication locations.
+    pub distance: u32,
+    /// Where the two observed registers are stored after the test.
+    pub result_base: u32,
+    /// Total words of global memory in the launch (must cover the
+    /// scratchpad any stressing blocks target).
+    pub global_words: u32,
+}
+
+impl LitmusLayout {
+    /// A standard layout: `x` at word 0, results at word 1024, and
+    /// `global_words` words of memory overall.
+    pub fn standard(distance: u32, global_words: u32) -> Self {
+        LitmusLayout {
+            comm_base: 0,
+            distance,
+            result_base: 1024,
+            global_words,
+        }
+    }
+
+    /// Address of `y`.
+    pub fn y_addr(&self) -> u32 {
+        self.comm_base + self.distance.max(1)
+    }
+
+    /// Address of the start-alignment counter (see
+    /// [`LitmusInstance::build`]).
+    pub fn sync_addr(&self) -> u32 {
+        self.result_base + 2
+    }
+}
+
+/// A ready-to-run litmus test: program, layout and launch skeleton.
+#[derive(Debug, Clone)]
+pub struct LitmusInstance {
+    /// Which idiom.
+    pub test: LitmusTest,
+    /// The memory layout.
+    pub layout: LitmusLayout,
+    /// The two-thread kernel (threads in distinct blocks).
+    pub program: Arc<Program>,
+}
+
+impl LitmusInstance {
+    /// Build the kernel for `test` under `layout`.
+    ///
+    /// The kernel launches as two blocks of one warp each; only lane 0 of
+    /// each block participates (the paper's tests likewise use one active
+    /// thread per block). Blocks are distinct so all communication is
+    /// inter-block, through global memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout places results inside the communication
+    /// region or memory is too small.
+    pub fn build(test: LitmusTest, layout: LitmusLayout) -> Self {
+        assert!(
+            layout.result_base > layout.y_addr(),
+            "results must not overlap communication locations"
+        );
+        assert!(
+            layout.global_words > layout.result_base + 2,
+            "global memory too small for layout"
+        );
+        let mut b = KernelBuilder::new(format!("litmus-{}", test.short()));
+        let tid = b.tid();
+        let zero = b.const_(0);
+        let is_lane0 = b.eq(tid, zero);
+        b.if_(is_lane0, |b| {
+            // Start alignment: both test threads rendezvous on a counter
+            // before racing, maximising their temporal overlap (the GPU
+            // LITMUS tool uses the same trick; without it most runs have
+            // the two threads executing far apart in time).
+            let sync = b.const_(layout.sync_addr());
+            let one = b.const_(1);
+            let two = b.const_(2);
+            let _ = b.atomic_add_global(sync, one);
+            b.while_(
+                |b| {
+                    let seen = b.load_global(sync);
+                    b.ne(seen, two)
+                },
+                |_| {},
+            );
+            let bid = b.bid();
+            let zero = b.const_(0);
+            let is_t1 = b.eq(bid, zero);
+            let x = b.const_(layout.comm_base);
+            let y = b.const_(layout.y_addr());
+            let one = b.const_(1);
+            let res1 = b.const_(layout.result_base);
+            let res2 = b.const_(layout.result_base + 1);
+            match test {
+                LitmusTest::Mp => {
+                    b.if_else(
+                        is_t1,
+                        |b| {
+                            b.store_global(x, one);
+                            b.store_global(y, one);
+                        },
+                        |b| {
+                            let r1 = b.load_global(y);
+                            let r2 = b.load_global(x);
+                            b.store_global(res1, r1);
+                            b.store_global(res2, r2);
+                        },
+                    );
+                }
+                LitmusTest::Lb => {
+                    b.if_else(
+                        is_t1,
+                        |b| {
+                            let r1 = b.load_global(x);
+                            b.store_global(y, one);
+                            b.store_global(res1, r1);
+                        },
+                        |b| {
+                            let r2 = b.load_global(y);
+                            b.store_global(x, one);
+                            b.store_global(res2, r2);
+                        },
+                    );
+                }
+                LitmusTest::Sb => {
+                    b.if_else(
+                        is_t1,
+                        |b| {
+                            b.store_global(x, one);
+                            let r1 = b.load_global(y);
+                            b.store_global(res1, r1);
+                        },
+                        |b| {
+                            b.store_global(y, one);
+                            let r2 = b.load_global(x);
+                            b.store_global(res2, r2);
+                        },
+                    );
+                }
+            }
+        });
+        let program = b.finish().expect("litmus kernel is valid by construction");
+        LitmusInstance {
+            test,
+            layout,
+            program: Arc::new(program),
+        }
+    }
+
+    /// The launch spec for this instance plus any stressing groups and
+    /// the memory initialisation they require (e.g. a stress-location
+    /// table).
+    pub fn launch(
+        &self,
+        stress: Vec<KernelGroup>,
+        init: Vec<(u32, wmm_sim::Word)>,
+        randomize_ids: bool,
+    ) -> LaunchSpec {
+        let mut groups = vec![KernelGroup {
+            program: Arc::clone(&self.program),
+            blocks: 2,
+            threads_per_block: 32,
+            role: Role::App,
+        }];
+        groups.extend(stress);
+        LaunchSpec {
+            groups,
+            global_words: self.layout.global_words,
+            shared_words: 0,
+            init_image: Vec::new(),
+            init,
+            max_turns: 400_000,
+            randomize_ids,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_predicates_match_fig_2() {
+        assert!(LitmusTest::Mp.is_weak(1, 0));
+        assert!(!LitmusTest::Mp.is_weak(1, 1));
+        assert!(!LitmusTest::Mp.is_weak(0, 0));
+        assert!(!LitmusTest::Mp.is_weak(0, 1));
+        assert!(LitmusTest::Lb.is_weak(1, 1));
+        assert!(!LitmusTest::Lb.is_weak(0, 1));
+        assert!(LitmusTest::Sb.is_weak(0, 0));
+        assert!(!LitmusTest::Sb.is_weak(1, 0));
+    }
+
+    #[test]
+    fn layout_distance_zero_is_adjacent() {
+        let l = LitmusLayout::standard(0, 4096);
+        assert_eq!(l.y_addr(), 1);
+        let l = LitmusLayout::standard(64, 4096);
+        assert_eq!(l.y_addr(), 64);
+    }
+
+    #[test]
+    fn instances_build_for_all_tests_and_distances() {
+        for t in LitmusTest::ALL {
+            for d in [0, 1, 31, 32, 64, 255] {
+                let i = LitmusInstance::build(t, LitmusLayout::standard(d, 8192));
+                assert!(i.program.len() > 8);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "results must not overlap")]
+    fn overlapping_results_rejected() {
+        let l = LitmusLayout {
+            comm_base: 0,
+            distance: 2000,
+            result_base: 1024,
+            global_words: 8192,
+        };
+        let _ = LitmusInstance::build(LitmusTest::Mp, l);
+    }
+}

@@ -1,0 +1,155 @@
+//! Litmus run outcomes and histograms.
+
+use crate::LitmusTest;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The observed registers of one litmus execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LitmusOutcome {
+    /// `r1` as defined in Fig. 2.
+    pub r1: u32,
+    /// `r2` as defined in Fig. 2.
+    pub r2: u32,
+    /// Whether this is the test's weak outcome.
+    pub weak: bool,
+}
+
+/// A histogram of `(r1, r2)` outcomes over many executions, in the style
+/// of the `litmus` tool's output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<(u32, u32), u64>,
+    weak: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one outcome.
+    pub fn record(&mut self, outcome: LitmusOutcome) {
+        *self.counts.entry((outcome.r1, outcome.r2)).or_insert(0) += 1;
+        self.total += 1;
+        if outcome.weak {
+            self.weak += 1;
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&k, &v) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+        self.total += other.total;
+        self.weak += other.weak;
+    }
+
+    /// Number of weak outcomes.
+    pub fn weak(&self) -> u64 {
+        self.weak
+    }
+
+    /// Total executions recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Weak outcomes as a fraction of total (0 when empty).
+    pub fn weak_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.weak as f64 / self.total as f64
+        }
+    }
+
+    /// Count for a specific `(r1, r2)` outcome.
+    pub fn count(&self, r1: u32, r2: u32) -> u64 {
+        self.counts.get(&(r1, r2)).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `((r1, r2), count)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = ((u32, u32), u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Render with the weak outcome of `test` flagged `*`, litmus-style.
+    pub fn display_for(&self, test: LitmusTest) -> String {
+        let mut s = String::new();
+        for ((r1, r2), n) in self.iter() {
+            let flag = if test.is_weak(r1, r2) { "*" } else { " " };
+            s.push_str(&format!("{flag} r1={r1} r2={r2} : {n}\n"));
+        }
+        s.push_str(&format!(
+            "weak: {} / {} ({:.2}%)\n",
+            self.weak,
+            self.total,
+            100.0 * self.weak_rate()
+        ));
+        s
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ((r1, r2), n) in self.iter() {
+            writeln!(f, "r1={r1} r2={r2} : {n}")?;
+        }
+        writeln!(f, "weak: {} / {}", self.weak, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(r1: u32, r2: u32, weak: bool) -> LitmusOutcome {
+        LitmusOutcome { r1, r2, weak }
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut h = Histogram::new();
+        h.record(o(1, 0, true));
+        h.record(o(1, 1, false));
+        h.record(o(1, 0, true));
+        assert_eq!(h.count(1, 0), 2);
+        assert_eq!(h.count(1, 1), 1);
+        assert_eq!(h.count(0, 0), 0);
+        assert_eq!(h.weak(), 2);
+        assert_eq!(h.total(), 3);
+        assert!((h.weak_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Histogram::new();
+        a.record(o(0, 0, false));
+        let mut b = Histogram::new();
+        b.record(o(0, 0, false));
+        b.record(o(1, 0, true));
+        a.merge(&b);
+        assert_eq!(a.count(0, 0), 2);
+        assert_eq!(a.weak(), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn empty_weak_rate_is_zero() {
+        assert_eq!(Histogram::new().weak_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_flags_weak_outcome() {
+        let mut h = Histogram::new();
+        h.record(o(1, 0, true));
+        h.record(o(0, 0, false));
+        let s = h.display_for(LitmusTest::Mp);
+        assert!(s.contains("* r1=1 r2=0"));
+        assert!(s.contains("  r1=0 r2=0"));
+    }
+}

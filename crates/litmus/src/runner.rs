@@ -1,0 +1,221 @@
+//! Repeated litmus execution, sequential or parallel.
+//!
+//! The paper runs each test configuration `C = 1000` times and counts
+//! weak outcomes. [`run_many`] does the same, deterministically: run `i`
+//! derives its RNG from `base_seed` and `i` alone, so results are
+//! reproducible regardless of how runs are spread across worker threads.
+
+use crate::{Histogram, LitmusInstance, LitmusOutcome};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wmm_sim::chip::Chip;
+use wmm_sim::exec::{Gpu, KernelGroup};
+use wmm_sim::Word;
+
+/// Stressing blocks plus the global-memory initialisation they need
+/// (e.g. the systematic strategy's location table).
+pub type StressParts = (Vec<KernelGroup>, Vec<(u32, Word)>);
+
+/// Execute one litmus instance alongside the given stressing blocks.
+pub fn run_instance(
+    gpu: &mut Gpu,
+    inst: &LitmusInstance,
+    stress: StressParts,
+    randomize_ids: bool,
+    seed: u64,
+) -> LitmusOutcome {
+    let (groups, init) = stress;
+    let spec = inst.launch(groups, init, randomize_ids);
+    let result = gpu.run(&spec, seed);
+    let r1 = result.word(inst.layout.result_base);
+    let r2 = result.word(inst.layout.result_base + 1);
+    LitmusOutcome {
+        r1,
+        r2,
+        weak: inst.test.is_weak(r1, r2),
+    }
+}
+
+/// Configuration for [`run_many`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunManyConfig {
+    /// Number of executions (the paper's `C`).
+    pub count: u32,
+    /// Seed from which each run's randomness is derived.
+    pub base_seed: u64,
+    /// Apply thread-id randomisation to the test blocks.
+    pub randomize_ids: bool,
+    /// Worker threads (0 ⇒ all available cores).
+    pub parallelism: usize,
+}
+
+impl Default for RunManyConfig {
+    fn default() -> Self {
+        RunManyConfig {
+            count: 100,
+            base_seed: 0,
+            randomize_ids: false,
+            parallelism: 0,
+        }
+    }
+}
+
+/// Mix a base seed and a run index into an independent per-run seed
+/// (SplitMix64 finaliser).
+pub fn mix_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Run a litmus instance `cfg.count` times, each execution with freshly
+/// generated stressing blocks from `make_stress` (the paper randomises
+/// the number of stressing threads per execution), and aggregate the
+/// outcome histogram.
+///
+/// Deterministic in `(inst, cfg, make_stress)`.
+pub fn run_many<F>(
+    chip: &Chip,
+    inst: &LitmusInstance,
+    make_stress: F,
+    cfg: RunManyConfig,
+) -> Histogram
+where
+    F: Fn(&mut SmallRng) -> StressParts + Sync,
+{
+    let workers = if cfg.parallelism == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.parallelism
+    };
+    let workers = workers.min(cfg.count.max(1) as usize);
+    if workers <= 1 {
+        let mut gpu = Gpu::new(chip.clone());
+        let mut h = Histogram::new();
+        for i in 0..cfg.count {
+            h.record(run_one(&mut gpu, inst, &make_stress, cfg, i as u64));
+        }
+        return h;
+    }
+    let make_stress = &make_stress;
+    let mut merged = Histogram::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let inst = inst.clone();
+            let chip = chip.clone();
+            handles.push(scope.spawn(move || {
+                let mut gpu = Gpu::new(chip);
+                let mut h = Histogram::new();
+                let mut i = w as u32;
+                while i < cfg.count {
+                    h.record(run_one(&mut gpu, &inst, make_stress, cfg, i as u64));
+                    i += workers as u32;
+                }
+                h
+            }));
+        }
+        for handle in handles {
+            merged.merge(&handle.join().expect("litmus worker panicked"));
+        }
+    });
+    merged
+}
+
+fn run_one<F>(
+    gpu: &mut Gpu,
+    inst: &LitmusInstance,
+    make_stress: &F,
+    cfg: RunManyConfig,
+    index: u64,
+) -> LitmusOutcome
+where
+    F: Fn(&mut SmallRng) -> StressParts + Sync,
+{
+    let mut rng = SmallRng::seed_from_u64(mix_seed(cfg.base_seed, index));
+    let stress = make_stress(&mut rng);
+    let seed = rng.gen();
+    run_instance(gpu, inst, stress, cfg.randomize_ids, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LitmusLayout, LitmusTest};
+
+    fn strong_chip() -> Chip {
+        let mut c = Chip::by_short("K20").unwrap();
+        c.reorder.base = [0.0; 4];
+        c.reorder.gain = [0.0; 4];
+        c
+    }
+
+    #[test]
+    fn no_weak_outcomes_under_sequential_consistency() {
+        let chip = strong_chip();
+        for t in LitmusTest::ALL {
+            let inst = LitmusInstance::build(t, LitmusLayout::standard(64, 4096));
+            let h = run_many(
+                &chip,
+                &inst,
+                |_| (Vec::new(), Vec::new()),
+                RunManyConfig {
+                    count: 200,
+                    base_seed: 7,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(h.weak(), 0, "{t}: {h}");
+            assert_eq!(h.total(), 200);
+        }
+    }
+
+    #[test]
+    fn outcomes_are_interleavings_under_sc() {
+        // Under SC, MP can produce (0,0), (1,1), (0,1) but never (1,0).
+        let chip = strong_chip();
+        let inst = LitmusInstance::build(LitmusTest::Mp, LitmusLayout::standard(64, 4096));
+        let h = run_many(
+            &chip,
+            &inst,
+            |_| (Vec::new(), Vec::new()),
+            RunManyConfig {
+                count: 300,
+                base_seed: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(h.count(1, 0), 0);
+        // The scheduler's randomness should produce at least two distinct
+        // interleaving outcomes across 300 runs.
+        let distinct = h.iter().count();
+        assert!(distinct >= 2, "{h}");
+    }
+
+    #[test]
+    fn run_many_is_deterministic() {
+        let chip = Chip::by_short("Titan").unwrap();
+        let inst = LitmusInstance::build(LitmusTest::Sb, LitmusLayout::standard(32, 4096));
+        let cfg = RunManyConfig {
+            count: 64,
+            base_seed: 11,
+            parallelism: 4,
+            ..Default::default()
+        };
+        let a = run_many(&chip, &inst, |_| (Vec::new(), Vec::new()), cfg);
+        let b = run_many(&chip, &inst, |_| (Vec::new(), Vec::new()), cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_seed_spreads() {
+        let s: std::collections::HashSet<u64> = (0..1000).map(|i| mix_seed(42, i)).collect();
+        assert_eq!(s.len(), 1000);
+    }
+}

@@ -1,0 +1,477 @@
+//! Per-chip microarchitectural profiles.
+//!
+//! The paper studies seven NVIDIA GPUs (Tab. 1). Each chip exhibits a
+//! different weak-memory personality: which reorderings occur, how often,
+//! with what sensitivity to memory-system contention, and with what
+//! structural quirks (critical patch size, effective access sequences, the
+//! GTX 980's ambient-MP noise). NVIDIA has never documented the
+//! microarchitectural causes, so — as laid out in DESIGN.md — these
+//! profiles *encode the paper's observations as parameters* and let the
+//! black-box tuning pipeline rediscover them, exactly as the paper's
+//! methodology does on silicon.
+//!
+//! The profile parameters fall into three groups:
+//!
+//! 1. **Structure**: patch (cache-line) size in words, memory channel
+//!    count, occupancy, in-flight window depth.
+//! 2. **Reordering**: per-[`ReorderKind`] base probability (native runs)
+//!    and stress gain (how strongly channel contention amplifies the
+//!    reordering), plus contention-model coefficients.
+//! 3. **Cost**: instruction timing, fence stall, clock and power for the
+//!    runtime/energy study of Sec. 6.
+
+use crate::seq::AccessSeq;
+
+/// The three NVIDIA architectures spanned by Tab. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Tesla C2050 / C2075.
+    Fermi,
+    /// GTX 770, Tesla K20, GTX Titan, Quadro K5200.
+    Kepler,
+    /// GTX 980.
+    Maxwell,
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Arch::Fermi => "Fermi",
+            Arch::Kepler => "Kepler",
+            Arch::Maxwell => "Maxwell",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The four single-thread reorderings the memory model can exhibit,
+/// classified by the kinds of the (older, younger) operation pair, with
+/// the litmus idiom each one witnesses:
+///
+/// * `StSt` — a younger store becomes visible before an older store
+///   (message-passing, writer side);
+/// * `LdLd` — a younger load reads memory before an older load
+///   (message-passing, reader side);
+/// * `StLd` — a younger load completes before an older store
+///   (store buffering);
+/// * `LdSt` — a younger store becomes visible before an older load
+///   completes (load buffering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReorderKind {
+    /// Store–store reordering (MP writer side).
+    StSt = 0,
+    /// Load–load reordering (MP reader side).
+    LdLd = 1,
+    /// Store–load reordering (SB).
+    StLd = 2,
+    /// Load–store reordering (LB).
+    LdSt = 3,
+}
+
+impl ReorderKind {
+    /// All four kinds, in index order.
+    pub const ALL: [ReorderKind; 4] = [
+        ReorderKind::StSt,
+        ReorderKind::LdLd,
+        ReorderKind::StLd,
+        ReorderKind::LdSt,
+    ];
+
+    /// The index used into the per-kind parameter arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-kind reorder probabilities: `base` applies natively; under stress
+/// the probability becomes `base + gain * chi` where `chi ∈ [0, 1]` is the
+/// contention factor computed by the memory system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReorderRates {
+    /// Native (unstressed) per-opportunity probability, per kind.
+    pub base: [f64; 4],
+    /// Stress amplification, per kind.
+    pub gain: [f64; 4],
+}
+
+/// A complete chip profile. Construct via [`Chip::all`] or
+/// [`Chip::by_short`]; fields are public because the profile is a passive
+/// parameter record consumed throughout the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chip {
+    /// Marketing name, e.g. `"GTX Titan"`.
+    pub name: &'static str,
+    /// The paper's short name, e.g. `"Titan"`.
+    pub short: &'static str,
+    /// Architecture generation.
+    pub arch: Arch,
+    /// Release year (Tab. 1).
+    pub released: u16,
+
+    // -- structure --------------------------------------------------------
+    /// Critical patch size in words (Tab. 2): accesses within one patch
+    /// (line) are never reordered with each other.
+    pub patch_words: u32,
+    /// Number of memory channels; a line maps to channel
+    /// `line % channels`. Contention is tracked per channel.
+    pub channels: u32,
+    /// Maximum concurrently-resident threads (scaled down ~50× from real
+    /// occupancies so a run simulates in microseconds; see DESIGN.md).
+    pub max_concurrent_threads: u32,
+    /// L2 cache size in words, scaled with occupancy — the scratchpad
+    /// size the `cache-str` strategy allocates (Sec. 4.2).
+    pub l2_scaled_words: u32,
+    /// Per-thread in-flight memory window depth.
+    pub window: usize,
+    /// Probability that the window head completes on a given drain turn.
+    pub drain_q: f64,
+
+    // -- reordering -------------------------------------------------------
+    /// Base and stress-amplified reorder probabilities.
+    pub reorder: ReorderRates,
+    /// Weight of the access-sequence resonance (signature cosine) in chi.
+    pub k_resonance: f64,
+    /// Constant mix-gated term in chi.
+    pub k_const: f64,
+    /// Per-kind weight of saturated read pressure in chi.
+    pub k_read: [f64; 4],
+    /// Per-kind weight of saturated write pressure in chi.
+    pub k_write: [f64; 4],
+    /// Read-bias β of the geometric pressure mix `r̂^β · ŵ^(1−β)`:
+    /// chips preferring load-heavy stress sequences have β > ½.
+    pub read_bias: f64,
+    /// Exponent applied to the pressure mix: controls how steeply
+    /// effectiveness falls as stress spreads over more locations (the
+    /// sharpness of Fig. 4's U-shape; the 980's curve is the sharpest).
+    pub gate_exp: f64,
+    /// Pressure half-saturation constant (`x̂ = x / (x + half)`).
+    pub pressure_half: f64,
+    /// Over-concentration knee: when a channel's total pressure exceeds
+    /// this, effectiveness is throttled (too many threads serialising on
+    /// one location) — why a spread of one loses to a spread of two.
+    pub overload_pressure: f64,
+    /// Exponential decay time-constant of channel pressure, in scheduler
+    /// turns.
+    pub pressure_tau: f64,
+    /// The access sequence this chip resonates with (Tab. 2's most
+    /// effective sequence; calibration target).
+    pub preferred_seq: AccessSeq,
+    /// Unit-normalised extended signature of `preferred_seq` (see
+    /// [`AccessSeq::signature8`]).
+    pub resonance: [f64; 8],
+
+    // -- quirks (GTX 980; Sec. 3.2) ---------------------------------------
+    /// Ambient MP-kind reorder probability added regardless of stress.
+    pub ambient_mp: f64,
+    /// MP-kind contention boost is suppressed when the two locations are
+    /// closer than this many words (980: 256).
+    pub mp_min_dist_words: u32,
+    /// LB-kind boost applies broadband (any stressed channel) when the
+    /// location distance in words falls in this half-open range.
+    pub lb_broadband: Option<(u32, u32)>,
+
+    // -- cost model (Sec. 6) ----------------------------------------------
+    /// Turns a device fence stalls at the window head before completing.
+    pub fence_stall: u32,
+    /// Turns a block fence stalls (cheaper than a device fence).
+    pub block_fence_stall: u32,
+    /// Simulated core clock, GHz (converts cycles to milliseconds).
+    pub clock_ghz: f64,
+    /// Board power draw while a kernel runs, watts.
+    pub power_watts: f64,
+    /// Whether NVML power queries are supported (K5200, Titan, K20, C2075
+    /// only — Sec. 6); energy is only reported for these chips.
+    pub supports_power: bool,
+}
+
+impl Chip {
+    /// The seven chips of Tab. 1, in the paper's order (newest first).
+    pub fn all() -> Vec<Chip> {
+        vec![
+            gtx_980(),
+            k5200(),
+            titan(),
+            k20(),
+            gtx_770(),
+            c2075(),
+            c2050(),
+        ]
+    }
+
+    /// Look a chip up by its paper short name (`"980"`, `"K5200"`,
+    /// `"Titan"`, `"K20"`, `"770"`, `"C2075"`, `"C2050"`).
+    pub fn by_short(short: &str) -> Option<Chip> {
+        Chip::all().into_iter().find(|c| c.short == short)
+    }
+
+    /// The memory line ("patch") containing a word address.
+    #[inline]
+    pub fn line_of(&self, addr: u32) -> u32 {
+        addr / self.patch_words
+    }
+
+    /// The channel a word address maps to.
+    #[inline]
+    pub fn channel_of(&self, addr: u32) -> u32 {
+        self.line_of(addr) % self.channels
+    }
+
+    /// The paper's tuned systematic-stress parameters for this chip
+    /// (Tab. 2): (critical patch size, most effective sequence, spread).
+    pub fn paper_tuning(&self) -> (u32, AccessSeq, u32) {
+        (self.patch_words, self.preferred_seq.clone(), 2)
+    }
+}
+
+fn seq(s: &str) -> AccessSeq {
+    s.parse().expect("chip profile sequence literal")
+}
+
+fn resonance_of(s: &AccessSeq) -> [f64; 8] {
+    s.signature8()
+}
+
+/// Shared Kepler-generation defaults; per-chip constructors adjust.
+#[allow(clippy::too_many_arguments)]
+fn base_chip(
+    name: &'static str,
+    short: &'static str,
+    arch: Arch,
+    released: u16,
+    patch_words: u32,
+    preferred: &str,
+) -> Chip {
+    let preferred_seq = seq(preferred);
+    let resonance = resonance_of(&preferred_seq);
+    Chip {
+        name,
+        short,
+        arch,
+        released,
+        patch_words,
+        channels: 8,
+        max_concurrent_threads: 512,
+        l2_scaled_words: match arch {
+            Arch::Fermi => 1536,
+            Arch::Kepler => 3072,
+            Arch::Maxwell => 4096,
+        },
+        window: 6,
+        drain_q: 0.30,
+        reorder: ReorderRates {
+            base: [3e-5, 2e-5, 6e-5, 1.5e-5],
+            gain: [0.60, 0.48, 0.68, 0.40],
+        },
+        k_resonance: 0.80,
+        k_const: 0.12,
+        k_read: [0.00, 0.10, 0.08, 0.03],
+        k_write: [0.10, 0.00, 0.03, 0.08],
+        read_bias: 0.5,
+        gate_exp: 2.2,
+        pressure_half: 280.0,
+        overload_pressure: 1400.0,
+        pressure_tau: 96.0,
+        preferred_seq,
+        resonance,
+        ambient_mp: 0.0,
+        mp_min_dist_words: 0,
+        lb_broadband: None,
+        fence_stall: 14,
+        block_fence_stall: 4,
+        clock_ghz: 0.85,
+        power_watts: 200.0,
+        supports_power: false,
+    }
+}
+
+fn gtx_980() -> Chip {
+    let mut c = base_chip("GTX 980", "980", Arch::Maxwell, 2014, 64, "ld4 st");
+    c.read_bias = 0.78; // Maxwell resonates with load-heavy stress.
+    c.gate_exp = 2.8; // sharp spread peak (Fig. 4, left)
+    c.reorder.base = [1.2e-5, 1.0e-5, 3e-5, 1.2e-5];
+    c.reorder.gain = [0.40, 0.30, 0.50, 0.44];
+    c.ambient_mp = 6e-4;
+    c.mp_min_dist_words = 256;
+    c.lb_broadband = Some((64, 128));
+    c.fence_stall = 10;
+    c.clock_ghz = 1.13;
+    c.power_watts = 165.0;
+    c
+}
+
+fn k5200() -> Chip {
+    let mut c = base_chip("Quadro K5200", "K5200", Arch::Kepler, 2014, 32, "ld3 st ld");
+    c.read_bias = 0.68;
+    c.fence_stall = 12;
+    c.clock_ghz = 0.77;
+    c.power_watts = 150.0;
+    c.supports_power = true;
+    c
+}
+
+fn titan() -> Chip {
+    let mut c = base_chip("GTX Titan", "Titan", Arch::Kepler, 2013, 32, "ld st2 ld");
+    // Titan revealed errors most frequently in the paper's hardening runs
+    // (Sec. 5.2): slightly higher stress gains.
+    c.reorder.gain = [0.72, 0.56, 0.76, 0.48];
+    c.fence_stall = 12;
+    c.clock_ghz = 0.84;
+    c.power_watts = 250.0;
+    c.supports_power = true;
+    c
+}
+
+fn k20() -> Chip {
+    let mut c = base_chip("Tesla K20", "K20", Arch::Kepler, 2013, 32, "ld st2 ld");
+    c.fence_stall = 16;
+    c.clock_ghz = 0.71;
+    c.power_watts = 225.0;
+    c.supports_power = true;
+    c
+}
+
+fn gtx_770() -> Chip {
+    let mut c = base_chip("GTX 770", "770", Arch::Kepler, 2013, 32, "st2 ld2");
+    // The 770 shows native errors (cbe-ht, Tab. 5) and finds off-by-one
+    // fences (Sec. 5.2): elevated base rates and a shallow window.
+    c.reorder.base = [4e-4, 6e-5, 3e-4, 3e-5];
+    c.read_bias = 0.45;
+    c.window = 3;
+    c.fence_stall = 40;
+    c.clock_ghz = 1.05;
+    c.power_watts = 230.0;
+    c
+}
+
+fn c2075() -> Chip {
+    let mut c = base_chip("Tesla C2075", "C2075", Arch::Fermi, 2011, 64, "ld st");
+    // Fermi: native ls-bh errors observed (Tab. 5); fences very costly.
+    c.reorder.base = [2e-4, 5e-5, 2e-4, 2.5e-5];
+    c.fence_stall = 60;
+    c.clock_ghz = 0.57;
+    c.power_watts = 225.0;
+    c.supports_power = true;
+    c
+}
+
+fn c2050() -> Chip {
+    let mut c = base_chip("Tesla C2050", "C2050", Arch::Fermi, 2010, 64, "ld st");
+    c.reorder.base = [1.2e-4, 4e-5, 1.5e-4, 2e-5];
+    c.fence_stall = 60;
+    c.clock_ghz = 0.57;
+    c.power_watts = 238.0;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_chips_match_table_1() {
+        let chips = Chip::all();
+        assert_eq!(chips.len(), 7);
+        let shorts: Vec<&str> = chips.iter().map(|c| c.short).collect();
+        assert_eq!(
+            shorts,
+            vec!["980", "K5200", "Titan", "K20", "770", "C2075", "C2050"]
+        );
+    }
+
+    #[test]
+    fn patch_sizes_match_table_2() {
+        for (short, patch) in [
+            ("980", 64),
+            ("K5200", 32),
+            ("Titan", 32),
+            ("K20", 32),
+            ("770", 32),
+            ("C2075", 64),
+            ("C2050", 64),
+        ] {
+            assert_eq!(Chip::by_short(short).unwrap().patch_words, patch, "{short}");
+        }
+    }
+
+    #[test]
+    fn sequences_match_table_2() {
+        for (short, s) in [
+            ("980", "ld4 st"),
+            ("K5200", "ld3 st ld"),
+            ("Titan", "ld st2 ld"),
+            ("K20", "ld st2 ld"),
+            ("770", "st2 ld2"),
+            ("C2075", "ld st"),
+            ("C2050", "ld st"),
+        ] {
+            assert_eq!(
+                Chip::by_short(short).unwrap().preferred_seq.to_string(),
+                s,
+                "{short}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_support_matches_section_6() {
+        // "Only K5200, Titan, K20, and C2075 support power queries."
+        for c in Chip::all() {
+            let expect = matches!(c.short, "K5200" | "Titan" | "K20" | "C2075");
+            assert_eq!(c.supports_power, expect, "{}", c.short);
+        }
+    }
+
+    #[test]
+    fn line_and_channel_mapping() {
+        let c = Chip::by_short("Titan").unwrap();
+        assert_eq!(c.patch_words, 32);
+        assert_eq!(c.line_of(0), 0);
+        assert_eq!(c.line_of(31), 0);
+        assert_eq!(c.line_of(32), 1);
+        assert_eq!(c.channel_of(0), 0);
+        assert_eq!(c.channel_of(32), 1);
+        assert_eq!(c.channel_of(32 * 8), 0);
+    }
+
+    #[test]
+    fn resonance_is_unit_or_zero() {
+        for c in Chip::all() {
+            let n: f64 = c.resonance.iter().map(|x| x * x).sum();
+            assert!((n - 1.0).abs() < 1e-9, "{}: {:?}", c.short, c.resonance);
+        }
+    }
+
+    #[test]
+    fn fermi_fences_cost_more_than_kepler() {
+        let k20 = Chip::by_short("K20").unwrap();
+        let c2075 = Chip::by_short("C2075").unwrap();
+        assert!(c2075.fence_stall > k20.fence_stall);
+    }
+
+    #[test]
+    fn by_short_unknown_is_none() {
+        assert!(Chip::by_short("H100").is_none());
+    }
+
+    #[test]
+    fn paper_tuning_spread_is_two() {
+        for c in Chip::all() {
+            assert_eq!(c.paper_tuning().2, 2, "{}", c.short);
+        }
+    }
+
+    #[test]
+    fn quirks_limited_to_980() {
+        for c in Chip::all() {
+            if c.short != "980" {
+                assert_eq!(c.ambient_mp, 0.0);
+                assert_eq!(c.mp_min_dist_words, 0);
+                assert!(c.lb_broadband.is_none());
+            }
+        }
+        let m = Chip::by_short("980").unwrap();
+        assert!(m.ambient_mp > 0.0);
+        assert_eq!(m.mp_min_dist_words, 256);
+    }
+}

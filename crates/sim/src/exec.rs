@@ -1,0 +1,1682 @@
+//! The SIMT execution engine.
+//!
+//! A [`Gpu`] executes a [`LaunchSpec`]: one or more *kernel groups*
+//! (application blocks plus, optionally, stressing blocks — the paper
+//! partitions the two at block level, Sec. 3). Threads are grouped into
+//! warps of 32 that advance in near-lockstep; warps are scheduled by a
+//! seeded random scheduler subject to the chip's occupancy limit, with
+//! excess blocks queued in launch waves.
+//!
+//! Weak memory behaviour comes from the per-thread **in-flight window**:
+//! global-memory operations *issue* in program order but *complete* (become
+//! globally visible) possibly out of order. A younger operation may bypass
+//! older ones only if it targets a different line (critical patch) than
+//! every operation it passes and no fence intervenes; the probability of a
+//! bypass is the chip's base rate for that [`ReorderKind`] amplified by
+//! channel contention (see [`crate::mem`]). Atomics are globally atomic at
+//! completion but do **not** order other accesses — the pre-Volta NVIDIA
+//! behaviour that makes spinlock idioms without fences incorrect, which is
+//! precisely what the paper's case studies exercise.
+
+use crate::chip::{Chip, ReorderKind};
+use crate::ir::{BinOp, FenceLevel, Inst, Program, Reg, Space, SpecialReg};
+use crate::mem::{MemSystem, OobError};
+use crate::word::{from_f32, to_f32, Word};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Threads per warp, as on all NVIDIA architectures in the study.
+pub const WARP_SIZE: u32 = 32;
+
+/// Maximum in-flight window depth any chip may declare.
+pub const MAX_WINDOW: usize = 8;
+
+/// Extra completion delay (in the owning thread's drain turns) applied to
+/// operations that a younger operation bypassed: the congested memory
+/// system holds them back, which is what makes the inversion observable
+/// by other threads.
+pub const BYPASS_DELAY_TURNS: u32 = 16;
+
+/// Same-thread instruction-count gap within which two accesses to the same
+/// channel count as "back-to-back" for the transition profile. Loop
+/// control (increment, compare, branch) exceeds the gap, so the
+/// wrap-around pair of a stressing loop is not recorded — the mechanism
+/// behind the paper's observation that rotations of an access sequence
+/// are not equivalent (Sec. 3.3).
+pub const TRANSITION_GAP: u32 = 3;
+
+/// Whether a kernel group is part of the application under test or of the
+/// testing environment's memory stress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Application blocks: the run completes when all of them retire.
+    App,
+    /// Stressing blocks: killed when the application finishes.
+    Stress,
+}
+
+/// A set of blocks executing one program.
+#[derive(Debug, Clone)]
+pub struct KernelGroup {
+    /// The kernel to execute.
+    pub program: Arc<Program>,
+    /// Number of blocks.
+    pub blocks: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Application or stress.
+    pub role: Role,
+}
+
+/// A complete launch: kernel groups, memory sizes, initial values, and
+/// run limits.
+#[derive(Debug, Clone)]
+pub struct LaunchSpec {
+    /// The kernel groups (typically one application group and zero or one
+    /// stress group).
+    pub groups: Vec<KernelGroup>,
+    /// Words of global memory (zero-initialised, then `init` applied).
+    pub global_words: u32,
+    /// Words of shared memory per block.
+    pub shared_words: u32,
+    /// Initial memory image (zero-extended or truncated to
+    /// `global_words`); empty means all zeros. Applied before `init`.
+    pub init_image: Vec<Word>,
+    /// Initial (address, value) writes applied before the run.
+    pub init: Vec<(u32, Word)>,
+    /// Scheduler-turn budget; exceeding it reports
+    /// [`RunStatus::TimedOut`] (the paper's 30-second timeout analogue).
+    pub max_turns: u64,
+    /// Apply block/warp-respecting thread-id randomisation (Sec. 3.5).
+    pub randomize_ids: bool,
+}
+
+impl LaunchSpec {
+    /// A single-group application launch with defaults: no stress, no
+    /// randomisation, and a generous turn budget.
+    pub fn app(program: Program, blocks: u32, threads_per_block: u32, global_words: u32) -> Self {
+        LaunchSpec {
+            groups: vec![KernelGroup {
+                program: Arc::new(program),
+                blocks,
+                threads_per_block,
+                role: Role::App,
+            }],
+            global_words,
+            shared_words: 0,
+            init_image: Vec::new(),
+            init: Vec::new(),
+            max_turns: 4_000_000,
+            randomize_ids: false,
+        }
+    }
+
+    /// Total threads across all groups.
+    pub fn total_threads(&self) -> u32 {
+        self.groups
+            .iter()
+            .map(|g| g.blocks * g.threads_per_block)
+            .sum()
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// All application blocks retired.
+    Completed,
+    /// The turn budget was exhausted first.
+    TimedOut,
+    /// A thread exited while block-mates waited at a barrier (undefined
+    /// behaviour in CUDA, detected here).
+    BarrierDivergence,
+    /// An out-of-bounds global or shared access.
+    OutOfBounds(OobError),
+}
+
+impl RunStatus {
+    /// True for [`RunStatus::Completed`].
+    pub fn is_completed(&self) -> bool {
+        *self == RunStatus::Completed
+    }
+}
+
+/// The outcome of one kernel execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Completion status.
+    pub status: RunStatus,
+    /// Final global-memory image (fully drained and consistent).
+    pub memory: Vec<Word>,
+    /// Scheduler turns until the last application block retired.
+    pub app_turns: u64,
+    /// Total scheduler turns executed.
+    pub total_turns: u64,
+    /// Instructions executed across all threads.
+    pub instructions: u64,
+    /// Out-of-order completions that occurred (weak-memory events).
+    pub bypasses: u64,
+    /// Simulated kernel runtime in milliseconds (cycles / clock).
+    pub runtime_ms: f64,
+    /// Estimated energy in joules — `None` on chips without power-query
+    /// support (Sec. 6 reports energy only for K5200, Titan, K20, C2075).
+    pub energy_j: Option<f64>,
+}
+
+impl RunResult {
+    /// Read a word of the final memory image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn word(&self, addr: u32) -> Word {
+        self.memory[addr as usize]
+    }
+
+    /// Read a word of the final memory image as an `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn f32(&self, addr: u32) -> f32 {
+        to_f32(self.word(addr))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal machine state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    Load,
+    Store,
+    Cas,
+    Exch,
+    Add,
+    Fence,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    kind: SlotKind,
+    /// Stores and atomics classify as "store-class" for reorder kinds.
+    store_class: bool,
+    addr: u32,
+    line: u32,
+    v1: Word,
+    v2: Word,
+    dst: Reg,
+    id: u32,
+    stall: u32,
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Slot {
+            kind: SlotKind::Fence,
+            store_class: false,
+            addr: 0,
+            line: 0,
+            v1: 0,
+            v2: 0,
+            dst: 0,
+            id: 0,
+            stall: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Running,
+    BarrierDrain,
+    BarrierWait,
+    HaltDrain,
+    Dead,
+}
+
+#[derive(Debug, Clone)]
+struct ThreadCtx {
+    group: u32,
+    block: u32,
+    pc: u32,
+    state: TState,
+    regs_at: u32,
+    tid: u32,
+    bid: u32,
+    icount: u32,
+    last_is_store: bool,
+    last_channel: u32,
+    last_addr: u32,
+    last_icount: u32,
+    has_last: bool,
+    stalled: bool,
+    stalled_reg: Reg,
+    win: [Slot; MAX_WINDOW],
+    win_len: u8,
+}
+
+#[derive(Debug, Clone)]
+struct BlockState {
+    group: u32,
+    threads: std::ops::Range<u32>,
+    shared_at: u32,
+    alive: u32,
+    waiting: u32,
+    retired: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Warp {
+    threads: std::ops::Range<u32>,
+}
+
+/// A simulated GPU: construct once per chip, run many launches.
+///
+/// Runs are deterministic in the `(spec, seed)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use wmm_sim::chip::Chip;
+/// use wmm_sim::exec::{Gpu, LaunchSpec};
+/// use wmm_sim::ir::builder::KernelBuilder;
+///
+/// let mut b = KernelBuilder::new("store-tid");
+/// let tid = b.global_tid();
+/// b.store_global(tid, tid);
+/// let program = b.finish().unwrap();
+///
+/// let mut gpu = Gpu::new(Chip::by_short("K20").unwrap());
+/// let result = gpu.run(&LaunchSpec::app(program, 2, 32, 64), 42);
+/// assert!(result.status.is_completed());
+/// assert_eq!(result.word(63), 63);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    chip: Chip,
+}
+
+impl Gpu {
+    /// Create a GPU for the given chip profile.
+    pub fn new(chip: Chip) -> Self {
+        Gpu { chip }
+    }
+
+    /// The chip profile.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Execute a launch to completion (or timeout/fault) with the given
+    /// seed. All scheduling and reordering randomness derives from the
+    /// seed, so identical `(spec, seed)` pairs produce identical results.
+    pub fn run(&mut self, spec: &LaunchSpec, seed: u64) -> RunResult {
+        let mut run = Run::new(&self.chip, spec, seed);
+        run.execute();
+        run.into_result()
+    }
+}
+
+struct Run<'a> {
+    chip: &'a Chip,
+    spec: &'a LaunchSpec,
+    mem: MemSystem,
+    shared: Vec<Word>,
+    regs: Vec<Word>,
+    pending: Vec<u32>,
+    threads: Vec<ThreadCtx>,
+    blocks: Vec<BlockState>,
+    warps: Vec<Warp>,
+    live_warps: Vec<u32>,
+    queue: VecDeque<(u32, u32)>,
+    bid_maps: Vec<Vec<u32>>,
+    resident_threads: u32,
+    app_blocks_left: u32,
+    rng: SmallRng,
+    turn: u64,
+    instructions: u64,
+    bypasses: u64,
+    next_op_id: u32,
+    status: Option<RunStatus>,
+    app_turns: u64,
+}
+
+impl<'a> Run<'a> {
+    fn new(chip: &'a Chip, spec: &'a LaunchSpec, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut mem = if spec.init_image.is_empty() {
+            MemSystem::new(spec.global_words)
+        } else {
+            MemSystem::from_image(spec.init_image.clone(), spec.global_words)
+        };
+        for &(addr, value) in &spec.init {
+            mem.write(addr, value)
+                .expect("LaunchSpec.init address out of range");
+        }
+        // Interleave the launch queue application-first so stressing
+        // blocks can never starve the application.
+        let max_blocks = spec.groups.iter().map(|g| g.blocks).max().unwrap_or(0);
+        let mut queue = VecDeque::new();
+        for b in 0..max_blocks {
+            for (gi, g) in spec.groups.iter().enumerate() {
+                if b < g.blocks {
+                    queue.push_back((gi as u32, b));
+                }
+            }
+        }
+        // Per-group logical block-id permutations (thread randomisation).
+        let bid_maps = spec
+            .groups
+            .iter()
+            .map(|g| {
+                let mut ids: Vec<u32> = (0..g.blocks).collect();
+                if spec.randomize_ids {
+                    shuffle(&mut ids, &mut rng);
+                }
+                ids
+            })
+            .collect();
+        let app_blocks_left = spec
+            .groups
+            .iter()
+            .filter(|g| g.role == Role::App)
+            .map(|g| g.blocks)
+            .sum();
+        Run {
+            chip,
+            spec,
+            mem,
+            shared: Vec::new(),
+            regs: Vec::new(),
+            pending: Vec::new(),
+            threads: Vec::new(),
+            blocks: Vec::new(),
+            warps: Vec::new(),
+            live_warps: Vec::new(),
+            queue,
+            bid_maps,
+            resident_threads: 0,
+            app_blocks_left,
+            rng,
+            turn: 0,
+            instructions: 0,
+            bypasses: 0,
+            next_op_id: 1,
+            status: None,
+            app_turns: 0,
+        }
+    }
+
+    fn execute(&mut self) {
+        self.try_launch();
+        loop {
+            if self.status.is_some() {
+                break;
+            }
+            if self.app_blocks_left == 0 {
+                self.status = Some(RunStatus::Completed);
+                break;
+            }
+            if self.turn >= self.spec.max_turns {
+                self.status = Some(RunStatus::TimedOut);
+                break;
+            }
+            let Some(w) = self.pick_warp() else {
+                // No live warps but application blocks remain: the queue
+                // must have unlaunched blocks; capacity is free, so this
+                // launches or we are wedged (treated as timeout).
+                self.try_launch();
+                if self.live_warps.is_empty() {
+                    self.status = Some(RunStatus::TimedOut);
+                    break;
+                }
+                continue;
+            };
+            let range = self.warps[w as usize].threads.clone();
+            for t in range {
+                self.step_thread(t);
+                if self.status.is_some() {
+                    break;
+                }
+            }
+            // Advance the clock in *time* units: the machine executes all
+            // resident warps concurrently, so with fewer live warps each
+            // scheduler step covers more wall-clock time. This keeps the
+            // contention trackers calibrated in absolute time — a lightly
+            // occupied (native) launch generates far less memory traffic
+            // per unit time than a fully stressed one.
+            let live = self.live_warps.len().max(1) as u64;
+            let full = u64::from(self.chip.max_concurrent_threads / WARP_SIZE).max(1);
+            self.turn += (full / live).max(1);
+        }
+        if self.app_turns == 0 {
+            self.app_turns = self.turn;
+        }
+    }
+
+    fn into_result(mut self) -> RunResult {
+        let status = self.status.clone().unwrap_or(RunStatus::TimedOut);
+        let runtime_ms = self.app_turns as f64 / (self.chip.clock_ghz * 1e6);
+        let energy_j = self
+            .chip
+            .supports_power
+            .then(|| self.chip.power_watts * runtime_ms / 1e3);
+        RunResult {
+            status,
+            memory: self.mem.take_image(),
+            app_turns: self.app_turns,
+            total_turns: self.turn,
+            instructions: self.instructions,
+            bypasses: self.bypasses,
+            runtime_ms,
+            energy_j,
+        }
+    }
+
+    // -- scheduling --------------------------------------------------------
+
+    fn pick_warp(&mut self) -> Option<u32> {
+        while !self.live_warps.is_empty() {
+            let i = self.rng.gen_range(0..self.live_warps.len());
+            let w = self.live_warps[i];
+            if self.warp_dead(w) {
+                self.live_warps.swap_remove(i);
+            } else {
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    fn warp_dead(&self, w: u32) -> bool {
+        self.warps[w as usize]
+            .threads
+            .clone()
+            .all(|t| self.threads[t as usize].state == TState::Dead)
+    }
+
+    fn try_launch(&mut self) {
+        while let Some(&(gi, bid_phys)) = self.queue.front() {
+            let g = &self.spec.groups[gi as usize];
+            if self.resident_threads + g.threads_per_block > self.chip.max_concurrent_threads
+                && self.resident_threads > 0
+            {
+                break;
+            }
+            self.queue.pop_front();
+            self.launch_block(gi, bid_phys);
+        }
+    }
+
+    fn launch_block(&mut self, gi: u32, bid_phys: u32) {
+        let g = &self.spec.groups[gi as usize];
+        let tpb = g.threads_per_block;
+        let num_regs = g.program.num_regs as u32;
+        let logical_bid = self.bid_maps[gi as usize][bid_phys as usize];
+        let block_index = self.blocks.len() as u32;
+        let t0 = self.threads.len() as u32;
+        let shared_at = self.shared.len() as u32;
+        self.shared
+            .extend(std::iter::repeat(0).take(self.spec.shared_words as usize));
+
+        // Warp/lane randomisation respecting warp membership: full warps
+        // are permuted among themselves; lanes permute within each warp.
+        let full_warps = tpb / WARP_SIZE;
+        let mut warp_map: Vec<u32> = (0..full_warps).collect();
+        if self.spec.randomize_ids {
+            shuffle(&mut warp_map, &mut self.rng);
+        }
+
+        for i in 0..tpb {
+            let (w, l) = (i / WARP_SIZE, i % WARP_SIZE);
+            let logical_tid = if w < full_warps {
+                let lw = warp_map[w as usize];
+                lw * WARP_SIZE + l
+            } else {
+                i // partial trailing warp keeps its ids
+            };
+            let regs_at = self.regs.len() as u32;
+            self.regs.extend(std::iter::repeat(0).take(num_regs as usize));
+            self.pending
+                .extend(std::iter::repeat(0).take(num_regs as usize));
+            self.threads.push(ThreadCtx {
+                group: gi,
+                block: block_index,
+                pc: 0,
+                state: TState::Running,
+                regs_at,
+                tid: logical_tid,
+                bid: logical_bid,
+                icount: 0,
+                last_is_store: false,
+                last_channel: 0,
+                last_addr: 0,
+                last_icount: 0,
+                has_last: false,
+                stalled: false,
+                stalled_reg: 0,
+                win: [Slot::default(); MAX_WINDOW],
+                win_len: 0,
+            });
+        }
+        self.blocks.push(BlockState {
+            group: gi,
+            threads: t0..t0 + tpb,
+            shared_at,
+            alive: tpb,
+            waiting: 0,
+            retired: false,
+        });
+        let mut i = t0;
+        while i < t0 + tpb {
+            let end = (i + WARP_SIZE).min(t0 + tpb);
+            self.warps.push(Warp { threads: i..end });
+            self.live_warps.push(self.warps.len() as u32 - 1);
+            i = end;
+        }
+        self.resident_threads += tpb;
+    }
+
+    // -- thread stepping ---------------------------------------------------
+
+    fn step_thread(&mut self, t: u32) {
+        match self.threads[t as usize].state {
+            TState::Dead | TState::BarrierWait => {}
+            TState::HaltDrain => {
+                self.drain_step(t, false);
+                if self.threads[t as usize].win_len == 0 {
+                    self.threads[t as usize].state = TState::Dead;
+                    self.on_thread_dead(t);
+                }
+            }
+            TState::BarrierDrain => {
+                self.drain_step(t, false);
+                if self.threads[t as usize].win_len == 0 {
+                    self.threads[t as usize].state = TState::BarrierWait;
+                    let b = self.threads[t as usize].block;
+                    self.blocks[b as usize].waiting += 1;
+                    self.check_barrier_release(b);
+                }
+            }
+            TState::Running => {
+                if self.threads[t as usize].stalled {
+                    let th = &self.threads[t as usize];
+                    let reg_idx = (th.regs_at + th.stalled_reg as u32) as usize;
+                    let demanded = self.pending[reg_idx];
+                    self.demand_drain_step(t, demanded);
+                    let th = &self.threads[t as usize];
+                    let reg_idx = (th.regs_at + th.stalled_reg as u32) as usize;
+                    if self.pending[reg_idx] != 0 {
+                        return;
+                    }
+                    self.threads[t as usize].stalled = false;
+                } else {
+                    self.drain_step(t, false);
+                }
+                if self.status.is_none() {
+                    self.exec_inst(t);
+                }
+            }
+        }
+    }
+
+    fn on_thread_dead(&mut self, t: u32) {
+        let b = self.threads[t as usize].block as usize;
+        let all_dead = self.blocks[b]
+            .threads
+            .clone()
+            .all(|i| self.threads[i as usize].state == TState::Dead);
+        if all_dead && !self.blocks[b].retired {
+            self.blocks[b].retired = true;
+            let gi = self.blocks[b].group as usize;
+            let g = &self.spec.groups[gi];
+            self.resident_threads -= g.threads_per_block;
+            if g.role == Role::App {
+                self.app_blocks_left -= 1;
+                if self.app_blocks_left == 0 {
+                    self.app_turns = self.turn;
+                }
+            }
+            self.try_launch();
+        }
+    }
+
+    fn check_barrier_release(&mut self, b: u32) {
+        let blk = &self.blocks[b as usize];
+        if blk.waiting > 0 && blk.waiting == blk.alive {
+            let total = blk.threads.end - blk.threads.start;
+            if blk.alive < total {
+                // Every remaining thread is at the barrier but some
+                // block-mates already exited: they would wait forever.
+                self.status = Some(RunStatus::BarrierDivergence);
+                return;
+            }
+            let range = blk.threads.clone();
+            self.blocks[b as usize].waiting = 0;
+            for t in range {
+                if self.threads[t as usize].state == TState::BarrierWait {
+                    self.threads[t as usize].state = TState::Running;
+                }
+            }
+        }
+    }
+
+    // -- window drain ------------------------------------------------------
+
+    /// True if window slot `j` may complete before every older in-flight
+    /// op: no fence in the way and no same-line older op.
+    fn can_bypass(&self, t: u32, j: usize) -> bool {
+        let th = &self.threads[t as usize];
+        let sj = th.win[j];
+        if sj.kind == SlotKind::Fence {
+            return false;
+        }
+        for i in 0..j {
+            let si = th.win[i];
+            if si.kind == SlotKind::Fence || si.line == sj.line {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Drain while the thread is stalled on a register produced by the
+    /// in-flight op `demanded`. The pipeline *demands* that op: like a
+    /// real memory system returning an atomic or load result while older
+    /// plain stores sit in the write buffer, the demanded op may complete
+    /// out of order (with the usual contention-dependent probability —
+    /// this is exactly the reordering that breaks `sdk-red-nf`'s
+    /// partial/counter protocol). Otherwise the head drains in order.
+    fn demand_drain_step(&mut self, t: u32, demanded: u32) {
+        let len = self.threads[t as usize].win_len as usize;
+        if len == 0 {
+            return;
+        }
+        let pos = (0..len).find(|&j| self.threads[t as usize].win[j].id == demanded);
+        if let Some(j) = pos {
+            if j > 0 && self.can_bypass(t, j) {
+                let head = self.threads[t as usize].win[0];
+                let sj = self.threads[t as usize].win[j];
+                let kind = classify(head.store_class, sj.store_class);
+                let p = self
+                    .mem
+                    .reorder_prob(self.chip, kind, head.addr, sj.addr, self.turn);
+                if self.rng.gen::<f64>() < p {
+                    for i in 0..j {
+                        self.threads[t as usize].win[i].stall += BYPASS_DELAY_TURNS;
+                    }
+                    self.complete_slot(t, j);
+                    self.bypasses += 1;
+                    return;
+                }
+            }
+        }
+        // Otherwise resolve in order: complete the head (respecting its
+        // stall delay).
+        let head = self.threads[t as usize].win[0];
+        if head.stall > 0 {
+            self.threads[t as usize].win[0].stall -= 1;
+            return;
+        }
+        self.complete_slot(t, 0);
+    }
+
+    /// One drain turn: possibly complete a younger op out of order
+    /// (a weak-memory event), otherwise maybe complete the head.
+    /// `in_order` forces head-only completion (used while the thread is
+    /// draining for a barrier or halt in program order).
+    fn drain_step(&mut self, t: u32, in_order: bool) {
+        let len = self.threads[t as usize].win_len as usize;
+        if len == 0 {
+            return;
+        }
+        if !in_order && len >= 2 {
+            // One bypass attempt per turn, by the youngest candidate that
+            // may pass every older in-flight op.
+            if let Some(j) = (1..len.min(4)).find(|&j| self.can_bypass(t, j)) {
+                let head = self.threads[t as usize].win[0];
+                let sj = self.threads[t as usize].win[j];
+                let kind = classify(head.store_class, sj.store_class);
+                let p = self
+                    .mem
+                    .reorder_prob(self.chip, kind, head.addr, sj.addr, self.turn);
+                if self.rng.gen::<f64>() < p {
+                    // The bypassed-over operations are the ones the
+                    // congested memory system is sitting on: delay them,
+                    // widening the visibility inversion (this is what
+                    // makes a stale value observable by other threads).
+                    for i in 0..j {
+                        self.threads[t as usize].win[i].stall += BYPASS_DELAY_TURNS;
+                    }
+                    self.complete_slot(t, j);
+                    self.bypasses += 1;
+                    return;
+                }
+            }
+        }
+        // Head completion. `stall` covers both fence latency and the
+        // contention delay applied to bypassed-over operations.
+        let head = self.threads[t as usize].win[0];
+        if head.stall > 0 {
+            self.threads[t as usize].win[0].stall -= 1;
+            return;
+        }
+        let full = len == self.chip.window;
+        if in_order || full || self.rng.gen::<f64>() < self.chip.drain_q {
+            self.complete_slot(t, 0);
+        }
+    }
+
+    /// Complete (make globally visible) the window slot at `j`, shifting
+    /// younger entries down.
+    fn complete_slot(&mut self, t: u32, j: usize) {
+        let slot = self.threads[t as usize].win[j];
+        let result: Result<Option<Word>, OobError> = match slot.kind {
+            SlotKind::Fence => Ok(None),
+            SlotKind::Load => self.mem.read(slot.addr).map(Some),
+            SlotKind::Store => self.mem.write(slot.addr, slot.v1).map(|_| None),
+            SlotKind::Cas => self.mem.read(slot.addr).and_then(|old| {
+                if old == slot.v1 {
+                    self.mem.write(slot.addr, slot.v2)?;
+                }
+                Ok(Some(old))
+            }),
+            SlotKind::Exch => self.mem.read(slot.addr).and_then(|old| {
+                self.mem.write(slot.addr, slot.v1)?;
+                Ok(Some(old))
+            }),
+            SlotKind::Add => self.mem.read(slot.addr).and_then(|old| {
+                self.mem.write(slot.addr, old.wrapping_add(slot.v1))?;
+                Ok(Some(old))
+            }),
+        };
+        match result {
+            Err(e) => {
+                self.status = Some(RunStatus::OutOfBounds(e));
+            }
+            Ok(value) => {
+                if let Some(v) = value {
+                    if slot.kind != SlotKind::Fence {
+                        let th = &self.threads[t as usize];
+                        let reg_idx = (th.regs_at + slot.dst as u32) as usize;
+                        // Only land the value if this op still owns the
+                        // destination register.
+                        if self.pending[reg_idx] == slot.id {
+                            self.regs[reg_idx] = v;
+                            self.pending[reg_idx] = 0;
+                        }
+                    }
+                }
+            }
+        }
+        let th = &mut self.threads[t as usize];
+        let len = th.win_len as usize;
+        for k in j..len - 1 {
+            th.win[k] = th.win[k + 1];
+        }
+        th.win_len -= 1;
+    }
+
+    // -- instruction execution ---------------------------------------------
+
+    fn reg_ready(&self, t: u32, r: Reg) -> bool {
+        let th = &self.threads[t as usize];
+        self.pending[(th.regs_at + r as u32) as usize] == 0
+    }
+
+    fn read_reg(&self, t: u32, r: Reg) -> Word {
+        let th = &self.threads[t as usize];
+        self.regs[(th.regs_at + r as u32) as usize]
+    }
+
+    fn write_reg(&mut self, t: u32, r: Reg, v: Word) {
+        let th = &self.threads[t as usize];
+        let idx = (th.regs_at + r as u32) as usize;
+        self.regs[idx] = v;
+        self.pending[idx] = 0;
+    }
+
+    fn stall_on(&mut self, t: u32, r: Reg) {
+        let th = &mut self.threads[t as usize];
+        th.stalled = true;
+        th.stalled_reg = r;
+    }
+
+    /// Require registers ready; returns false (and stalls) otherwise.
+    fn need(&mut self, t: u32, rs: &[Reg]) -> bool {
+        for &r in rs {
+            if !self.reg_ready(t, r) {
+                self.stall_on(t, r);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn push_slot(&mut self, t: u32, slot: Slot) -> bool {
+        let len = self.threads[t as usize].win_len as usize;
+        if len == self.chip.window {
+            // Window full: force the head out first. A stalling fence at
+            // the head blocks issue this turn.
+            let head = self.threads[t as usize].win[0];
+            if head.stall > 0 {
+                self.threads[t as usize].win[0].stall -= 1;
+                return false;
+            }
+            self.complete_slot(t, 0);
+            if self.status.is_some() {
+                return false;
+            }
+        }
+        let th = &mut self.threads[t as usize];
+        let len = th.win_len as usize;
+        th.win[len] = slot;
+        th.win_len += 1;
+        true
+    }
+
+    /// Record contention-tracker state for a global access issue: a
+    /// back-to-back transition when the previous access is within the
+    /// gap, or a loop-boundary (last/first) event when it is not.
+    fn note_global_issue(&mut self, t: u32, addr: u32, is_store: bool) {
+        let channel = self.chip.channel_of(addr);
+        let th = &self.threads[t as usize];
+        let within_gap = th.icount.wrapping_sub(th.last_icount) <= TRANSITION_GAP;
+        let transition = (th.has_last && th.last_channel == channel && within_gap)
+            .then_some((th.last_is_store, is_store));
+        if th.has_last && !within_gap {
+            let (pa, ps) = (th.last_addr, th.last_is_store);
+            self.mem
+                .note_boundary(self.chip, pa, ps, addr, is_store, self.turn);
+        }
+        self.mem
+            .note_access(self.chip, addr, is_store, transition, self.turn);
+        let th = &mut self.threads[t as usize];
+        th.has_last = true;
+        th.last_channel = channel;
+        th.last_addr = addr;
+        th.last_is_store = is_store;
+        th.last_icount = th.icount;
+    }
+
+    fn shared_index(&self, t: u32, addr: u32) -> Result<usize, OobError> {
+        if addr >= self.spec.shared_words {
+            return Err(OobError {
+                addr,
+                len: self.spec.shared_words,
+            });
+        }
+        let b = self.threads[t as usize].block as usize;
+        Ok((self.blocks[b].shared_at + addr) as usize)
+    }
+
+    fn fresh_op_id(&mut self) -> u32 {
+        let id = self.next_op_id;
+        self.next_op_id += 1;
+        id
+    }
+
+    fn halt_thread(&mut self, t: u32) {
+        let b = self.threads[t as usize].block;
+        self.threads[t as usize].state = TState::HaltDrain;
+        self.blocks[b as usize].alive -= 1;
+        if self.blocks[b as usize].waiting > 0 {
+            // Some block-mates are at a barrier this thread will never
+            // reach: barrier divergence.
+            self.status = Some(RunStatus::BarrierDivergence);
+            return;
+        }
+        // Fast path: if the window is already empty the thread dies now.
+        if self.threads[t as usize].win_len == 0 {
+            self.threads[t as usize].state = TState::Dead;
+            self.on_thread_dead(t);
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_inst(&mut self, t: u32) {
+        let th = &self.threads[t as usize];
+        let gi = th.group as usize;
+        let pc = th.pc as usize;
+        let program: &Arc<Program> = &self.spec.groups[gi].program;
+        if pc >= program.insts.len() {
+            self.halt_thread(t);
+            return;
+        }
+        let inst = program.insts[pc];
+        let mut next_pc = pc as u32 + 1;
+        match inst {
+            Inst::Const { dst, value } => {
+                if !self.need(t, &[dst]) {
+                    return;
+                }
+                self.write_reg(t, dst, value);
+            }
+            Inst::Mov { dst, src } => {
+                if !self.need(t, &[src, dst]) {
+                    return;
+                }
+                let v = self.read_reg(t, src);
+                self.write_reg(t, dst, v);
+            }
+            Inst::Bin { op, dst, a, b } => {
+                if !self.need(t, &[a, b, dst]) {
+                    return;
+                }
+                let va = self.read_reg(t, a);
+                let vb = self.read_reg(t, b);
+                self.write_reg(t, dst, eval_bin(op, va, vb));
+            }
+            Inst::Special { dst, sr } => {
+                if !self.need(t, &[dst]) {
+                    return;
+                }
+                let g = &self.spec.groups[gi];
+                let th = &self.threads[t as usize];
+                let v = match sr {
+                    SpecialReg::Tid => th.tid,
+                    SpecialReg::Bid => th.bid,
+                    SpecialReg::BlockDim => g.threads_per_block,
+                    SpecialReg::GridDim => g.blocks,
+                    SpecialReg::Lane => th.tid % WARP_SIZE,
+                    SpecialReg::GlobalTid => th.tid + th.bid * g.threads_per_block,
+                };
+                self.write_reg(t, dst, v);
+            }
+            Inst::Load { dst, space, addr } => {
+                if !self.need(t, &[addr, dst]) {
+                    return;
+                }
+                let a = self.read_reg(t, addr);
+                match space {
+                    Space::Shared => match self.shared_index(t, a) {
+                        Ok(i) => {
+                            let v = self.shared[i];
+                            self.write_reg(t, dst, v);
+                        }
+                        Err(e) => {
+                            self.status = Some(RunStatus::OutOfBounds(e));
+                            return;
+                        }
+                    },
+                    Space::Global => {
+                        let id = self.fresh_op_id();
+                        let slot = Slot {
+                            kind: SlotKind::Load,
+                            store_class: false,
+                            addr: a,
+                            line: self.chip.line_of(a),
+                            v1: 0,
+                            v2: 0,
+                            dst,
+                            id,
+                            stall: 0,
+                        };
+                        if !self.push_slot(t, slot) {
+                            return;
+                        }
+                        let th = &self.threads[t as usize];
+                        let idx = (th.regs_at + dst as u32) as usize;
+                        self.pending[idx] = id;
+                        self.note_global_issue(t, a, false);
+                    }
+                }
+            }
+            Inst::Store { space, addr, src } => {
+                if !self.need(t, &[addr, src]) {
+                    return;
+                }
+                let a = self.read_reg(t, addr);
+                let v = self.read_reg(t, src);
+                match space {
+                    Space::Shared => match self.shared_index(t, a) {
+                        Ok(i) => self.shared[i] = v,
+                        Err(e) => {
+                            self.status = Some(RunStatus::OutOfBounds(e));
+                            return;
+                        }
+                    },
+                    Space::Global => {
+                        let id = self.fresh_op_id();
+                        let slot = Slot {
+                            kind: SlotKind::Store,
+                            store_class: true,
+                            addr: a,
+                            line: self.chip.line_of(a),
+                            v1: v,
+                            v2: 0,
+                            dst: 0,
+                            id,
+                            stall: 0,
+                        };
+                        if !self.push_slot(t, slot) {
+                            return;
+                        }
+                        self.note_global_issue(t, a, true);
+                    }
+                }
+            }
+            Inst::AtomicCas {
+                dst,
+                space,
+                addr,
+                cmp,
+                val,
+            } => {
+                if !self.need(t, &[addr, cmp, val, dst]) {
+                    return;
+                }
+                let a = self.read_reg(t, addr);
+                let c = self.read_reg(t, cmp);
+                let v = self.read_reg(t, val);
+                if !self.issue_atomic(t, space, SlotKind::Cas, a, c, v, dst) {
+                    return;
+                }
+            }
+            Inst::AtomicExch {
+                dst,
+                space,
+                addr,
+                val,
+            } => {
+                if !self.need(t, &[addr, val, dst]) {
+                    return;
+                }
+                let a = self.read_reg(t, addr);
+                let v = self.read_reg(t, val);
+                if !self.issue_atomic(t, space, SlotKind::Exch, a, v, 0, dst) {
+                    return;
+                }
+            }
+            Inst::AtomicAdd {
+                dst,
+                space,
+                addr,
+                val,
+            } => {
+                if !self.need(t, &[addr, val, dst]) {
+                    return;
+                }
+                let a = self.read_reg(t, addr);
+                let v = self.read_reg(t, val);
+                if !self.issue_atomic(t, space, SlotKind::Add, a, v, 0, dst) {
+                    return;
+                }
+            }
+            Inst::Fence(level) => {
+                let stall = match level {
+                    FenceLevel::Device => self.chip.fence_stall,
+                    FenceLevel::Block => self.chip.block_fence_stall,
+                };
+                let id = self.fresh_op_id();
+                let slot = Slot {
+                    kind: SlotKind::Fence,
+                    store_class: false,
+                    addr: 0,
+                    line: u32::MAX,
+                    v1: 0,
+                    v2: 0,
+                    dst: 0,
+                    id,
+                    stall,
+                };
+                if !self.push_slot(t, slot) {
+                    return;
+                }
+            }
+            Inst::Barrier => {
+                self.threads[t as usize].state = TState::BarrierDrain;
+                self.threads[t as usize].pc = next_pc;
+                self.threads[t as usize].icount += 1;
+                self.instructions += 1;
+                return;
+            }
+            Inst::Jump { target } => {
+                next_pc = target as u32;
+            }
+            Inst::BranchZ { cond, target } => {
+                if !self.need(t, &[cond]) {
+                    return;
+                }
+                if self.read_reg(t, cond) == 0 {
+                    next_pc = target as u32;
+                }
+            }
+            Inst::BranchNZ { cond, target } => {
+                if !self.need(t, &[cond]) {
+                    return;
+                }
+                if self.read_reg(t, cond) != 0 {
+                    next_pc = target as u32;
+                }
+            }
+            Inst::Halt => {
+                self.instructions += 1;
+                self.halt_thread(t);
+                return;
+            }
+        }
+        if self.status.is_some() {
+            return;
+        }
+        let th = &mut self.threads[t as usize];
+        th.pc = next_pc;
+        th.icount += 1;
+        self.instructions += 1;
+    }
+
+    /// Issue an atomic. Shared-space atomics complete immediately (shared
+    /// memory is strongly ordered here); global atomics enter the window.
+    fn issue_atomic(
+        &mut self,
+        t: u32,
+        space: Space,
+        kind: SlotKind,
+        addr: u32,
+        v1: Word,
+        v2: Word,
+        dst: Reg,
+    ) -> bool {
+        match space {
+            Space::Shared => {
+                let i = match self.shared_index(t, addr) {
+                    Ok(i) => i,
+                    Err(e) => {
+                        self.status = Some(RunStatus::OutOfBounds(e));
+                        return false;
+                    }
+                };
+                let old = self.shared[i];
+                match kind {
+                    SlotKind::Cas => {
+                        if old == v1 {
+                            self.shared[i] = v2;
+                        }
+                    }
+                    SlotKind::Exch => self.shared[i] = v1,
+                    SlotKind::Add => self.shared[i] = old.wrapping_add(v1),
+                    _ => unreachable!("issue_atomic called with non-atomic kind"),
+                }
+                self.write_reg(t, dst, old);
+                true
+            }
+            Space::Global => {
+                let id = self.fresh_op_id();
+                let slot = Slot {
+                    kind,
+                    store_class: true,
+                    addr,
+                    line: self.chip.line_of(addr),
+                    v1,
+                    v2,
+                    dst,
+                    id,
+                    stall: 0,
+                };
+                if !self.push_slot(t, slot) {
+                    return false;
+                }
+                let th = &self.threads[t as usize];
+                let idx = (th.regs_at + dst as u32) as usize;
+                self.pending[idx] = id;
+                self.note_global_issue(t, addr, true);
+                true
+            }
+        }
+    }
+}
+
+/// Classify an (older, younger) store-class pair as a reorder kind.
+#[inline]
+fn classify(older_store: bool, younger_store: bool) -> ReorderKind {
+    match (older_store, younger_store) {
+        (true, true) => ReorderKind::StSt,
+        (false, false) => ReorderKind::LdLd,
+        (true, false) => ReorderKind::StLd,
+        (false, true) => ReorderKind::LdSt,
+    }
+}
+
+fn eval_bin(op: BinOp, a: Word, b: Word) -> Word {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::DivU => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        BinOp::RemU => {
+            if b == 0 {
+                0
+            } else {
+                a % b
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a << (b & 31),
+        BinOp::Shr => a >> (b & 31),
+        BinOp::MinU => a.min(b),
+        BinOp::MaxU => a.max(b),
+        BinOp::FAdd => from_f32(to_f32(a) + to_f32(b)),
+        BinOp::FSub => from_f32(to_f32(a) - to_f32(b)),
+        BinOp::FMul => from_f32(to_f32(a) * to_f32(b)),
+        BinOp::FDiv => from_f32(to_f32(a) / to_f32(b)),
+        BinOp::CmpEq => (a == b) as Word,
+        BinOp::CmpNe => (a != b) as Word,
+        BinOp::CmpLtU => (a < b) as Word,
+        BinOp::CmpLeU => (a <= b) as Word,
+        BinOp::CmpLtS => ((a as i32) < (b as i32)) as Word,
+        BinOp::CmpLeS => ((a as i32) <= (b as i32)) as Word,
+        BinOp::FCmpLt => (to_f32(a) < to_f32(b)) as Word,
+    }
+}
+
+/// Fisher–Yates shuffle using the run's RNG (avoids pulling in the `rand`
+/// `SliceRandom` trait for a single call site, and keeps the shuffle
+/// order stable across `rand` versions).
+fn shuffle<T>(xs: &mut [T], rng: &mut SmallRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::Chip;
+    use crate::ir::builder::KernelBuilder;
+
+    /// A chip with all weak behaviour disabled: the simulator is
+    /// sequentially consistent under this profile.
+    fn sc_chip() -> Chip {
+        let mut c = Chip::by_short("K20").unwrap();
+        c.reorder.base = [0.0; 4];
+        c.reorder.gain = [0.0; 4];
+        c.ambient_mp = 0.0;
+        c
+    }
+
+    fn run_simple(program: Program, blocks: u32, tpb: u32, words: u32, seed: u64) -> RunResult {
+        let mut gpu = Gpu::new(sc_chip());
+        gpu.run(&LaunchSpec::app(program, blocks, tpb, words), seed)
+    }
+
+    #[test]
+    fn every_thread_stores_its_gtid() {
+        let mut b = KernelBuilder::new("gtid");
+        let g = b.global_tid();
+        b.store_global(g, g);
+        let p = b.finish().unwrap();
+        let r = run_simple(p, 4, 32, 128, 1);
+        assert!(r.status.is_completed());
+        for i in 0..128 {
+            assert_eq!(r.word(i), i, "word {i}");
+        }
+    }
+
+    #[test]
+    fn alu_arithmetic() {
+        let mut b = KernelBuilder::new("alu");
+        let x = b.const_(10);
+        let y = b.const_(3);
+        let sum = b.add(x, y);
+        let dif = b.sub(x, y);
+        let prod = b.mul(x, y);
+        let quot = b.div_u(x, y);
+        let rem = b.rem_u(x, y);
+        let a0 = b.const_(0);
+        let a1 = b.const_(1);
+        let a2 = b.const_(2);
+        let a3 = b.const_(3);
+        let a4 = b.const_(4);
+        b.store_global(a0, sum);
+        b.store_global(a1, dif);
+        b.store_global(a2, prod);
+        b.store_global(a3, quot);
+        b.store_global(a4, rem);
+        let p = b.finish().unwrap();
+        let r = run_simple(p, 1, 1, 8, 7);
+        assert_eq!(
+            (r.word(0), r.word(1), r.word(2), r.word(3), r.word(4)),
+            (13, 7, 30, 3, 1)
+        );
+    }
+
+    #[test]
+    fn float_math_via_bits() {
+        let mut b = KernelBuilder::new("float");
+        let x = b.const_f32(1.5);
+        let y = b.const_f32(2.0);
+        let s = b.fadd(x, y);
+        let m = b.fmul(x, y);
+        let a0 = b.const_(0);
+        let a1 = b.const_(1);
+        b.store_global(a0, s);
+        b.store_global(a1, m);
+        let p = b.finish().unwrap();
+        let r = run_simple(p, 1, 1, 4, 3);
+        assert_eq!(r.f32(0), 3.5);
+        assert_eq!(r.f32(1), 3.0);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        // sum 0..10 into global[0] via a register accumulator.
+        let mut b = KernelBuilder::new("loop");
+        let acc = b.const_(0);
+        let i = b.const_(0);
+        let n = b.const_(10);
+        let one = b.const_(1);
+        b.while_(
+            |b| b.lt_u(i, n),
+            |b| {
+                b.bin_into(acc, BinOp::Add, acc, i);
+                b.bin_into(i, BinOp::Add, i, one);
+            },
+        );
+        let a0 = b.const_(0);
+        b.store_global(a0, acc);
+        let p = b.finish().unwrap();
+        let r = run_simple(p, 1, 1, 4, 5);
+        assert_eq!(r.word(0), 45);
+    }
+
+    #[test]
+    fn atomic_add_counts_all_threads() {
+        let mut b = KernelBuilder::new("count");
+        let a0 = b.const_(0);
+        let one = b.const_(1);
+        let _ = b.atomic_add_global(a0, one);
+        let p = b.finish().unwrap();
+        let r = run_simple(p, 4, 32, 4, 11);
+        assert!(r.status.is_completed());
+        assert_eq!(r.word(0), 128);
+    }
+
+    #[test]
+    fn spinlock_mutual_exclusion_under_sc() {
+        // Non-atomic increment under a spinlock: correct when the memory
+        // model is strong.
+        let mut b = KernelBuilder::new("mutex");
+        let lock = b.const_(0);
+        let cell = b.const_(64);
+        b.spin_lock(lock);
+        let v = b.load_global(cell);
+        let one = b.const_(1);
+        let v1 = b.add(v, one);
+        b.store_global(cell, v1);
+        b.unlock(lock);
+        let p = b.finish().unwrap();
+        for seed in 0..5 {
+            let r = run_simple(p.clone(), 4, 8, 128, seed);
+            assert!(r.status.is_completed());
+            assert_eq!(r.word(64), 32, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn barrier_orders_shared_memory() {
+        // Thread 0 writes shared[1]; all threads barrier; thread 1 copies
+        // shared[1] to global. Requires barrier to work.
+        let mut b = KernelBuilder::new("barrier");
+        let tid = b.tid();
+        let zero = b.const_(0);
+        let is0 = b.eq(tid, zero);
+        let a1 = b.const_(1);
+        let v = b.const_(99);
+        b.if_(is0, |b| {
+            b.store_shared(a1, v);
+        });
+        b.barrier();
+        let one = b.const_(1);
+        let is1 = b.eq(tid, one);
+        b.if_(is1, |b| {
+            let got = b.load_shared(a1);
+            b.store_global(zero, got);
+        });
+        let p = b.finish().unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        let mut spec = LaunchSpec::app(p, 1, 32, 4);
+        spec.shared_words = 8;
+        for seed in 0..10 {
+            let r = gpu.run(&spec, seed);
+            assert!(r.status.is_completed());
+            assert_eq!(r.word(0), 99, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn barrier_divergence_detected() {
+        // Half the block skips the barrier and exits.
+        let mut b = KernelBuilder::new("diverge");
+        let tid = b.tid();
+        let half = b.const_(16);
+        let low = b.lt_u(tid, half);
+        b.if_(low, |b| {
+            b.barrier();
+        });
+        let p = b.finish().unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        let spec = LaunchSpec::app(p, 1, 32, 4);
+        let mut saw_divergence = false;
+        for seed in 0..20 {
+            let r = gpu.run(&spec, seed);
+            if r.status == RunStatus::BarrierDivergence {
+                saw_divergence = true;
+            }
+        }
+        assert!(saw_divergence);
+    }
+
+    #[test]
+    fn timeout_reported() {
+        // Infinite loop.
+        let mut b = KernelBuilder::new("spin");
+        let one = b.const_(1);
+        b.while_(|b| b.mov(one), |_| {});
+        let p = b.finish().unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        let mut spec = LaunchSpec::app(p, 1, 1, 4);
+        spec.max_turns = 10_000;
+        let r = gpu.run(&spec, 0);
+        assert_eq!(r.status, RunStatus::TimedOut);
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut b = KernelBuilder::new("oob");
+        let a = b.const_(1 << 20);
+        let v = b.const_(1);
+        b.store_global(a, v);
+        let p = b.finish().unwrap();
+        let r = run_simple(p, 1, 1, 16, 0);
+        assert!(matches!(r.status, RunStatus::OutOfBounds(_)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut b = KernelBuilder::new("det");
+        let a0 = b.const_(0);
+        let one = b.const_(1);
+        let _ = b.atomic_add_global(a0, one);
+        let g = b.global_tid();
+        b.store_global(g, g);
+        let p = b.finish().unwrap();
+        let mut gpu = Gpu::new(Chip::by_short("Titan").unwrap());
+        let spec = LaunchSpec::app(p, 4, 32, 256);
+        let a = gpu.run(&spec, 1234);
+        let b2 = gpu.run(&spec, 1234);
+        assert_eq!(a.memory, b2.memory);
+        assert_eq!(a.total_turns, b2.total_turns);
+        assert_eq!(a.bypasses, b2.bypasses);
+    }
+
+    #[test]
+    fn init_values_applied() {
+        let mut b = KernelBuilder::new("copy");
+        let src = b.const_(0);
+        let dst = b.const_(1);
+        let v = b.load_global(src);
+        b.store_global(dst, v);
+        let p = b.finish().unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        let mut spec = LaunchSpec::app(p, 1, 1, 4);
+        spec.init = vec![(0, 77)];
+        let r = gpu.run(&spec, 0);
+        assert_eq!(r.word(1), 77);
+    }
+
+    #[test]
+    fn fences_cost_cycles() {
+        // The same kernel with many fences takes longer.
+        fn kernel(fences: bool) -> Program {
+            let mut b = KernelBuilder::new("f");
+            let a0 = b.const_(0);
+            let i = b.const_(0);
+            let n = b.const_(20);
+            let one = b.const_(1);
+            b.while_(
+                |b| b.lt_u(i, n),
+                |b| {
+                    b.store_global(a0, i);
+                    if fences {
+                        b.fence_device();
+                    }
+                    b.bin_into(i, BinOp::Add, i, one);
+                },
+            );
+            b.finish().unwrap()
+        }
+        let mut gpu = Gpu::new(sc_chip());
+        let plain = gpu.run(&LaunchSpec::app(kernel(false), 1, 32, 4), 5);
+        let fenced = gpu.run(&LaunchSpec::app(kernel(true), 1, 32, 4), 5);
+        assert!(
+            fenced.app_turns > plain.app_turns * 2,
+            "fenced {} vs plain {}",
+            fenced.app_turns,
+            plain.app_turns
+        );
+    }
+
+    #[test]
+    fn wave_scheduling_handles_oversubscription() {
+        // More blocks than the occupancy limit admits at once.
+        let mut b = KernelBuilder::new("wave");
+        let g = b.global_tid();
+        let bid = b.bid();
+        let one = b.const_(1);
+        let _ = b.mov(bid);
+        let v = b.add(g, one);
+        b.store_global(g, v);
+        let p = b.finish().unwrap();
+        let mut chip = sc_chip();
+        chip.max_concurrent_threads = 64;
+        let mut gpu = Gpu::new(chip);
+        let r = gpu.run(&LaunchSpec::app(p, 16, 32, 512), 3);
+        assert!(r.status.is_completed());
+        for i in 0..512 {
+            assert_eq!(r.word(i), i + 1);
+        }
+    }
+
+    #[test]
+    fn randomized_ids_still_cover_all_work() {
+        let mut b = KernelBuilder::new("rand-ids");
+        let g = b.global_tid();
+        let one = b.const_(1);
+        let v = b.add(g, one);
+        b.store_global(g, v);
+        let p = b.finish().unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        let mut spec = LaunchSpec::app(p, 4, 64, 256);
+        spec.randomize_ids = true;
+        let r = gpu.run(&spec, 99);
+        assert!(r.status.is_completed());
+        for i in 0..256 {
+            assert_eq!(r.word(i), i + 1, "word {i}");
+        }
+    }
+
+    #[test]
+    fn stress_group_does_not_change_app_result_under_sc() {
+        let mut b = KernelBuilder::new("app");
+        let g = b.global_tid();
+        b.store_global(g, g);
+        let app = b.finish().unwrap();
+
+        let mut s = KernelBuilder::new("stress");
+        let base = b_stress_addr();
+        let i = s.const_(0);
+        let n = s.const_(50);
+        let one = s.const_(1);
+        let addr = s.const_(base);
+        s.while_(
+            |s| s.lt_u(i, n),
+            |s| {
+                let v = s.load_global(addr);
+                s.store_global(addr, v);
+                s.bin_into(i, BinOp::Add, i, one);
+            },
+        );
+        let stress = s.finish().unwrap();
+
+        let mut gpu = Gpu::new(sc_chip());
+        let spec = LaunchSpec {
+            groups: vec![
+                KernelGroup {
+                    program: Arc::new(app),
+                    blocks: 2,
+                    threads_per_block: 32,
+                    role: Role::App,
+                },
+                KernelGroup {
+                    program: Arc::new(stress),
+                    blocks: 2,
+                    threads_per_block: 32,
+                    role: Role::Stress,
+                },
+            ],
+            global_words: 1024,
+            shared_words: 0,
+            init_image: vec![],
+            init: vec![],
+            max_turns: 4_000_000,
+            randomize_ids: false,
+        };
+        let r = gpu.run(&spec, 21);
+        assert!(r.status.is_completed());
+        for i in 0..64 {
+            assert_eq!(r.word(i), i);
+        }
+        fn b_stress_addr() -> u32 {
+            512
+        }
+    }
+
+    #[test]
+    fn sc_chip_never_bypasses() {
+        let mut b = KernelBuilder::new("two-stores");
+        let a0 = b.const_(0);
+        let a1 = b.const_(64);
+        let v = b.const_(1);
+        b.store_global(a0, v);
+        b.store_global(a1, v);
+        let p = b.finish().unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        for seed in 0..50 {
+            let r = gpu.run(&LaunchSpec::app(p.clone(), 2, 32, 128), seed);
+            assert_eq!(r.bypasses, 0, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Fence-oriented program transformations.
+//!
+//! The paper's fencing strategies are program transformations over a
+//! *fence-free* base program:
+//!
+//! * **cons fences** — a device fence after *every* global memory access
+//!   ([`with_all_fences`]), the paper's conservative, safe-but-slow
+//!   strategy;
+//! * **emp fences** — a fence after a *subset* of accesses
+//!   ([`with_fences`]), the output of empirical fence insertion (Alg. 1);
+//! * **no fences** — the base program itself, or [`strip_fences`] applied
+//!   to an application that shipped with fences (how the paper
+//!   manufactured the `-nf` variants).
+//!
+//! Fence *sites* are identified by the instruction index of the global
+//! access they follow, in the fence-free program. This gives Alg. 1 a
+//! stable set to reduce over.
+
+use super::validate::validate;
+use super::{FenceLevel, Inst, Program};
+
+/// The fence sites of a program: instruction indices (in a fence-free
+/// program) of global memory accesses, each a candidate location for a
+/// trailing device fence.
+pub fn fence_sites(p: &Program) -> Vec<usize> {
+    p.global_access_indices()
+}
+
+/// Insert a device fence after each instruction index in `sites`.
+///
+/// `sites` must refer to instruction indices of `p`; duplicates are
+/// ignored. Branch targets are remapped so control flow is preserved; a
+/// branch that targeted the instruction *after* a site now targets the
+/// first instruction after the inserted fence, so fences only execute on
+/// paths that execute their memory access.
+///
+/// # Panics
+///
+/// Panics if any site index is out of range, or if the transformed
+/// program fails validation (a bug in this pass, not in the caller).
+pub fn with_fences(p: &Program, sites: &[usize]) -> Program {
+    for &s in sites {
+        assert!(s < p.insts.len(), "fence site {s} out of range");
+    }
+    let mut sorted: Vec<usize> = sites.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    // new_pos[i] = index of old instruction i in the transformed program.
+    let mut new_pos = Vec::with_capacity(p.insts.len() + 1);
+    let mut inserted = 0usize;
+    let mut site_iter = sorted.iter().peekable();
+    for i in 0..p.insts.len() {
+        new_pos.push(i + inserted);
+        if site_iter.peek() == Some(&&i) {
+            site_iter.next();
+            inserted += 1;
+        }
+    }
+    // Targets may point one-past-the-end (implicit halt).
+    new_pos.push(p.insts.len() + inserted);
+
+    let mut insts = Vec::with_capacity(p.insts.len() + sorted.len());
+    let mut site_iter = sorted.iter().peekable();
+    for (i, inst) in p.insts.iter().enumerate() {
+        let mut inst = *inst;
+        if let Some(t) = inst.target_mut() {
+            *t = new_pos[*t];
+        }
+        insts.push(inst);
+        if site_iter.peek() == Some(&&i) {
+            site_iter.next();
+            insts.push(Inst::Fence(FenceLevel::Device));
+        }
+    }
+
+    let out = Program {
+        insts,
+        num_regs: p.num_regs,
+        name: p.name.clone(),
+    };
+    validate(&out).expect("fence insertion must preserve validity");
+    out
+}
+
+/// The paper's conservative strategy: a device fence after every global
+/// memory access.
+pub fn with_all_fences(p: &Program) -> Program {
+    with_fences(p, &fence_sites(p))
+}
+
+/// Remove every fence instruction, remapping branch targets. This is how
+/// the paper manufactured the `-nf` application variants ("The original
+/// applications contained fence instructions which we removed", Sec. 4.1).
+///
+/// A branch that targeted a fence is redirected to the next surviving
+/// instruction.
+///
+/// # Panics
+///
+/// Panics if the transformed program fails validation (a bug in this
+/// pass).
+pub fn strip_fences(p: &Program) -> Program {
+    // new_pos[i] = index in the stripped program of the first non-fence
+    // instruction at old index >= i.
+    let mut new_pos = vec![0usize; p.insts.len() + 1];
+    let mut kept = 0usize;
+    for (i, inst) in p.insts.iter().enumerate() {
+        new_pos[i] = kept;
+        if !matches!(inst, Inst::Fence(_)) {
+            kept += 1;
+        }
+    }
+    new_pos[p.insts.len()] = kept;
+
+    let mut insts = Vec::with_capacity(kept);
+    for inst in &p.insts {
+        if matches!(inst, Inst::Fence(_)) {
+            continue;
+        }
+        let mut inst = *inst;
+        if let Some(t) = inst.target_mut() {
+            *t = new_pos[*t];
+        }
+        insts.push(inst);
+    }
+
+    let out = Program {
+        insts,
+        num_regs: p.num_regs,
+        name: p.name.clone(),
+    };
+    validate(&out).expect("fence stripping must preserve validity");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::KernelBuilder;
+    use crate::ir::Space;
+
+    /// A small kernel with a loop and several global accesses.
+    fn sample() -> Program {
+        let mut b = KernelBuilder::new("sample");
+        let a0 = b.const_(0);
+        let a1 = b.const_(64);
+        let v = b.load_global(a0);
+        b.store_global(a1, v);
+        let i = b.const_(0);
+        let n = b.const_(3);
+        let one = b.const_(1);
+        b.while_(
+            |b| b.lt_u(i, n),
+            |b| {
+                let x = b.load_global(a0);
+                b.store_global(a1, x);
+                b.bin_into(i, crate::ir::BinOp::Add, i, one);
+            },
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn sites_are_global_accesses() {
+        let p = sample();
+        let sites = fence_sites(&p);
+        assert_eq!(sites.len(), 4);
+        for s in sites {
+            assert!(p.insts[s].is_global_access());
+        }
+    }
+
+    #[test]
+    fn all_fences_adds_one_per_site() {
+        let p = sample();
+        let f = with_all_fences(&p);
+        assert_eq!(f.len(), p.len() + fence_sites(&p).len());
+        assert_eq!(f.fence_count(), fence_sites(&p).len());
+    }
+
+    #[test]
+    fn each_fence_follows_its_access() {
+        let p = sample();
+        let f = with_all_fences(&p);
+        for (i, inst) in f.insts.iter().enumerate() {
+            if matches!(inst, Inst::Fence(_)) {
+                assert!(f.insts[i - 1].is_global_access());
+            }
+        }
+    }
+
+    #[test]
+    fn strip_round_trips() {
+        let p = sample();
+        let stripped = strip_fences(&with_all_fences(&p));
+        assert_eq!(stripped, p);
+    }
+
+    #[test]
+    fn partial_fences_subset() {
+        let p = sample();
+        let sites = fence_sites(&p);
+        let f = with_fences(&p, &sites[..2]);
+        assert_eq!(f.fence_count(), 2);
+        assert_eq!(strip_fences(&f), p);
+    }
+
+    #[test]
+    fn empty_site_set_is_identity() {
+        let p = sample();
+        assert_eq!(with_fences(&p, &[]), p);
+    }
+
+    #[test]
+    fn duplicate_sites_ignored() {
+        let p = sample();
+        let sites = fence_sites(&p);
+        let f = with_fences(&p, &[sites[0], sites[0]]);
+        assert_eq!(f.fence_count(), 1);
+    }
+
+    #[test]
+    fn loop_still_terminates_after_fencing() {
+        // Branch targets must be remapped: the loop back-edge in the
+        // sample must still point at the loop head's condition.
+        let p = sample();
+        let f = with_all_fences(&p);
+        // Check all branch targets land on sensible instructions (not
+        // out of range — validate covers that — and the program still has
+        // exactly one back-jump).
+        let back_jumps = f
+            .insts
+            .iter()
+            .enumerate()
+            .filter(|(i, inst)| matches!(inst, Inst::Jump { target } if target < i))
+            .count();
+        assert_eq!(back_jumps, 1);
+    }
+
+    #[test]
+    fn strip_redirects_branches_to_fences() {
+        // Hand-build: jump over a fence.
+        let p = Program {
+            insts: vec![
+                Inst::Jump { target: 2 },
+                Inst::Const { dst: 0, value: 1 },
+                Inst::Fence(FenceLevel::Device),
+                Inst::Halt,
+            ],
+            num_regs: 1,
+            name: "j".into(),
+        };
+        let s = strip_fences(&p);
+        assert_eq!(s.insts[0], Inst::Jump { target: 2 });
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn block_fences_also_stripped() {
+        let p = Program {
+            insts: vec![
+                Inst::Fence(FenceLevel::Block),
+                Inst::Fence(FenceLevel::Device),
+                Inst::Halt,
+            ],
+            num_regs: 0,
+            name: "f".into(),
+        };
+        assert_eq!(strip_fences(&p).len(), 1);
+    }
+
+    #[test]
+    fn sample_accesses_in_space() {
+        // Shared accesses are never fence sites.
+        let mut b = KernelBuilder::new("sh");
+        let a = b.const_(0);
+        let v = b.load_shared(a);
+        b.store_shared(a, v);
+        let p = b.finish().unwrap();
+        assert!(fence_sites(&p).is_empty());
+        assert!(p
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Load { space: Space::Shared, .. })));
+    }
+}

@@ -1,0 +1,76 @@
+//! Litmus testing and per-chip tuning, end to end.
+//!
+//! 1. Runs the MP litmus test natively and under pinned systematic
+//!    stress, printing outcome histograms (weak behaviours appear only
+//!    under stress, and only when the stressed location shares a memory
+//!    channel with a communication location).
+//! 2. Runs the patch-finding stage of the tuning pipeline on the GTX
+//!    Titan and reports the discovered critical patch size.
+//!
+//! Run with: `cargo run --release --example litmus_tuning`
+
+use gpu_wmm::core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
+use gpu_wmm::core::tuning::{patch, TuningConfig};
+use gpu_wmm::litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use gpu_wmm::sim::chip::Chip;
+
+fn main() {
+    let chip = Chip::by_short("Titan").expect("GTX Titan");
+    let pad = Scratchpad::new(2048, 2048);
+    let inst = LitmusInstance::build(
+        LitmusTest::Mp,
+        LitmusLayout::standard(64, pad.required_words()),
+    );
+
+    println!("MP litmus test, d = 64, on {}\n", chip.name);
+
+    // Native: interleavings only.
+    let native = run_many(
+        &chip,
+        &inst,
+        |_| (Vec::new(), Vec::new()),
+        RunManyConfig {
+            count: 500,
+            base_seed: 1,
+            ..Default::default()
+        },
+    );
+    println!("native:\n{}", native.display_for(LitmusTest::Mp));
+
+    // Stress the scratchpad location whose channel matches x.
+    let chip2 = chip.clone();
+    let seq = chip.preferred_seq.clone();
+    let stressed = run_many(
+        &chip,
+        &inst,
+        move |rng| {
+            let threads = litmus_stress_threads(&chip2, rng);
+            let s = build_systematic_at(pad, &seq, &[0], threads, 40);
+            (s.groups, s.init)
+        },
+        RunManyConfig {
+            count: 500,
+            base_seed: 2,
+            ..Default::default()
+        },
+    );
+    println!(
+        "stressed (σ = {} @ location 0):\n{}",
+        chip.preferred_seq,
+        stressed.display_for(LitmusTest::Mp)
+    );
+
+    // Patch finding (one stage of the Tab. 2 tuning pipeline).
+    let mut cfg = TuningConfig::scaled();
+    cfg.execs = 40;
+    cfg.patch_distances = vec![0, 32, 64];
+    println!("patch finding on {} ...", chip.name);
+    let report = patch::find_patch_size(&chip, &cfg);
+    for (test, size) in &report.per_test {
+        println!("  {test}: patch size {:?}", size);
+    }
+    println!(
+        "  critical patch size: {:?} (paper: {})",
+        report.critical, chip.patch_words
+    );
+}

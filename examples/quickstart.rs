@@ -1,0 +1,48 @@
+//! Quickstart: expose a weak-memory bug in the paper's running example.
+//!
+//! Builds the `cbe-dot` dot product (Fig. 1 of the paper), runs it
+//! natively on a simulated Tesla K20 — where it almost never fails —
+//! and then under the tuned `sys-str+` testing environment, where the
+//! missing fence before `unlock()` shows up as wrong results.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gpu_wmm::apps::CbeDot;
+use gpu_wmm::core::app::Application;
+use gpu_wmm::core::env::{AppHarness, Environment};
+use gpu_wmm::sim::chip::Chip;
+
+fn main() {
+    let chip = Chip::by_short("K20").expect("the paper's Tesla K20");
+    let app = CbeDot::new();
+    let harness = AppHarness::new(&chip, &app);
+
+    println!("cbe-dot on {} — 300 executions per environment\n", chip.name);
+
+    let native = harness.campaign(&Environment::native(), 300, 1, 0);
+    println!(
+        "native (no-str-):  {:>3} / {} erroneous runs",
+        native.errors, native.runs
+    );
+
+    let env = Environment::sys_str_plus(&chip);
+    let stressed = harness.campaign(&env, 300, 2, 0);
+    println!(
+        "under {}:  {:>3} / {} erroneous runs ({}effective by the paper's >5% rule)",
+        env.name(),
+        stressed.errors,
+        stressed.runs,
+        if stressed.effective() { "" } else { "not " }
+    );
+
+    // Hardening: a fence after the critical-section store suppresses the
+    // bug; verify with the conservative strategy (fence after every
+    // global access).
+    let fenced = app.spec().with_all_fences();
+    let hardened = AppHarness::with_spec(&chip, &app, fenced);
+    let check = hardened.campaign(&env, 300, 3, 0);
+    println!(
+        "with cons fences:  {:>3} / {} erroneous runs",
+        check.errors, check.runs
+    );
+}

@@ -1,0 +1,25 @@
+//! # gpu-wmm — exposing errors related to weak memory in GPU applications
+//!
+//! An umbrella crate re-exporting the full reproduction of Sorensen &
+//! Donaldson, *"Exposing Errors Related to Weak Memory in GPU
+//! Applications"* (PLDI 2016):
+//!
+//! * [`sim`] — the simulated GPU substrate (kernel IR, SIMT execution,
+//!   per-chip weak memory model, cost model);
+//! * [`lang`] — a small C-like kernel language lowering to the IR;
+//! * [`litmus`] — the MP/LB/SB litmus tests and runners;
+//! * [`core`] — the paper's contribution: tuned memory stressing, thread
+//!   randomisation, the per-chip tuning pipeline, testing environments,
+//!   and empirical fence insertion;
+//! * [`apps`] — the ten application case studies with functional
+//!   post-conditions.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results. The
+//! `examples/` directory exercises the public API end to end.
+
+pub use wmm_apps as apps;
+pub use wmm_core as core;
+pub use wmm_lang as lang;
+pub use wmm_litmus as litmus;
+pub use wmm_sim as sim;

@@ -1,0 +1,128 @@
+//! Integration: the Sec. 4 application-testing pipeline across
+//! `wmm-apps` and `wmm-core`.
+
+use gpu_wmm::apps::{all_apps, app_by_name};
+use gpu_wmm::core::env::{AppHarness, Environment};
+use gpu_wmm::sim::chip::Chip;
+
+/// A strongly-ordered chip: the simulator is sequentially consistent.
+fn sc_chip(short: &str) -> Chip {
+    let mut c = Chip::by_short(short).unwrap();
+    c.reorder.base = [0.0; 4];
+    c.reorder.gain = [0.0; 4];
+    c.ambient_mp = 0.0;
+    c
+}
+
+#[test]
+fn every_app_is_correct_under_sequential_consistency() {
+    let chip = sc_chip("K20");
+    for app in all_apps() {
+        let h = AppHarness::new(&chip, app.as_ref());
+        for seed in 0..3 {
+            let out = h.run_once(&Environment::native(), seed);
+            assert_eq!(
+                out.verdict,
+                gpu_wmm::core::env::RunVerdict::Pass,
+                "{} seed {seed}",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_app_is_correct_with_randomized_ids_under_sc() {
+    let chip = sc_chip("C2075");
+    let mut env = Environment::native();
+    env.randomize = true;
+    for app in all_apps() {
+        let h = AppHarness::new(&chip, app.as_ref());
+        for seed in 0..3 {
+            let out = h.run_once(&env, seed);
+            assert_eq!(
+                out.verdict,
+                gpu_wmm::core::env::RunVerdict::Pass,
+                "{} seed {seed}",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sys_str_plus_is_effective_on_the_running_example() {
+    let chip = Chip::by_short("K20").unwrap();
+    let app = app_by_name("cbe-dot").unwrap();
+    let h = AppHarness::new(&chip, app.as_ref());
+    let r = h.campaign(&Environment::sys_str_plus(&chip), 100, 42, 0);
+    assert!(
+        r.effective(),
+        "paper: 102/1000 erroneous on the K20; got {}/{}",
+        r.errors,
+        r.runs
+    );
+}
+
+#[test]
+fn fenced_sdk_red_and_cub_scan_never_fail() {
+    // "We observed weak behaviour in all applications except sdk-red and
+    // cub-scan ... it appears that the fences included in the original
+    // applications do prevent errors." (Sec. 4.3)
+    let chip = Chip::by_short("Titan").unwrap();
+    let env = Environment::sys_str_plus(&chip);
+    for name in ["sdk-red", "cub-scan"] {
+        let app = app_by_name(name).unwrap();
+        let h = AppHarness::new(&chip, app.as_ref());
+        let r = h.campaign(&env, 100, 7, 0);
+        assert_eq!(r.errors, 0, "{name}: {r:?}");
+    }
+}
+
+#[test]
+fn nf_variants_do_fail() {
+    let chip = Chip::by_short("Titan").unwrap();
+    let env = Environment::sys_str_plus(&chip);
+    for (name, runs) in [("cub-scan-nf", 150), ("ls-bh-nf", 60)] {
+        let app = app_by_name(name).unwrap();
+        let h = AppHarness::new(&chip, app.as_ref());
+        let r = h.campaign(&env, runs, 13, 0);
+        assert!(r.any_error(), "{name} must fail without its fences: {r:?}");
+    }
+}
+
+#[test]
+fn ls_bh_fails_even_with_its_own_fences() {
+    // "We observed errors in both ls-bh and ls-bh-nf, showing that the
+    // fences included in ls-bh are insufficient." (Sec. 4.3)
+    let chip = Chip::by_short("Titan").unwrap();
+    let app = app_by_name("ls-bh").unwrap();
+    assert!(app.spec().fence_count() > 0, "ls-bh ships fences");
+    let h = AppHarness::new(&chip, app.as_ref());
+    let r = h.campaign(&Environment::sys_str_plus(&chip), 250, 21, 0);
+    assert!(r.any_error(), "ls-bh's fences are insufficient: {r:?}");
+}
+
+#[test]
+fn conservative_fencing_suppresses_all_errors() {
+    let chip = Chip::by_short("K20").unwrap();
+    let env = Environment::sys_str_plus(&chip);
+    for name in ["cbe-dot", "ct-octree", "ls-bh-nf"] {
+        let app = app_by_name(name).unwrap();
+        let fenced = app.spec().with_all_fences();
+        let h = AppHarness::with_spec(&chip, app.as_ref(), fenced);
+        let r = h.campaign(&env, 60, 3, 0);
+        assert_eq!(r.errors, 0, "{name} with cons fences: {r:?}");
+    }
+}
+
+#[test]
+fn campaigns_are_deterministic() {
+    let chip = Chip::by_short("770").unwrap();
+    let app = app_by_name("cbe-ht").unwrap();
+    let h = AppHarness::new(&chip, app.as_ref());
+    let env = Environment::sys_str_plus(&chip);
+    let a = h.campaign(&env, 40, 9, 2);
+    let b = h.campaign(&env, 40, 9, 4);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,94 @@
+//! Integration: the litmus-level shapes that Sec. 3 of the paper
+//! establishes, end to end across `wmm-sim`, `wmm-litmus` and
+//! `wmm-core`.
+
+use gpu_wmm::core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
+use gpu_wmm::litmus::{run_many, Histogram, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use gpu_wmm::sim::chip::Chip;
+
+fn stressed_weak_count(chip: &Chip, test: LitmusTest, d: u32, location: u32, count: u32) -> u64 {
+    let pad = Scratchpad::new(2048, 2048);
+    let inst = LitmusInstance::build(test, LitmusLayout::standard(d, pad.required_words()));
+    let chip2 = chip.clone();
+    let seq = chip.preferred_seq.clone();
+    let h: Histogram = run_many(
+        chip,
+        &inst,
+        move |rng| {
+            let threads = litmus_stress_threads(&chip2, rng);
+            let s = build_systematic_at(pad, &seq, &[location], threads, 40);
+            (s.groups, s.init)
+        },
+        RunManyConfig {
+            count,
+            base_seed: 0xabc,
+            ..Default::default()
+        },
+    );
+    h.weak()
+}
+
+#[test]
+fn stress_on_matching_channel_provokes_weak_behaviour() {
+    let chip = Chip::by_short("Titan").unwrap();
+    // Location 0 shares a channel with x (both line-aligned at
+    // multiples of the patch size and the scratchpad base is
+    // channel-aligned).
+    let weak = stressed_weak_count(&chip, LitmusTest::Mp, 64, 0, 150);
+    assert!(weak > 7, "expected frequent MP weak behaviour, got {weak}/150");
+}
+
+#[test]
+fn stress_on_unrelated_channel_is_ineffective() {
+    let chip = Chip::by_short("Titan").unwrap();
+    // Location 96 maps to channel 3, matching neither x (0) nor y at
+    // d = 64 (channel 2).
+    let weak = stressed_weak_count(&chip, LitmusTest::Mp, 64, 96, 150);
+    assert!(weak <= 3, "off-channel stress should do little, got {weak}/150");
+}
+
+#[test]
+fn no_weak_behaviour_below_the_patch_size() {
+    // d = 0 puts x and y in the same line on every chip: same-line
+    // ordering forbids the reordering entirely.
+    for short in ["Titan", "C2075"] {
+        let chip = Chip::by_short(short).unwrap();
+        for test in LitmusTest::ALL {
+            let weak = stressed_weak_count(&chip, test, 0, 0, 80);
+            assert_eq!(weak, 0, "{short}/{test} at d=0");
+        }
+    }
+}
+
+#[test]
+fn native_runs_show_almost_no_weak_behaviour() {
+    let chip = Chip::by_short("K20").unwrap();
+    for test in LitmusTest::ALL {
+        let inst = LitmusInstance::build(test, LitmusLayout::standard(64, 4096));
+        let h = run_many(
+            &chip,
+            &inst,
+            |_| (Vec::new(), Vec::new()),
+            RunManyConfig {
+                count: 300,
+                base_seed: 5,
+                ..Default::default()
+            },
+        );
+        assert!(
+            h.weak() <= 2,
+            "{test}: native weak rate too high: {}/{}",
+            h.weak(),
+            h.total()
+        );
+    }
+}
+
+#[test]
+fn all_three_idioms_are_observable_under_stress() {
+    let chip = Chip::by_short("Titan").unwrap();
+    for test in LitmusTest::ALL {
+        let weak = stressed_weak_count(&chip, test, 64, 0, 200);
+        assert!(weak > 0, "{test} should show weak behaviour under stress");
+    }
+}
