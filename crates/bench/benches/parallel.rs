@@ -1,0 +1,62 @@
+//! Criterion bench: parallel `run_many` scaling — single-thread vs
+//! multi-worker campaign throughput on the same seeded workload, the
+//! measurement behind the campaign-layer parallelisation. Histogram
+//! equality across worker counts is asserted once before timing, so the
+//! numbers compare runs that provably report identical results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
+use wmm_litmus::{run_many, Histogram, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_sim::chip::Chip;
+
+const COUNT: u32 = 192;
+
+fn campaign(chip: &Chip, inst: &LitmusInstance, pad: Scratchpad, parallelism: usize) -> Histogram {
+    let chip2 = chip.clone();
+    let seq = chip.preferred_seq.clone();
+    run_many(
+        chip,
+        inst,
+        move |rng| {
+            let threads = litmus_stress_threads(&chip2, rng);
+            let s = build_systematic_at(pad, &seq, &[0], threads, 40);
+            (s.groups, s.init)
+        },
+        RunManyConfig {
+            count: COUNT,
+            base_seed: 2016,
+            randomize_ids: true,
+            parallelism,
+        },
+    )
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let chip = Chip::by_short("Titan").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let inst = LitmusInstance::build(LitmusTest::Mp, LitmusLayout::standard(64, pad.required_words()));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, 8];
+    counts.retain(|&w| w == 1 || w <= cores.max(2));
+    // Seed-identical results across all measured worker counts.
+    let reference = campaign(&chip, &inst, pad, 1);
+    for &w in &counts {
+        assert_eq!(campaign(&chip, &inst, pad, w), reference);
+    }
+    let mut group = c.benchmark_group("run-many-mp-d64");
+    for w in counts {
+        group.bench_function(format!("{COUNT}-execs-w{w}"), |b| {
+            b.iter(|| campaign(&chip, &inst, pad, w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel
+}
+criterion_main!(benches);

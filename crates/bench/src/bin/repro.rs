@@ -12,10 +12,11 @@
 //!   table6          empirical fence insertion
 //!   fig5            fence runtime/energy cost
 //!   running-example cbe-dot on the K20 (Sec. 1)
+//!   speedup         parallel campaign-layer scaling measurement
 //!   all             everything above, in order
 //! ```
 
-use wmm_bench::{fig3, fig4, fig5, running, table2, table3, table5, table6, Scale};
+use wmm_bench::{fig3, fig4, fig5, running, speedup, table2, table3, table5, table6, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,6 +75,9 @@ fn main() {
         "running-example" => {
             running::run(scale);
         }
+        "speedup" => {
+            speedup::run(scale);
+        }
         "all" => {
             running::run(scale);
             println!("\n{}\n", "=".repeat(76));
@@ -90,6 +94,8 @@ fn main() {
             table6::run(chips.clone(), scale);
             println!("\n{}\n", "=".repeat(76));
             fig5::run(chips, scale);
+            println!("\n{}\n", "=".repeat(76));
+            speedup::run(scale);
         }
         _ => usage(),
     }
@@ -97,7 +103,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|all> \
+        "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|speedup|all> \
          [--chips A,B] [--execs N] [--runs N] [--full]"
     );
 }

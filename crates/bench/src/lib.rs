@@ -12,6 +12,7 @@
 //! | [`table6`] | Tab. 6 — empirical fence insertion results |
 //! | [`fig5`] | Fig. 5 — fence runtime/energy cost scatter |
 //! | [`running`] | Sec. 1 — the cbe-dot running example |
+//! | [`speedup`] | parallel campaign-layer scaling measurement |
 //!
 //! Every generator takes a [`Scale`] so the half-billion-execution grids
 //! of the paper shrink to laptop scale while preserving the shapes; the
@@ -21,6 +22,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod running;
+pub mod speedup;
 pub mod table2;
 pub mod table3;
 pub mod table5;

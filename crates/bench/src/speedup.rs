@@ -1,0 +1,162 @@
+//! `repro speedup` — measure the parallel campaign layer.
+//!
+//! Times [`wmm_litmus::run_many`] at worker counts 1, 2, 4, … up to the
+//! machine's core count (always including at least 1 and 2), verifying
+//! at each count that the histogram is bit-identical to the
+//! single-worker reference before reporting throughput. On an N-core
+//! machine the campaign shape is embarrassingly parallel, so throughput
+//! should scale near-linearly until workers exceed physical cores.
+
+use crate::Scale;
+use std::time::Instant;
+use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
+use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_sim::chip::Chip;
+
+/// One measured point of the scaling curve.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock seconds for the campaign.
+    pub secs: f64,
+    /// Executions per second.
+    pub throughput: f64,
+    /// Speedup relative to the 1-worker measurement.
+    pub speedup: f64,
+}
+
+/// Worker counts to measure: 1, 2, 4, … up to the core count, plus the
+/// core count itself if it is not a power of two. Always contains ≥ 2
+/// entries so the determinism cross-check is never vacuous.
+pub fn worker_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize];
+    let mut w = 2;
+    while w <= cores {
+        counts.push(w);
+        w *= 2;
+    }
+    if !counts.contains(&cores) {
+        counts.push(cores);
+    }
+    if counts.len() == 1 {
+        counts.push(2);
+    }
+    counts
+}
+
+/// Timed samples per worker count; the median is reported so one noisy
+/// sample (shared CI, scheduler hiccups) doesn't skew the curve.
+const SAMPLES: usize = 3;
+
+/// Measure the scaling curve for one `(test, distance)` under
+/// systematic stressing, asserting seed-identical histograms across all
+/// worker counts.
+///
+/// One untimed warm-up campaign runs first so the 1-worker baseline
+/// (always measured first) doesn't absorb one-time process costs —
+/// first-touch page faults, allocator growth — that would inflate the
+/// apparent speedup of every later point.
+pub fn measure(chip: &Chip, test: LitmusTest, distance: u32, count: u32, seed: u64) -> Vec<Point> {
+    let pad = Scratchpad::new(2048, 2048);
+    let inst = LitmusInstance::build(test, LitmusLayout::standard(distance, pad.required_words()));
+    let seq = chip.preferred_seq.clone();
+    let campaign = |parallelism: usize| {
+        let chip2 = chip.clone();
+        let seq2 = seq.clone();
+        run_many(
+            chip,
+            &inst,
+            move |rng| {
+                let threads = litmus_stress_threads(&chip2, rng);
+                let s = build_systematic_at(pad, &seq2, &[0], threads, 40);
+                (s.groups, s.init)
+            },
+            RunManyConfig {
+                count,
+                base_seed: seed,
+                randomize_ids: true,
+                parallelism,
+            },
+        )
+    };
+    let reference = campaign(1); // also serves as the untimed warm-up
+    let mut base_secs = 0.0;
+    let mut points = Vec::new();
+    for workers in worker_counts() {
+        let mut samples = [0.0f64; SAMPLES];
+        for s in &mut samples {
+            let start = Instant::now();
+            let h = campaign(workers);
+            *s = start.elapsed().as_secs_f64();
+            assert_eq!(
+                h, reference,
+                "{test} d={distance}: {workers}-worker histogram diverged from 1-worker"
+            );
+        }
+        samples.sort_by(f64::total_cmp);
+        let secs = samples[SAMPLES / 2];
+        if points.is_empty() {
+            base_secs = secs;
+        }
+        points.push(Point {
+            workers,
+            secs,
+            throughput: f64::from(count) / secs,
+            speedup: base_secs / secs,
+        });
+    }
+    points
+}
+
+/// Run the full measurement and print the scaling table.
+pub fn run(scale: Scale) {
+    let chip = Chip::by_short("Titan").unwrap();
+    // 8× the per-configuration count so each point is long enough to
+    // time, with a floor keeping even `--execs 1` meaningful.
+    let count = scale.execs.max(8) * 8;
+    println!(
+        "parallel run_many scaling — {} executions per point, chip {}, {} core(s)\n",
+        count,
+        chip.short,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    for (test, d) in [(LitmusTest::Mp, 64), (LitmusTest::Lb, 64), (LitmusTest::Sb, 32)] {
+        println!("{test} d={d} (histograms verified identical across worker counts)");
+        println!("  workers      time    execs/s   speedup");
+        for p in measure(&chip, test, d, count, scale.seed) {
+            println!(
+                "  {:>7}  {:>7.2}s  {:>9.0}  {:>6.2}x",
+                p.workers, p.secs, p.throughput, p.speedup
+            );
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_counts_start_at_one_and_have_two_points() {
+        let counts = worker_counts();
+        assert_eq!(counts[0], 1);
+        assert!(counts.len() >= 2);
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn measure_verifies_and_reports() {
+        let chip = Chip::by_short("K20").unwrap();
+        let points = measure(&chip, LitmusTest::Mp, 64, 24, 7);
+        assert!(points.len() >= 2);
+        assert!((points[0].speedup - 1.0).abs() < 1e-9);
+        assert!(points.iter().all(|p| p.secs > 0.0 && p.throughput > 0.0));
+    }
+}

@@ -1,6 +1,5 @@
 //! Calibration probe: weak-behaviour rates per (test, d, stress location).
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
 use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
 use wmm_sim::chip::Chip;

@@ -294,7 +294,14 @@ impl<'a> AppHarness<'a> {
     }
 
     /// Run a campaign of `runs` executions under `env`, in parallel, and
-    /// aggregate the verdicts. Deterministic in `(self, env, base_seed)`.
+    /// aggregate the verdicts.
+    ///
+    /// Deterministic in `(self, env, base_seed)`: run `i` is seeded by
+    /// [`mix_seed`]`(base_seed, i)` alone, so any `parallelism`
+    /// (`0` = all cores) yields the same [`CampaignResult`]. Workers pull
+    /// run indices dynamically from a shared queue
+    /// ([`wmm_litmus::parallel`]), so long-running erroneous executions
+    /// don't leave the other workers idle.
     pub fn campaign(
         &self,
         env: &Environment,
@@ -302,59 +309,26 @@ impl<'a> AppHarness<'a> {
         base_seed: u64,
         parallelism: usize,
     ) -> CampaignResult {
-        let workers = if parallelism == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            parallelism
-        }
-        .min(runs.max(1) as usize);
-        let collect = |outcomes: Vec<RunVerdict>| {
-            let mut r = CampaignResult {
-                runs: outcomes.len() as u32,
-                ..Default::default()
-            };
-            for v in outcomes {
-                if v.is_error() {
-                    r.errors += 1;
-                }
-                match v {
-                    RunVerdict::PostConditionFailed(_) => r.postcondition_failures += 1,
-                    RunVerdict::Timeout => r.timeouts += 1,
-                    RunVerdict::Divergence | RunVerdict::Fault(_) => r.faults += 1,
-                    RunVerdict::Pass => {}
-                }
-            }
-            r
-        };
-        if workers <= 1 {
-            let verdicts: Vec<RunVerdict> = (0..runs)
-                .map(|i| self.run_once(env, mix_seed(base_seed, u64::from(i))).verdict)
-                .collect();
-            return collect(verdicts);
-        }
-        let mut verdicts: Vec<RunVerdict> = Vec::with_capacity(runs as usize);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let env = env.clone();
-                let this = &*self;
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut i = w as u32;
-                    while i < runs {
-                        out.push(this.run_once(&env, mix_seed(base_seed, u64::from(i))).verdict);
-                        i += workers as u32;
-                    }
-                    out
-                }));
-            }
-            for h in handles {
-                verdicts.extend(h.join().expect("campaign worker panicked"));
-            }
+        let workers = wmm_litmus::parallel::resolve_workers(parallelism, runs as usize);
+        let verdicts = wmm_litmus::parallel::parallel_map(workers, runs as usize, |i| {
+            self.run_once(env, mix_seed(base_seed, i as u64)).verdict
         });
-        collect(verdicts)
+        let mut r = CampaignResult {
+            runs: verdicts.len() as u32,
+            ..Default::default()
+        };
+        for v in verdicts {
+            if v.is_error() {
+                r.errors += 1;
+            }
+            match v {
+                RunVerdict::PostConditionFailed(_) => r.postcondition_failures += 1,
+                RunVerdict::Timeout => r.timeouts += 1,
+                RunVerdict::Divergence | RunVerdict::Fault(_) => r.faults += 1,
+                RunVerdict::Pass => {}
+            }
+        }
+        r
     }
 }
 

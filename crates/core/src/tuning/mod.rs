@@ -52,7 +52,11 @@ pub struct TuningConfig {
     pub stress_iters: u32,
     /// Base seed for all campaigns.
     pub base_seed: u64,
-    /// Worker threads (0 ⇒ all cores).
+    /// Worker threads (0 ⇒ all cores). The stages parallelise across
+    /// *configurations* (locations, sequences, spreads) with each
+    /// configuration's campaign sequential on its worker; results are
+    /// identical for every value of this knob because per-configuration
+    /// seeds depend only on the configuration's coordinates.
     pub parallelism: usize,
 }
 

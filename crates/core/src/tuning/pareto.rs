@@ -35,9 +35,9 @@ pub fn select_winner(scores: &[[u64; 3]]) -> usize {
     let mut best_key = (0usize, 0u64);
     for &i in &front {
         let mut wins = 0;
-        for k in 0..3 {
+        for (k, &score) in scores[i].iter().enumerate() {
             let max_k = front.iter().map(|&j| scores[j][k]).max().unwrap_or(0);
-            if scores[i][k] == max_k {
+            if score == max_k {
                 wins += 1;
             }
         }

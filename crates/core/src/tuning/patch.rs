@@ -57,18 +57,26 @@ pub struct PatchReport {
 }
 
 /// Sweep stress location `l` over `0, step, …` for one `(test, d)`.
+///
+/// The sweep parallelises across *locations* (each location's campaign
+/// runs sequentially on one worker): location campaigns are independent
+/// and there are far more of them than cores, so this keeps every core
+/// busy without paying a thread fan-out per `run_many` call. Each
+/// location's base seed is derived from `(test, distance, l)` alone, so
+/// the grid is identical for every `cfg.parallelism`.
 pub fn sweep(chip: &Chip, test: LitmusTest, distance: u32, cfg: &TuningConfig) -> PatchGrid {
     let pad = cfg.scratchpad(chip);
     let inst = LitmusInstance::build(test, LitmusLayout::standard(distance, pad.required_words()));
     let seq: AccessSeq = "st ld".parse().expect("literal");
     let test_idx = LitmusTest::ALL.iter().position(|t| *t == test).unwrap() as u64;
-    let mut counts = Vec::new();
-    let mut l = 0u32;
-    while l < cfg.locations {
+    let locations: Vec<u32> = (0..cfg.locations).step_by(cfg.location_step as usize).collect();
+    let workers = wmm_litmus::parallel::resolve_workers(cfg.parallelism, locations.len());
+    let counts = wmm_litmus::parallel::parallel_map(workers, locations.len(), |k| {
+        let l = locations[k];
         let chip2 = chip.clone();
         let seq2 = seq.clone();
         let iters = cfg.stress_iters;
-        let h = run_many(
+        run_many(
             chip,
             &inst,
             move |rng| {
@@ -83,12 +91,11 @@ pub fn sweep(chip: &Chip, test: LitmusTest, distance: u32, cfg: &TuningConfig) -
                     (test_idx * 1_000_003 + u64::from(distance)) * 1_000_003 + u64::from(l),
                 ),
                 randomize_ids: false,
-                parallelism: cfg.parallelism,
+                parallelism: 1,
             },
-        );
-        counts.push(h.weak());
-        l += cfg.location_step;
-    }
+        )
+        .weak()
+    });
     PatchGrid {
         test,
         distance,
@@ -157,6 +164,10 @@ pub fn modal_patch_size(grids: &[&PatchGrid], noise: u64) -> Option<u32> {
 }
 
 /// The full patch-finding stage for one chip.
+///
+/// Sweeps run one after another (each internally parallel across its
+/// location grid), because the extended-distance probe is conditional on
+/// the ordinary sweeps' outcome.
 pub fn find_patch_size(chip: &Chip, cfg: &TuningConfig) -> PatchReport {
     let mut grids = Vec::new();
     let mut executions = 0u64;

@@ -50,57 +50,97 @@ impl SeqScores {
 /// Stress is applied at the first location of each critical-patch-sized
 /// region (`{l : P | l}` — "stressing multiple locations in a patch is
 /// not worthwhile").
+///
+/// This is the most expensive tuning stage (62 sequences × 3 tests ×
+/// distances × regions at `N = 5`), so the whole configuration grid is
+/// flattened into one job list and spread across workers
+/// ([`wmm_litmus::parallel`]), with each configuration's campaign run
+/// sequentially on its worker. Per-configuration seeds depend only on
+/// the configuration's coordinates, so the scores are identical for
+/// every `cfg.parallelism`.
 pub fn score_sequences(chip: &Chip, patch_words: u32, cfg: &TuningConfig) -> SeqScores {
     let pad = cfg.scratchpad(chip);
     let seqs = AccessSeq::enumerate(cfg.max_seq_len);
     let region_starts: Vec<u32> = (0..cfg.locations)
         .step_by(patch_words.max(1) as usize)
         .collect();
-    let mut entries = Vec::with_capacity(seqs.len());
-    let mut executions = 0u64;
-    for (si, seq) in seqs.iter().enumerate() {
-        let mut scores = [0u64; 3];
-        for (ti, test) in LitmusTest::ALL.iter().enumerate() {
-            for &d in &cfg.distances {
-                let inst =
-                    LitmusInstance::build(*test, LitmusLayout::standard(d, pad.required_words()));
+    // Litmus instances depend only on (test, distance); share one per
+    // pair across all sequences and locations.
+    let insts: Vec<LitmusInstance> = LitmusTest::ALL
+        .iter()
+        .flat_map(|test| {
+            cfg.distances.iter().map(|&d| {
+                LitmusInstance::build(*test, LitmusLayout::standard(d, pad.required_words()))
+            })
+        })
+        .collect();
+    // One job per (sequence, test, distance, location), in lexicographic
+    // order so aggregation below can address entries directly.
+    struct Job {
+        si: usize,
+        ti: usize,
+        inst: usize,
+        d: u32,
+        l: u32,
+    }
+    let mut jobs = Vec::new();
+    for si in 0..seqs.len() {
+        for ti in 0..LitmusTest::ALL.len() {
+            for (di, &d) in cfg.distances.iter().enumerate() {
                 for &l in &region_starts {
-                    let chip2 = chip.clone();
-                    let seq2 = seq.clone();
-                    let iters = cfg.stress_iters;
-                    let h = run_many(
-                        chip,
-                        &inst,
-                        move |rng| {
-                            let threads = litmus_stress_threads(&chip2, rng);
-                            let s = build_systematic_at(pad, &seq2, &[l], threads, iters);
-                            (s.groups, s.init)
-                        },
-                        RunManyConfig {
-                            count: cfg.execs,
-                            base_seed: mix_seed(
-                                cfg.base_seed ^ SEQ_STAGE_SALT,
-                                ((si as u64 * 31 + ti as u64) * 1_000_003 + u64::from(d))
-                                    * 1_000_003
-                                    + u64::from(l),
-                            ),
-                            randomize_ids: false,
-                            parallelism: cfg.parallelism,
-                        },
-                    );
-                    scores[ti] += h.weak();
-                    executions += u64::from(cfg.execs);
+                    jobs.push(Job {
+                        si,
+                        ti,
+                        inst: ti * cfg.distances.len() + di,
+                        d,
+                        l,
+                    });
                 }
             }
         }
-        entries.push(SeqScore {
+    }
+    let workers = wmm_litmus::parallel::resolve_workers(cfg.parallelism, jobs.len());
+    let weaks = wmm_litmus::parallel::parallel_map(workers, jobs.len(), |k| {
+        let job = &jobs[k];
+        let chip2 = chip.clone();
+        let seq2 = seqs[job.si].clone();
+        let iters = cfg.stress_iters;
+        let l = job.l;
+        run_many(
+            chip,
+            &insts[job.inst],
+            move |rng| {
+                let threads = litmus_stress_threads(&chip2, rng);
+                let s = build_systematic_at(pad, &seq2, &[l], threads, iters);
+                (s.groups, s.init)
+            },
+            RunManyConfig {
+                count: cfg.execs,
+                base_seed: mix_seed(
+                    cfg.base_seed ^ SEQ_STAGE_SALT,
+                    ((job.si as u64 * 31 + job.ti as u64) * 1_000_003 + u64::from(job.d))
+                        * 1_000_003
+                        + u64::from(l),
+                ),
+                randomize_ids: false,
+                parallelism: 1,
+            },
+        )
+        .weak()
+    });
+    let mut entries: Vec<SeqScore> = seqs
+        .iter()
+        .map(|seq| SeqScore {
             seq: seq.clone(),
-            scores,
-        });
+            scores: [0u64; 3],
+        })
+        .collect();
+    for (job, weak) in jobs.iter().zip(weaks) {
+        entries[job.si].scores[job.ti] += weak;
     }
     SeqScores {
         entries,
-        executions,
+        executions: jobs.len() as u64 * u64::from(cfg.execs),
     }
 }
 

@@ -47,52 +47,63 @@ pub fn score_spreads(
             distances.push(extra);
         }
     }
-    let mut entries = Vec::new();
-    let mut executions = 0u64;
+    // One job per (spread, test, distance), flattened and spread across
+    // workers with sequential inner campaigns (see `score_sequences`).
+    // Per-job seeds depend only on the job's coordinates, so scores are
+    // identical for every `cfg.parallelism`.
+    let mut jobs = Vec::new();
     for m in 1..=cfg.max_spread {
-        let mut scores = [0u64; 3];
-        for (ti, test) in LitmusTest::ALL.iter().enumerate() {
+        for ti in 0..LitmusTest::ALL.len() {
             for &d in &distances {
-                let inst =
-                    LitmusInstance::build(*test, LitmusLayout::standard(d, pad.required_words()));
-                let chip2 = chip.clone();
-                let strategy = StressStrategy::Systematic(SystematicParams {
-                    patch_words,
-                    seq: seq.clone(),
-                    spread: m,
-                });
-                let iters = cfg.stress_iters;
-                let h = run_many(
-                    chip,
-                    &inst,
-                    move |rng| {
-                        let threads = litmus_stress_threads(&chip2, rng);
-                        let s = build_stress(&chip2, &strategy, pad, threads, iters, rng);
-                        (s.groups, s.init)
-                    },
-                    RunManyConfig {
-                        // This stage has far fewer configurations than the
-                        // location/sequence sweeps (the paper compensates
-                        // with its much denser distance grid), so spend
-                        // more executions per spread for a stable curve.
-                        count: cfg.execs * 10,
-                        base_seed: mix_seed(
-                            cfg.base_seed ^ SPREAD_STAGE_SALT,
-                            (u64::from(m) * 31 + ti as u64) * 1_000_003 + u64::from(d),
-                        ),
-                        randomize_ids: false,
-                        parallelism: cfg.parallelism,
-                    },
-                );
-                scores[ti] += h.weak();
-                executions += u64::from(cfg.execs * 10);
+                jobs.push((m, ti, d));
             }
         }
-        entries.push((m, scores));
+    }
+    let workers = wmm_litmus::parallel::resolve_workers(cfg.parallelism, jobs.len());
+    let weaks = wmm_litmus::parallel::parallel_map(workers, jobs.len(), |k| {
+        let (m, ti, d) = jobs[k];
+        let inst = LitmusInstance::build(
+            LitmusTest::ALL[ti],
+            LitmusLayout::standard(d, pad.required_words()),
+        );
+        let chip2 = chip.clone();
+        let strategy = StressStrategy::Systematic(SystematicParams {
+            patch_words,
+            seq: seq.clone(),
+            spread: m,
+        });
+        let iters = cfg.stress_iters;
+        run_many(
+            chip,
+            &inst,
+            move |rng| {
+                let threads = litmus_stress_threads(&chip2, rng);
+                let s = build_stress(&chip2, &strategy, pad, threads, iters, rng);
+                (s.groups, s.init)
+            },
+            RunManyConfig {
+                // This stage has far fewer configurations than the
+                // location/sequence sweeps (the paper compensates
+                // with its much denser distance grid), so spend
+                // more executions per spread for a stable curve.
+                count: cfg.execs * 10,
+                base_seed: mix_seed(
+                    cfg.base_seed ^ SPREAD_STAGE_SALT,
+                    (u64::from(m) * 31 + ti as u64) * 1_000_003 + u64::from(d),
+                ),
+                randomize_ids: false,
+                parallelism: 1,
+            },
+        )
+        .weak()
+    });
+    let mut entries: Vec<(u32, [u64; 3])> = (1..=cfg.max_spread).map(|m| (m, [0u64; 3])).collect();
+    for (&(m, ti, _), weak) in jobs.iter().zip(weaks) {
+        entries[(m - 1) as usize].1[ti] += weak;
     }
     SpreadScores {
         entries,
-        executions,
+        executions: jobs.len() as u64 * u64::from(cfg.execs * 10),
     }
 }
 
@@ -129,7 +140,7 @@ mod tests {
         let scores = SpreadScores {
             entries: (1..=8)
                 .map(|m| {
-                    let v = 10u64.saturating_sub(u64::from((i64::from(m) - 2).unsigned_abs()) * 2);
+                    let v = 10u64.saturating_sub((i64::from(m) - 2).unsigned_abs() * 2);
                     (m, [v, v, v])
                 })
                 .collect(),

@@ -13,6 +13,7 @@
 //! its patch-finding, access-sequence and spread searches.
 
 pub mod outcome;
+pub mod parallel;
 pub mod runner;
 
 pub use outcome::{Histogram, LitmusOutcome};

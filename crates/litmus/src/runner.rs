@@ -77,7 +77,12 @@ pub fn mix_seed(base: u64, index: u64) -> u64 {
 /// the number of stressing threads per execution), and aggregate the
 /// outcome histogram.
 ///
-/// Deterministic in `(inst, cfg, make_stress)`.
+/// Deterministic in `(inst, cfg, make_stress)`: run `i` derives all of
+/// its randomness from [`mix_seed`]`(cfg.base_seed, i)`, and histogram
+/// merging is commutative, so any `cfg.parallelism` — including `0`
+/// ("all cores") on machines with different core counts — reports
+/// identical totals. Workers claim run indices dynamically in chunks
+/// (see [`crate::parallel`]), each reusing one simulator instance.
 pub fn run_many<F>(
     chip: &Chip,
     inst: &LitmusInstance,
@@ -87,44 +92,17 @@ pub fn run_many<F>(
 where
     F: Fn(&mut SmallRng) -> StressParts + Sync,
 {
-    let workers = if cfg.parallelism == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        cfg.parallelism
-    };
-    let workers = workers.min(cfg.count.max(1) as usize);
-    if workers <= 1 {
-        let mut gpu = Gpu::new(chip.clone());
-        let mut h = Histogram::new();
-        for i in 0..cfg.count {
-            h.record(run_one(&mut gpu, inst, &make_stress, cfg, i as u64));
-        }
-        return h;
-    }
-    let make_stress = &make_stress;
+    let workers = crate::parallel::resolve_workers(cfg.parallelism, cfg.count as usize);
+    let shards = crate::parallel::parallel_fold(
+        workers,
+        cfg.count as usize,
+        || (Gpu::new(chip.clone()), Histogram::new()),
+        |(gpu, h), i| h.record(run_one(gpu, inst, &make_stress, cfg, i as u64)),
+    );
     let mut merged = Histogram::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let inst = inst.clone();
-            let chip = chip.clone();
-            handles.push(scope.spawn(move || {
-                let mut gpu = Gpu::new(chip);
-                let mut h = Histogram::new();
-                let mut i = w as u32;
-                while i < cfg.count {
-                    h.record(run_one(&mut gpu, &inst, make_stress, cfg, i as u64));
-                    i += workers as u32;
-                }
-                h
-            }));
-        }
-        for handle in handles {
-            merged.merge(&handle.join().expect("litmus worker panicked"));
-        }
-    });
+    for (_, shard) in &shards {
+        merged.merge(shard);
+    }
     merged
 }
 
@@ -211,6 +189,17 @@ mod tests {
         let a = run_many(&chip, &inst, |_| (Vec::new(), Vec::new()), cfg);
         let b = run_many(&chip, &inst, |_| (Vec::new(), Vec::new()), cfg);
         assert_eq!(a, b);
+        // ...and independent of the worker count entirely.
+        let seq = run_many(
+            &chip,
+            &inst,
+            |_| (Vec::new(), Vec::new()),
+            RunManyConfig {
+                parallelism: 1,
+                ..cfg
+            },
+        );
+        assert_eq!(a, seq);
     }
 
     #[test]

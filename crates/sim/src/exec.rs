@@ -521,7 +521,7 @@ impl<'a> Run<'a> {
         let t0 = self.threads.len() as u32;
         let shared_at = self.shared.len() as u32;
         self.shared
-            .extend(std::iter::repeat(0).take(self.spec.shared_words as usize));
+            .extend(std::iter::repeat_n(0, self.spec.shared_words as usize));
 
         // Warp/lane randomisation respecting warp membership: full warps
         // are permuted among themselves; lanes permute within each warp.
@@ -540,9 +540,9 @@ impl<'a> Run<'a> {
                 i // partial trailing warp keeps its ids
             };
             let regs_at = self.regs.len() as u32;
-            self.regs.extend(std::iter::repeat(0).take(num_regs as usize));
+            self.regs.extend(std::iter::repeat_n(0, num_regs as usize));
             self.pending
-                .extend(std::iter::repeat(0).take(num_regs as usize));
+                .extend(std::iter::repeat_n(0, num_regs as usize));
             self.threads.push(ThreadCtx {
                 group: gi,
                 block: block_index,
@@ -1171,6 +1171,7 @@ impl<'a> Run<'a> {
 
     /// Issue an atomic. Shared-space atomics complete immediately (shared
     /// memory is strongly ordered here); global atomics enter the window.
+    #[allow(clippy::too_many_arguments)]
     fn issue_atomic(
         &mut self,
         t: u32,
@@ -1246,20 +1247,8 @@ fn eval_bin(op: BinOp, a: Word, b: Word) -> Word {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
         BinOp::Mul => a.wrapping_mul(b),
-        BinOp::DivU => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
-        BinOp::RemU => {
-            if b == 0 {
-                0
-            } else {
-                a % b
-            }
-        }
+        BinOp::DivU => a.checked_div(b).unwrap_or(0),
+        BinOp::RemU => a.checked_rem(b).unwrap_or(0),
         BinOp::And => a & b,
         BinOp::Or => a | b,
         BinOp::Xor => a ^ b,

@@ -281,7 +281,7 @@ impl FromStr for AccessSeq {
                     token: tok.to_string(),
                 });
             }
-            accs.extend(std::iter::repeat(kind).take(n));
+            accs.extend(std::iter::repeat_n(kind, n));
         }
         if accs.is_empty() {
             return Err(ParseSeqError {
