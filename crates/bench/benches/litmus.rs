@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wmm_core::stress::{build_systematic_at, Scratchpad};
-use wmm_litmus::{run_instance, LitmusInstance, LitmusLayout, LitmusTest};
+use wmm_gen::Shape;
+use wmm_litmus::{run_instance, LitmusLayout};
 use wmm_sim::chip::Chip;
 use wmm_sim::exec::Gpu;
 
@@ -11,8 +12,8 @@ fn bench_litmus(c: &mut Criterion) {
     let chip = Chip::by_short("Titan").unwrap();
     let pad = Scratchpad::new(2048, 2048);
     let mut group = c.benchmark_group("litmus");
-    for test in LitmusTest::ALL {
-        let inst = LitmusInstance::build(test, LitmusLayout::standard(64, pad.required_words()));
+    for test in Shape::TRIO {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
         let mut gpu = Gpu::new(chip.clone());
         let mut seed = 0u64;
         group.bench_function(format!("{test}-native"), |b| {

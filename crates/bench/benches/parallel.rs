@@ -6,7 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
-use wmm_litmus::{run_many, Histogram, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_gen::Shape;
+use wmm_litmus::{run_many, Histogram, LitmusInstance, LitmusLayout, RunManyConfig};
 use wmm_sim::chip::Chip;
 
 const COUNT: u32 = 192;
@@ -34,7 +35,7 @@ fn campaign(chip: &Chip, inst: &LitmusInstance, pad: Scratchpad, parallelism: us
 fn bench_parallel(c: &mut Criterion) {
     let chip = Chip::by_short("Titan").unwrap();
     let pad = Scratchpad::new(2048, 2048);
-    let inst = LitmusInstance::build(LitmusTest::Mp, LitmusLayout::standard(64, pad.required_words()));
+    let inst = Shape::Mp.instance(LitmusLayout::standard(64, pad.required_words()));
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

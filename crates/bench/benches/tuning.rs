@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wmm_core::tuning::{patch, TuningConfig};
-use wmm_litmus::LitmusTest;
+use wmm_gen::Shape;
 use wmm_sim::chip::Chip;
 
 fn bench_tuning(c: &mut Criterion) {
@@ -13,7 +13,7 @@ fn bench_tuning(c: &mut Criterion) {
     cfg.location_step = 32;
     let mut group = c.benchmark_group("tuning");
     group.bench_function("patch-sweep-mp-d64", |b| {
-        b.iter(|| patch::sweep(&chip, LitmusTest::Mp, 64, &cfg))
+        b.iter(|| patch::sweep(&chip, Shape::Mp, 64, &cfg))
     });
     group.finish();
 }

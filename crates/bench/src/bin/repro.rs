@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro <experiment> [--chips A,B,...] [--execs N] [--runs N] [--full]
+//! repro <experiment> [--chips A,B,...] [--execs N] [--runs N] [--workers N]
+//!                    [--json PATH] [--full]
 //!
 //! experiments:
 //!   fig3            patch-finding plots (Titan, C2075, 980)
@@ -13,10 +14,16 @@
 //!   fig5            fence runtime/energy cost
 //!   running-example cbe-dot on the K20 (Sec. 1)
 //!   speedup         parallel campaign-layer scaling measurement
+//!   suite           generated litmus suite (shapes x chips x strategies)
 //!   all             everything above, in order
+//!
+//! `--workers N` sets the campaign worker-thread count (0 = all cores;
+//! default from the WMM_WORKERS env var). Results are bit-identical for
+//! every value. `--json PATH` (suite only) writes the weak-rate matrix
+//! as JSON.
 //! ```
 
-use wmm_bench::{fig3, fig4, fig5, running, speedup, table2, table3, table5, table6, Scale};
+use wmm_bench::{fig3, fig4, fig5, running, speedup, suite, table2, table3, table5, table6, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,7 +36,14 @@ fn main() {
     } else {
         Scale::quick()
     };
+    // Env fallback first; an explicit --workers flag overrides it.
+    if let Ok(v) = std::env::var("WMM_WORKERS") {
+        if let Ok(w) = v.parse() {
+            scale.workers = w;
+        }
+    }
     let mut chips: Option<Vec<String>> = None;
+    let mut json_path: Option<String> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -48,6 +62,14 @@ fn main() {
                     scale.app_runs = v;
                 }
             }
+            "--workers" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    scale.workers = v;
+                }
+            }
+            "--json" => {
+                json_path = it.next().cloned();
+            }
             "--full" => {}
             other => {
                 eprintln!("unknown flag {other}");
@@ -56,6 +78,16 @@ fn main() {
             }
         }
     }
+    let run_suite = |chips: Option<Vec<String>>, json_path: &Option<String>| {
+        let cells = suite::run(chips, scale);
+        if let Some(path) = json_path {
+            let json = suite::to_json(&cells, scale.execs, scale.seed);
+            match std::fs::write(path, json) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    };
     match cmd.as_str() {
         "fig3" => fig3::run(scale),
         "table2" => {
@@ -78,6 +110,7 @@ fn main() {
         "speedup" => {
             speedup::run(scale);
         }
+        "suite" => run_suite(chips, &json_path),
         "all" => {
             running::run(scale);
             println!("\n{}\n", "=".repeat(76));
@@ -93,9 +126,11 @@ fn main() {
             println!("\n{}\n", "=".repeat(76));
             table6::run(chips.clone(), scale);
             println!("\n{}\n", "=".repeat(76));
-            fig5::run(chips, scale);
+            fig5::run(chips.clone(), scale);
             println!("\n{}\n", "=".repeat(76));
             speedup::run(scale);
+            println!("\n{}\n", "=".repeat(76));
+            run_suite(chips, &json_path);
         }
         _ => usage(),
     }
@@ -103,7 +138,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|speedup|all> \
-         [--chips A,B] [--execs N] [--runs N] [--full]"
+        "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|speedup|suite|all> \
+         [--chips A,B] [--execs N] [--runs N] [--workers N] [--json PATH] [--full]"
     );
 }

@@ -2,7 +2,7 @@
 
 use crate::{bar, Scale};
 use wmm_core::tuning::{patch, TuningConfig};
-use wmm_litmus::LitmusTest;
+use wmm_gen::Shape;
 use wmm_sim::chip::Chip;
 
 /// The figure's chips and distance rows: (chip, distances).
@@ -19,12 +19,13 @@ pub fn run_chip(chip: &Chip, distances: &[u32], scale: Scale) {
     let mut cfg = TuningConfig::scaled();
     cfg.execs = scale.execs.max(48);
     cfg.base_seed = scale.seed;
+    cfg.parallelism = scale.workers;
     println!(
         "== Fig. 3 panel: {} ({}; critical patch size {}) ==",
         chip.name, chip.arch, chip.patch_words
     );
     for &d in distances {
-        for test in [LitmusTest::Mp, LitmusTest::Lb] {
+        for test in [Shape::Mp, Shape::Lb] {
             let grid = patch::sweep(chip, test, d, &cfg);
             let max = grid.counts.iter().copied().max().unwrap_or(0);
             print!("{test} d={d:<4} |");

@@ -9,6 +9,7 @@ pub fn run_chip(chip: &Chip, scale: Scale) {
     let mut cfg = TuningConfig::scaled();
     cfg.execs = scale.execs;
     cfg.base_seed = scale.seed;
+    cfg.parallelism = scale.workers;
     println!("== Fig. 4 panel: {} ==", chip.name);
     let scores = spread::score_spreads(&chip.clone(), chip.patch_words, &chip.preferred_seq, &cfg);
     let max = scores

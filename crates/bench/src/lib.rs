@@ -13,6 +13,7 @@
 //! | [`fig5`] | Fig. 5 — fence runtime/energy cost scatter |
 //! | [`running`] | Sec. 1 — the cbe-dot running example |
 //! | [`speedup`] | parallel campaign-layer scaling measurement |
+//! | [`suite`] | generated litmus suite: shapes × chips × strategies |
 //!
 //! Every generator takes a [`Scale`] so the half-billion-execution grids
 //! of the paper shrink to laptop scale while preserving the shapes; the
@@ -23,6 +24,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod running;
 pub mod speedup;
+pub mod suite;
 pub mod table2;
 pub mod table3;
 pub mod table5;
@@ -42,6 +44,10 @@ pub struct Scale {
     pub harden_stable: u32,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for campaign layers (0 ⇒ all cores). Set by the
+    /// `repro` binary's `--workers` flag or the `WMM_WORKERS` env var;
+    /// results are bit-identical for every value.
+    pub workers: usize,
 }
 
 impl Scale {
@@ -53,6 +59,7 @@ impl Scale {
             harden_iters: 24,
             harden_stable: 120,
             seed: 2016,
+            workers: 0,
         }
     }
 
@@ -64,6 +71,7 @@ impl Scale {
             harden_iters: 32,
             harden_stable: 600,
             seed: 2016,
+            workers: 0,
         }
     }
 }

@@ -10,7 +10,8 @@
 use crate::Scale;
 use std::time::Instant;
 use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
-use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_gen::Shape;
+use wmm_litmus::{run_many, LitmusLayout, RunManyConfig};
 use wmm_sim::chip::Chip;
 
 /// One measured point of the scaling curve.
@@ -60,9 +61,9 @@ const SAMPLES: usize = 3;
 /// (always measured first) doesn't absorb one-time process costs —
 /// first-touch page faults, allocator growth — that would inflate the
 /// apparent speedup of every later point.
-pub fn measure(chip: &Chip, test: LitmusTest, distance: u32, count: u32, seed: u64) -> Vec<Point> {
+pub fn measure(chip: &Chip, test: Shape, distance: u32, count: u32, seed: u64) -> Vec<Point> {
     let pad = Scratchpad::new(2048, 2048);
-    let inst = LitmusInstance::build(test, LitmusLayout::standard(distance, pad.required_words()));
+    let inst = test.instance(LitmusLayout::standard(distance, pad.required_words()));
     let seq = chip.preferred_seq.clone();
     let campaign = |parallelism: usize| {
         let chip2 = chip.clone();
@@ -126,7 +127,7 @@ pub fn run(scale: Scale) {
             .map(|n| n.get())
             .unwrap_or(1)
     );
-    for (test, d) in [(LitmusTest::Mp, 64), (LitmusTest::Lb, 64), (LitmusTest::Sb, 32)] {
+    for (test, d) in [(Shape::Mp, 64), (Shape::Lb, 64), (Shape::Sb, 32)] {
         println!("{test} d={d} (histograms verified identical across worker counts)");
         println!("  workers      time    execs/s   speedup");
         for p in measure(&chip, test, d, count, scale.seed) {
@@ -154,7 +155,7 @@ mod tests {
     #[test]
     fn measure_verifies_and_reports() {
         let chip = Chip::by_short("K20").unwrap();
-        let points = measure(&chip, LitmusTest::Mp, 64, 24, 7);
+        let points = measure(&chip, Shape::Mp, 64, 24, 7);
         assert!(points.len() >= 2);
         assert!((points[0].speedup - 1.0).abs() < 1e-9);
         assert!(points.iter().all(|p| p.secs > 0.0 && p.throughput > 0.0));

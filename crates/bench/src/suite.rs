@@ -1,0 +1,222 @@
+//! `repro suite` — campaign the generated litmus suite.
+//!
+//! Runs every shape of the `wmm-gen` catalogue across chips × stress
+//! strategies and prints a weak-rate matrix. Each cell's weak-outcome
+//! predicate is derived by the SC-enumeration oracle — nothing on this
+//! path carries a hand-written predicate. Optionally serialises the
+//! matrix to JSON (`--json <path>`, hand-rolled — no serde in the
+//! dependency-free build container) so bench trajectories can be
+//! captured as `BENCH_*.json` artifacts.
+
+use crate::Scale;
+use std::sync::Arc;
+use wmm_core::stress::{build_stress, litmus_stress_threads, Scratchpad, StressStrategy, SystematicParams};
+use wmm_gen::{run_suite, Shape, StressSpec, SuiteCell, SuiteConfig};
+use wmm_sim::chip::Chip;
+
+/// The scratchpad suite campaigns stress (after the litmus layout,
+/// covering the chip's scaled L2 like the tuning stages do).
+fn suite_scratchpad(chips: &[Chip]) -> Scratchpad {
+    let words = chips
+        .iter()
+        .map(|c| c.l2_scaled_words)
+        .max()
+        .unwrap_or(2048)
+        .max(2048);
+    Scratchpad::new(2048, words)
+}
+
+/// A named [`StressSpec`]: the strategy is computed per chip (the
+/// systematic strategy's parameters are per-chip, Tab. 2), and each
+/// run's stressing-thread count and location table come from the run's
+/// RNG exactly as the Tab. 5 environments do.
+fn spec_for(
+    short: &str,
+    randomize: bool,
+    pad: Scratchpad,
+    iters: u32,
+    strategy_of: impl Fn(&Chip) -> StressStrategy + Send + Sync + 'static,
+) -> StressSpec {
+    let name = format!("{short}{}", if randomize { "+" } else { "-" });
+    StressSpec {
+        name,
+        randomize,
+        make: Arc::new(move |chip, rng| {
+            let strategy = strategy_of(chip);
+            let threads = litmus_stress_threads(chip, rng);
+            let s = build_stress(chip, &strategy, pad, threads, iters, rng);
+            (s.groups, s.init)
+        }),
+    }
+}
+
+/// The suite's default strategy column set: native plus the paper's
+/// tuned systematic environment and the random baseline (both with
+/// thread randomisation, the paper's most effective configuration).
+pub fn default_strategies(pad: Scratchpad) -> Vec<StressSpec> {
+    vec![
+        StressSpec::native(),
+        spec_for("sys-str", true, pad, 40, |chip| {
+            StressStrategy::Systematic(SystematicParams::from_paper(chip))
+        }),
+        spec_for("rand-str", true, pad, 40, |_| StressStrategy::Random),
+    ]
+}
+
+/// Run the suite for the requested chips (default: Titan and K20, one
+/// Kepler flagship and one compute part) and print the weak-rate
+/// matrix. Returns the cells for JSON serialisation and tests.
+pub fn run(chips: Option<Vec<String>>, scale: Scale) -> Vec<SuiteCell> {
+    let chips: Vec<Chip> = match chips {
+        Some(names) => names
+            .iter()
+            .map(|n| Chip::by_short(n).unwrap_or_else(|| panic!("unknown chip {n}")))
+            .collect(),
+        None => vec![
+            Chip::by_short("Titan").expect("chip"),
+            Chip::by_short("K20").expect("chip"),
+        ],
+    };
+    let pad = suite_scratchpad(&chips);
+    let strategies = default_strategies(pad);
+    let cfg = SuiteConfig {
+        distances: vec![64],
+        execs: scale.execs,
+        global_words: pad.required_words(),
+        base_seed: scale.seed,
+        workers: scale.workers,
+    };
+    println!(
+        "Generated litmus suite: {} shapes x {} chip(s) x {} strategies, d={:?}, {} execs/cell",
+        Shape::ALL.len(),
+        chips.len(),
+        strategies.len(),
+        cfg.distances,
+        cfg.execs
+    );
+    println!("(weak predicate of every cell derived by the SC-enumeration oracle)\n");
+    let cells = run_suite(&Shape::ALL, &chips, &strategies, &cfg);
+    print_matrix(&chips, &strategies, &cells);
+    println!("Expected shape: sys-str+ provokes weak outcomes on the relaxed shapes");
+    println!("(MP/LB/SB/S/R/2+2W and the 3/4-thread cycles); the coherence tests");
+    println!("CoRR/CoWW never go weak (same-line ordering is preserved); no-str-");
+    println!("stays near zero everywhere.");
+    cells
+}
+
+/// Print the matrix: one row per (shape, distance), one column per
+/// (chip, strategy).
+fn print_matrix(chips: &[Chip], strategies: &[StressSpec], cells: &[SuiteCell]) {
+    print!("{:>10}", "shape");
+    for chip in chips {
+        for s in strategies {
+            print!(" {:>15}", format!("{}/{}", chip.short, s.name));
+        }
+    }
+    println!();
+    let mut i = 0;
+    while i < cells.len() {
+        let row = &cells[i];
+        print!("{:>10}", format!("{}@{}", row.shape, row.distance));
+        for _ in 0..chips.len() * strategies.len() {
+            let c = &cells[i];
+            print!(
+                " {:>15}",
+                format!("{}/{} ({:.1}%)", c.hist.weak(), c.hist.total(), 100.0 * c.weak_rate())
+            );
+            i += 1;
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Serialise suite cells as JSON (hand-rolled; values are numbers and
+/// plain ASCII names, so no string escaping is needed).
+pub fn to_json(cells: &[SuiteCell], execs: u32, seed: u64) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"execs\": {execs},\n  \"seed\": {seed},\n  \"cells\": [\n"));
+    for (i, c) in cells.iter().enumerate() {
+        let outcomes: Vec<String> = c
+            .hist
+            .iter()
+            .map(|(obs, n)| {
+                let vals: Vec<String> = obs.iter().map(|v| v.to_string()).collect();
+                format!("{{\"obs\": [{}], \"count\": {n}}}", vals.join(", "))
+            })
+            .collect();
+        s.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"distance\": {}, \"chip\": \"{}\", \"strategy\": \"{}\", \
+             \"weak\": {}, \"total\": {}, \"rate\": {:.6}, \"outcomes\": [{}]}}{}\n",
+            c.shape,
+            c.distance,
+            c.chip,
+            c.strategy,
+            c.hist.weak(),
+            c.hist.total(),
+            c.weak_rate(),
+            outcomes.join(", "),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_the_catalogue_and_goes_weak_under_stress() {
+        let scale = Scale {
+            execs: 24,
+            ..Scale::quick()
+        };
+        let cells = run(Some(vec!["Titan".to_string()]), scale);
+        // 12 shapes × 1 chip × 3 strategies.
+        assert_eq!(cells.len(), Shape::ALL.len() * 3);
+        // Under sys-str+, the relaxed two-thread shapes show weak
+        // behaviour; the coherence tests never do.
+        let weak_of = |shape: Shape, strat: &str| {
+            cells
+                .iter()
+                .find(|c| c.shape == shape && c.strategy == strat)
+                .map(|c| c.hist.weak())
+                .unwrap()
+        };
+        assert!(weak_of(Shape::Mp, "sys-str+") > 0, "MP should go weak");
+        assert_eq!(weak_of(Shape::CoRR, "sys-str+"), 0, "CoRR must stay coherent");
+        assert_eq!(weak_of(Shape::CoWW, "sys-str+"), 0, "CoWW must stay coherent");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let scale = Scale {
+            execs: 8,
+            ..Scale::quick()
+        };
+        let pad = suite_scratchpad(&[Chip::by_short("K20").unwrap()]);
+        let cfg = SuiteConfig {
+            execs: scale.execs,
+            global_words: pad.required_words(),
+            base_seed: scale.seed,
+            workers: 1,
+            ..Default::default()
+        };
+        let cells = wmm_gen::run_suite(
+            &[Shape::Mp, Shape::CoWW],
+            &[Chip::by_short("K20").unwrap()],
+            &[wmm_gen::StressSpec::native()],
+            &cfg,
+        );
+        let j = to_json(&cells, cfg.execs, cfg.base_seed);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"shape\"").count(), 2);
+        assert!(j.contains("\"MP\""));
+        assert!(j.contains("\"CoWW\""));
+        // Balanced brackets (cheap structural sanity).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

@@ -9,6 +9,7 @@ pub fn tune_one(chip: &Chip, scale: Scale) -> ChipTuning {
     let mut cfg = TuningConfig::scaled();
     cfg.execs = scale.execs;
     cfg.base_seed = scale.seed;
+    cfg.parallelism = scale.workers;
     tune_chip(chip, &cfg)
 }
 

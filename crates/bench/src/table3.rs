@@ -2,7 +2,7 @@
 
 use crate::Scale;
 use wmm_core::tuning::{sequence, TuningConfig};
-use wmm_litmus::LitmusTest;
+use wmm_gen::Shape;
 use wmm_sim::chip::Chip;
 
 /// Score all sequences on one chip and print the paper's table shape:
@@ -13,6 +13,7 @@ pub fn run(chip_short: &str, scale: Scale) {
     let mut cfg = TuningConfig::scaled();
     cfg.execs = scale.execs;
     cfg.base_seed = scale.seed;
+    cfg.parallelism = scale.workers;
     println!("Tab. 3: access-sequence scores for {}\n", chip.name);
     let scores = sequence::score_sequences(&chip, chip.patch_words, &cfg);
     let winner = sequence::most_effective(&scores);
@@ -20,7 +21,7 @@ pub fn run(chip_short: &str, scale: Scale) {
         "overall most effective sequence: '{}' (paper: '{}')\n",
         winner.seq, chip.preferred_seq
     );
-    for (ti, test) in LitmusTest::ALL.iter().enumerate() {
+    for (ti, test) in Shape::TRIO.iter().enumerate() {
         let ranked = scores.ranked_for(*test);
         println!("{test}:");
         for (rank, e) in ranked.iter().take(3).enumerate() {

@@ -27,7 +27,7 @@ pub fn run_chip(chip: &Chip, scale: Scale) -> Row {
         let mut failing = Vec::new();
         for app in &apps {
             let h = AppHarness::new(chip, app.as_ref());
-            let r = h.campaign(env, scale.app_runs, scale.seed, 0);
+            let r = h.campaign(env, scale.app_runs, scale.seed, scale.workers);
             if r.any_error() {
                 any += 1;
                 failing.push(app.name().to_string());

@@ -37,7 +37,7 @@ pub fn harden_one(app: &dyn Application, chip: &Chip, scale: Scale) -> HardenRes
         stable_runs: scale.harden_stable,
         max_rounds: 3,
         base_seed: scale.seed,
-        parallelism: 0,
+        parallelism: scale.workers,
     };
     empirical_fence_insertion(chip, app, &cfg)
 }

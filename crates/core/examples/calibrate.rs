@@ -1,7 +1,8 @@
 //! Calibration probe: weak-behaviour rates per (test, d, stress location).
 use rand::rngs::SmallRng;
 use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
-use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_gen::Shape;
+use wmm_litmus::{run_many, LitmusLayout, RunManyConfig};
 use wmm_sim::chip::Chip;
 
 fn main() {
@@ -10,14 +11,14 @@ fn main() {
     let seq = chip.preferred_seq.clone();
     let c = 200u32;
     // Native rates first.
-    for t in LitmusTest::ALL {
-        let inst = LitmusInstance::build(t, LitmusLayout::standard(64, pad.required_words()));
+    for t in Shape::TRIO {
+        let inst = t.instance(LitmusLayout::standard(64, pad.required_words()));
         let h = run_many(&chip, &inst, |_| (Vec::new(), Vec::new()), RunManyConfig { count: 1000, base_seed: 1, ..Default::default() });
         println!("native {t} d=64: {}/{}", h.weak(), h.total());
     }
-    for t in LitmusTest::ALL {
+    for t in Shape::TRIO {
         for d in [0u32, 32, 64] {
-            let inst = LitmusInstance::build(t, LitmusLayout::standard(d, pad.required_words()));
+            let inst = t.instance(LitmusLayout::standard(d, pad.required_words()));
             print!("{t} d={d:3}: ");
             for l in (0..256).step_by(32) {
                 let chip2 = chip.clone();

@@ -2,7 +2,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
-use wmm_litmus::{LitmusInstance, LitmusLayout, LitmusTest};
+use wmm_gen::Shape;
+use wmm_litmus::{LitmusLayout, LitmusOutcome};
 use wmm_sim::chip::Chip;
 use wmm_sim::exec::Gpu;
 
@@ -10,8 +11,8 @@ fn main() {
     let chip = Chip::by_short("Titan").unwrap();
     let pad = Scratchpad::new(2048, 2048);
     let seq = chip.preferred_seq.clone();
-    for (t, l) in [(LitmusTest::Lb, 64u32), (LitmusTest::Mp, 64), (LitmusTest::Sb, 64)] {
-        let inst = LitmusInstance::build(t, LitmusLayout::standard(64, pad.required_words()));
+    for (t, l) in [(Shape::Lb, 64u32), (Shape::Mp, 64), (Shape::Sb, 64)] {
+        let inst = t.instance(LitmusLayout::standard(64, pad.required_words()));
         let mut gpu = Gpu::new(chip.clone());
         let mut hist = wmm_litmus::Histogram::new();
         let mut total_byp = 0u64;
@@ -24,11 +25,11 @@ fn main() {
             let r = gpu.run(&spec, rng.gen());
             total_byp += r.bypasses;
             app_turns += r.app_turns;
-            let r1 = r.word(inst.layout.result_base);
-            let r2 = r.word(inst.layout.result_base + 1);
-            hist.record(wmm_litmus::LitmusOutcome { r1, r2, weak: t.is_weak(r1, r2) });
+            let obs = inst.observe(&r);
+            let weak = inst.is_weak(&obs);
+            hist.record(LitmusOutcome { obs, weak });
         }
         println!("{t}: avg bypasses/run = {:.2}, avg app_turns = {}", total_byp as f64 / 300.0, app_turns / 300);
-        println!("{}", hist.display_for(t));
+        println!("{}", inst.display_histogram(&hist));
     }
 }

@@ -1,6 +1,6 @@
 //! Probe the sequence and spread stages separately for one chip.
 use wmm_core::tuning::{sequence, spread, TuningConfig};
-use wmm_litmus::LitmusTest;
+use wmm_gen::Shape;
 use wmm_sim::chip::Chip;
 
 fn main() {
@@ -13,7 +13,7 @@ fn main() {
         let scores = sequence::score_sequences(&chip, chip.patch_words, &cfg);
         let win = sequence::most_effective(&scores);
         println!("{short} seq winner: '{}' {:?} (expected '{}')", win.seq, win.scores, chip.preferred_seq);
-        for t in LitmusTest::ALL {
+        for t in Shape::TRIO {
             let ranked = scores.ranked_for(t);
             let top: Vec<String> = ranked.iter().take(3).map(|e| format!("{}", e.seq)).collect();
             let bot: Vec<String> = ranked.iter().rev().take(3).map(|e| format!("{}", e.seq)).collect();

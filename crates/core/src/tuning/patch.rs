@@ -12,8 +12,9 @@
 
 use super::TuningConfig;
 use crate::stress::{build_systematic_at, litmus_stress_threads};
+use wmm_gen::Shape;
 use wmm_litmus::runner::mix_seed;
-use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_litmus::{run_many, LitmusLayout, RunManyConfig};
 use wmm_sim::chip::Chip;
 use wmm_sim::seq::AccessSeq;
 
@@ -21,7 +22,7 @@ use wmm_sim::seq::AccessSeq;
 #[derive(Debug, Clone)]
 pub struct PatchGrid {
     /// The litmus test.
-    pub test: LitmusTest,
+    pub test: Shape,
     /// The distance between communication locations.
     pub distance: u32,
     /// Location stride of the sweep.
@@ -47,7 +48,7 @@ pub struct PatchReport {
     pub grids: Vec<PatchGrid>,
     /// Patch size concluded per test (None if that test showed no
     /// patches even after the extended-distance probe).
-    pub per_test: Vec<(LitmusTest, Option<u32>)>,
+    pub per_test: Vec<(Shape, Option<u32>)>,
     /// The critical patch size, if the tests agree.
     pub critical: Option<u32>,
     /// Whether MP needed the extended-distance probe (the 980 quirk).
@@ -64,11 +65,13 @@ pub struct PatchReport {
 /// busy without paying a thread fan-out per `run_many` call. Each
 /// location's base seed is derived from `(test, distance, l)` alone, so
 /// the grid is identical for every `cfg.parallelism`.
-pub fn sweep(chip: &Chip, test: LitmusTest, distance: u32, cfg: &TuningConfig) -> PatchGrid {
+pub fn sweep(chip: &Chip, test: Shape, distance: u32, cfg: &TuningConfig) -> PatchGrid {
     let pad = cfg.scratchpad(chip);
-    let inst = LitmusInstance::build(test, LitmusLayout::standard(distance, pad.required_words()));
+    let inst = test.instance(LitmusLayout::standard(distance, pad.required_words()));
     let seq: AccessSeq = "st ld".parse().expect("literal");
-    let test_idx = LitmusTest::ALL.iter().position(|t| *t == test).unwrap() as u64;
+    // Seed index from the full catalogue so any shape can be swept
+    // (the trio occupies positions 0..3, keeping legacy seeds intact).
+    let test_idx = Shape::ALL.iter().position(|t| *t == test).unwrap() as u64;
     let locations: Vec<u32> = (0..cfg.locations).step_by(cfg.location_step as usize).collect();
     let workers = wmm_litmus::parallel::resolve_workers(cfg.parallelism, locations.len());
     let counts = wmm_litmus::parallel::parallel_map(workers, locations.len(), |k| {
@@ -172,7 +175,7 @@ pub fn find_patch_size(chip: &Chip, cfg: &TuningConfig) -> PatchReport {
     let mut grids = Vec::new();
     let mut executions = 0u64;
     let samples_per_sweep = u64::from(cfg.locations.div_ceil(cfg.location_step));
-    for test in LitmusTest::ALL {
+    for test in Shape::TRIO {
         for &d in &cfg.patch_distances {
             grids.push(sweep(chip, test, d, cfg));
             executions += samples_per_sweep * u64::from(cfg.execs);
@@ -180,10 +183,10 @@ pub fn find_patch_size(chip: &Chip, cfg: &TuningConfig) -> PatchReport {
     }
     let mut per_test = Vec::new();
     let mut used_extended_mp = false;
-    for test in LitmusTest::ALL {
+    for test in Shape::TRIO {
         let test_grids: Vec<&PatchGrid> = grids.iter().filter(|g| g.test == test).collect();
         let mut size = modal_patch_size(&test_grids, cfg.noise);
-        if size.is_none() && test == LitmusTest::Mp {
+        if size.is_none() && test == Shape::Mp {
             // The paper's 980 path: MP patches only emerge at larger
             // distances; probe the extended range.
             used_extended_mp = true;
@@ -228,7 +231,7 @@ mod tests {
 
     fn grid(counts: Vec<u64>, step: u32) -> PatchGrid {
         PatchGrid {
-            test: LitmusTest::Mp,
+            test: Shape::Mp,
             distance: 64,
             step,
             counts,

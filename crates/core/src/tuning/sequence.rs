@@ -8,8 +8,9 @@
 use super::pareto::select_winner;
 use super::TuningConfig;
 use crate::stress::{build_systematic_at, litmus_stress_threads};
+use wmm_gen::Shape;
 use wmm_litmus::runner::mix_seed;
-use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, RunManyConfig};
 use wmm_sim::chip::Chip;
 use wmm_sim::seq::AccessSeq;
 
@@ -21,7 +22,7 @@ const SEQ_STAGE_SALT: u64 = 0x5e9;
 pub struct SeqScore {
     /// The access sequence.
     pub seq: AccessSeq,
-    /// Weak totals, indexed by [`LitmusTest::ALL`] order.
+    /// Weak totals, indexed by [`Shape::TRIO`] order.
     pub scores: [u64; 3],
 }
 
@@ -37,8 +38,15 @@ pub struct SeqScores {
 impl SeqScores {
     /// Entries ranked by score for one test, best first (Tab. 3's
     /// per-test ranking).
-    pub fn ranked_for(&self, test: LitmusTest) -> Vec<&SeqScore> {
-        let k = LitmusTest::ALL.iter().position(|t| *t == test).unwrap();
+    /// # Panics
+    ///
+    /// Panics if `test` is not one of [`Shape::TRIO`] — the score
+    /// arrays are indexed by the Fig. 2 trio the stage campaigns over.
+    pub fn ranked_for(&self, test: Shape) -> Vec<&SeqScore> {
+        let k = Shape::TRIO
+            .iter()
+            .position(|t| *t == test)
+            .expect("sequence scores are indexed by the Fig. 2 trio");
         let mut v: Vec<&SeqScore> = self.entries.iter().collect();
         v.sort_by(|a, b| b.scores[k].cmp(&a.scores[k]));
         v
@@ -66,12 +74,12 @@ pub fn score_sequences(chip: &Chip, patch_words: u32, cfg: &TuningConfig) -> Seq
         .collect();
     // Litmus instances depend only on (test, distance); share one per
     // pair across all sequences and locations.
-    let insts: Vec<LitmusInstance> = LitmusTest::ALL
+    let insts: Vec<LitmusInstance> = Shape::TRIO
         .iter()
         .flat_map(|test| {
-            cfg.distances.iter().map(|&d| {
-                LitmusInstance::build(*test, LitmusLayout::standard(d, pad.required_words()))
-            })
+            cfg.distances
+                .iter()
+                .map(|&d| test.instance(LitmusLayout::standard(d, pad.required_words())))
         })
         .collect();
     // One job per (sequence, test, distance, location), in lexicographic
@@ -85,7 +93,7 @@ pub fn score_sequences(chip: &Chip, patch_words: u32, cfg: &TuningConfig) -> Seq
     }
     let mut jobs = Vec::new();
     for si in 0..seqs.len() {
-        for ti in 0..LitmusTest::ALL.len() {
+        for ti in 0..Shape::TRIO.len() {
             for (di, &d) in cfg.distances.iter().enumerate() {
                 for &l in &region_starts {
                     jobs.push(Job {
@@ -189,7 +197,7 @@ mod tests {
             ],
             executions: 0,
         };
-        let ranked = scores.ranked_for(LitmusTest::Mp);
+        let ranked = scores.ranked_for(Shape::Mp);
         let names: Vec<String> = ranked.iter().map(|e| e.seq.to_string()).collect();
         assert_eq!(names, vec!["st", "ld st", "ld"]);
     }

@@ -11,8 +11,9 @@
 use super::pareto::select_winner;
 use super::TuningConfig;
 use crate::stress::{build_stress, litmus_stress_threads, StressStrategy, SystematicParams};
+use wmm_gen::Shape;
 use wmm_litmus::runner::mix_seed;
-use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use wmm_litmus::{run_many, LitmusLayout, RunManyConfig};
 use wmm_sim::chip::Chip;
 use wmm_sim::seq::AccessSeq;
 
@@ -53,7 +54,7 @@ pub fn score_spreads(
     // identical for every `cfg.parallelism`.
     let mut jobs = Vec::new();
     for m in 1..=cfg.max_spread {
-        for ti in 0..LitmusTest::ALL.len() {
+        for ti in 0..Shape::TRIO.len() {
             for &d in &distances {
                 jobs.push((m, ti, d));
             }
@@ -62,10 +63,7 @@ pub fn score_spreads(
     let workers = wmm_litmus::parallel::resolve_workers(cfg.parallelism, jobs.len());
     let weaks = wmm_litmus::parallel::parallel_map(workers, jobs.len(), |k| {
         let (m, ti, d) = jobs[k];
-        let inst = LitmusInstance::build(
-            LitmusTest::ALL[ti],
-            LitmusLayout::standard(d, pad.required_words()),
-        );
+        let inst = Shape::TRIO[ti].instance(LitmusLayout::standard(d, pad.required_words()));
         let chip2 = chip.clone();
         let strategy = StressStrategy::Systematic(SystematicParams {
             patch_words,

@@ -1,0 +1,257 @@
+//! Lowering abstract shapes to runnable kernels.
+//!
+//! Two equivalent back ends:
+//!
+//! * [`build_program`] — direct `wmm-sim` IR construction through
+//!   [`KernelBuilder`], the path the campaign machinery uses;
+//! * [`to_lang_source`] — a `.litmus`-style textual form in the
+//!   `wmm-lang` kernel language, compiled back to IR with
+//!   [`wmm_lang::compile`], so every generated test round-trips through
+//!   the front end and can be inspected, versioned, or edited as text.
+//!
+//! Both back ends emit the same structure the paper's hand-written
+//! kernels used: every test thread is lane 0 of its own block; the
+//! threads rendezvous on an atomic counter before racing (maximising
+//! temporal overlap, as the GPU LITMUS tool does); each thread issues
+//! its test events in program order and only then writes its observed
+//! read values to the result region — keeping the test's accesses
+//! adjacent in the in-flight window exactly like the legacy trio
+//! kernels, which is what makes their reorderings observable.
+
+use crate::shape::{Event, TestEvents};
+use wmm_litmus::{LitmusLayout, MAX_OBSERVERS};
+use wmm_sim::ir::builder::KernelBuilder;
+use wmm_sim::ir::Program;
+
+/// Check the layout can host the shape (locations below the result
+/// region, reads within the observer slots).
+fn check_layout(events: &TestEvents, layout: &LitmusLayout) {
+    let locs = events.num_locs();
+    assert!(locs >= 1, "a shape must touch at least one location");
+    assert!(
+        layout.loc_addr(locs - 1) < layout.result_base,
+        "communication locations must sit below the result region"
+    );
+    assert!(
+        events.num_reads() <= MAX_OBSERVERS,
+        "shape has more reads than observer slots"
+    );
+}
+
+/// Emit the shape as `wmm-sim` IR under `layout`.
+///
+/// # Panics
+///
+/// Panics if the layout cannot host the shape (see the module docs);
+/// builder-produced programs always validate.
+pub fn build_program(events: &TestEvents, layout: &LitmusLayout) -> Program {
+    check_layout(events, layout);
+    let nthreads = events.threads.len() as u32;
+    let mut b = KernelBuilder::new(format!("litmus-{}-d{}", events.name, layout.distance));
+    let tid = b.tid();
+    let zero = b.const_(0);
+    let is_lane0 = b.eq(tid, zero);
+    b.if_(is_lane0, |b| {
+        // Start alignment: all test threads rendezvous on a counter
+        // before racing (without it most runs have the threads executing
+        // far apart in time and no interesting interleavings occur).
+        let sync = b.const_(layout.sync_addr());
+        let one = b.const_(1);
+        let n = b.const_(nthreads);
+        let _ = b.atomic_add_global(sync, one);
+        b.while_(
+            |b| {
+                let seen = b.load_global(sync);
+                b.ne(seen, n)
+            },
+            |_| {},
+        );
+        let bid = b.bid();
+        let mut next_read = 0u32;
+        for (t, evs) in events.threads.iter().enumerate() {
+            let tk = b.const_(t as u32);
+            let is_t = b.eq(bid, tk);
+            // Compute this thread's read indices before entering the
+            // closure; reads are numbered thread-major across the test.
+            let first_read = next_read;
+            next_read += evs
+                .iter()
+                .filter(|e| matches!(e, Event::R { .. }))
+                .count() as u32;
+            b.if_(is_t, |b| {
+                let mut read_regs = Vec::new();
+                for ev in evs {
+                    match *ev {
+                        Event::W { loc, val } => {
+                            let a = b.const_(layout.loc_addr(loc));
+                            let v = b.const_(val);
+                            b.store_global(a, v);
+                        }
+                        Event::R { loc } => {
+                            let a = b.const_(layout.loc_addr(loc));
+                            read_regs.push(b.load_global(a));
+                        }
+                    }
+                }
+                // Result stores last, so the test's own accesses stay
+                // adjacent in the in-flight window.
+                for (i, r) in read_regs.into_iter().enumerate() {
+                    let res = b.const_(layout.result_base + first_read + i as u32);
+                    b.store_global(res, r);
+                }
+            });
+        }
+    });
+    b.finish().expect("generated litmus kernel is valid by construction")
+}
+
+/// A kernel-language identifier for the shape (`2+2W` → `T2p2W`).
+fn lang_name(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| match c {
+            '+' => 'p',
+            c if c.is_ascii_alphanumeric() => c,
+            _ => '_',
+        })
+        .collect();
+    if s.starts_with(|c: char| c.is_ascii_digit()) {
+        s.insert(0, 'T');
+    }
+    s
+}
+
+/// Emit the shape as `wmm-lang` kernel source under `layout` — the
+/// textual `.litmus`-style form of the test.
+///
+/// # Panics
+///
+/// Panics if the layout cannot host the shape.
+pub fn to_lang_source(events: &TestEvents, layout: &LitmusLayout) -> String {
+    check_layout(events, layout);
+    let nthreads = events.threads.len();
+    let sync = layout.sync_addr();
+    let mut s = String::new();
+    s.push_str(&format!(
+        "kernel {}_d{} {{\n",
+        lang_name(&events.name),
+        layout.distance
+    ));
+    s.push_str("    if tid() == 0 {\n");
+    s.push_str(&format!("        atomic_add({sync}, 1);\n"));
+    s.push_str(&format!(
+        "        while global[{sync}] != {nthreads} {{ }}\n"
+    ));
+    let mut next_read = 0u32;
+    for (t, evs) in events.threads.iter().enumerate() {
+        s.push_str(&format!("        if bid() == {t} {{\n"));
+        let mut read_names = Vec::new();
+        for ev in evs {
+            match *ev {
+                Event::W { loc, val } => {
+                    s.push_str(&format!(
+                        "            global[{}] = {};\n",
+                        layout.loc_addr(loc),
+                        val
+                    ));
+                }
+                Event::R { loc } => {
+                    let name = format!("r{}", next_read + read_names.len() as u32);
+                    s.push_str(&format!(
+                        "            var {} = global[{}];\n",
+                        name,
+                        layout.loc_addr(loc)
+                    ));
+                    read_names.push(name);
+                }
+            }
+        }
+        for (i, name) in read_names.iter().enumerate() {
+            s.push_str(&format!(
+                "            global[{}] = {};\n",
+                layout.result_base + next_read + i as u32,
+                name
+            ));
+        }
+        next_read += read_names.len() as u32;
+        s.push_str("        }\n");
+    }
+    s.push_str("    }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+    use wmm_sim::ir::validate::validate;
+    use wmm_sim::ir::Inst;
+
+    fn layout(d: u32) -> LitmusLayout {
+        LitmusLayout::standard(d, 4096)
+    }
+
+    #[test]
+    fn every_shape_builds_and_validates() {
+        for shape in Shape::ALL {
+            for d in [0, 1, 32, 64, 255] {
+                let p = build_program(&shape.events(), &layout(d));
+                validate(&p).unwrap_or_else(|e| panic!("{shape} d={d}: {e:?}"));
+                assert!(p.len() > 8, "{shape} d={d} suspiciously small");
+            }
+        }
+    }
+
+    #[test]
+    fn lang_source_compiles_for_every_shape() {
+        for shape in Shape::ALL {
+            let src = to_lang_source(&shape.events(), &layout(64));
+            let p = wmm_lang::compile(&src)
+                .unwrap_or_else(|e| panic!("{shape}: {e}\n{src}"));
+            validate(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn builder_and_lang_have_identical_global_access_counts() {
+        // Same loads/stores/atomics per shape regardless of back end.
+        fn footprint(p: &Program) -> (usize, usize, usize) {
+            let mut loads = 0;
+            let mut stores = 0;
+            let mut atomics = 0;
+            for i in &p.insts {
+                match i {
+                    Inst::Load { .. } => loads += 1,
+                    Inst::Store { .. } => stores += 1,
+                    Inst::AtomicAdd { .. } | Inst::AtomicCas { .. } | Inst::AtomicExch { .. } => {
+                        atomics += 1
+                    }
+                    _ => {}
+                }
+            }
+            (loads, stores, atomics)
+        }
+        for shape in Shape::ALL {
+            let ev = shape.events();
+            let a = build_program(&ev, &layout(64));
+            let b = wmm_lang::compile(&to_lang_source(&ev, &layout(64))).unwrap();
+            assert_eq!(footprint(&a), footprint(&b), "{shape}");
+        }
+    }
+
+    #[test]
+    fn lang_names_are_identifiers() {
+        for shape in Shape::ALL {
+            let n = lang_name(shape.short());
+            assert!(n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+            assert!(!n.starts_with(|c: char| c.is_ascii_digit()), "{n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "communication locations")]
+    fn oversized_distance_rejected() {
+        // d so large location 2 collides with the result region.
+        let _ = build_program(&Shape::Isa2.events(), &layout(600));
+    }
+}

@@ -1,0 +1,143 @@
+//! # wmm-gen — litmus-test generation and the SC-enumeration oracle
+//!
+//! The paper's testing environment is exercised on the three Fig. 2
+//! idioms, each historically hand-written with a hardcoded weak-outcome
+//! predicate. This crate replaces that trio with a *generator*:
+//!
+//! * [`shape`] — a catalogue of classic communication-cycle litmus
+//!   shapes (MP, LB, SB, S, R, 2+2W, WRC, RWC, ISA2, IRIW, plus the
+//!   coherence tests CoRR and CoWW), each an abstract list of read and
+//!   write events per thread;
+//! * [`oracle`] — a small-step sequential-consistency semantics that
+//!   exhaustively interleaves a shape's events to compute the set of
+//!   SC-reachable outcomes; an observed outcome is **weak** exactly when
+//!   it is outside that set, so every weak predicate is *derived*;
+//! * [`emit`] — lowering to runnable kernels, either directly as
+//!   `wmm-sim` IR via `KernelBuilder`, or as `.litmus`-style text in the
+//!   `wmm-lang` kernel language (round-tripped through
+//!   [`wmm_lang::compile`]);
+//! * [`suite`] — a campaign runner spanning every generated test across
+//!   chips × stress strategies on the deterministic parallel layer.
+//!
+//! ```
+//! use wmm_gen::Shape;
+//! use wmm_litmus::LitmusLayout;
+//!
+//! // Build IRIW at distance 64; its forbidden outcomes come from the
+//! // SC oracle, not from a hand-written predicate.
+//! let inst = Shape::Iriw.instance(LitmusLayout::standard(64, 4096));
+//! assert_eq!(inst.threads, 4);
+//! assert!(inst.is_weak(&[1, 0, 1, 0])); // the classic IRIW violation
+//! assert!(!inst.is_weak(&[1, 1, 1, 1]));
+//! ```
+
+pub mod emit;
+pub mod oracle;
+pub mod shape;
+pub mod suite;
+
+pub use shape::{Event, Shape, TestEvents};
+pub use suite::{run_suite, StressSpec, SuiteCell, SuiteConfig};
+
+use wmm_litmus::{LitmusInstance, LitmusLayout};
+
+impl Shape {
+    /// Build a runnable instance of this shape under `layout`: the
+    /// kernel is emitted through `KernelBuilder` and the weak predicate
+    /// is derived by the SC oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout cannot host the shape (communication
+    /// locations colliding with the result region).
+    pub fn instance(&self, layout: LitmusLayout) -> LitmusInstance {
+        let ev = self.events();
+        let program = emit::build_program(&ev, &layout);
+        let threads = ev.threads.len() as u32;
+        let observers = ev.observers();
+        let allowed = oracle::sc_outcomes(&ev);
+        LitmusInstance::new(
+            self.short(),
+            layout,
+            program,
+            threads,
+            ev.num_locs(),
+            observers,
+            allowed,
+        )
+    }
+
+    /// Like [`Shape::instance`], but the kernel takes the textual route:
+    /// emitted as `wmm-lang` source ([`emit::to_lang_source`]) and
+    /// compiled back through the front end.
+    ///
+    /// # Errors
+    ///
+    /// Returns the compiler's error if the emitted source is rejected
+    /// (which would be a generator bug — the round-trip is tested).
+    pub fn instance_via_lang(
+        &self,
+        layout: LitmusLayout,
+    ) -> Result<LitmusInstance, wmm_lang::Error> {
+        let ev = self.events();
+        let src = emit::to_lang_source(&ev, &layout);
+        let program = wmm_lang::compile(&src)?;
+        let threads = ev.threads.len() as u32;
+        let observers = ev.observers();
+        let allowed = oracle::sc_outcomes(&ev);
+        Ok(LitmusInstance::new(
+            self.short(),
+            layout,
+            program,
+            threads,
+            ev.num_locs(),
+            observers,
+            allowed,
+        ))
+    }
+
+    /// The `.litmus`-style textual form of this shape under `layout`.
+    pub fn lang_source(&self, layout: LitmusLayout) -> String {
+        emit::to_lang_source(&self.events(), &layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trio_instances_carry_the_legacy_predicates() {
+        let layout = LitmusLayout::standard(64, 4096);
+        let mp = Shape::Mp.instance(layout);
+        assert!(mp.is_weak(&[1, 0]) && !mp.is_weak(&[0, 1]));
+        let lb = Shape::Lb.instance(layout);
+        assert!(lb.is_weak(&[1, 1]) && !lb.is_weak(&[1, 0]));
+        let sb = Shape::Sb.instance(layout);
+        assert!(sb.is_weak(&[0, 0]) && !sb.is_weak(&[0, 1]));
+    }
+
+    #[test]
+    fn instances_build_for_all_shapes_and_distances() {
+        for s in Shape::ALL {
+            for d in [0, 1, 31, 32, 64, 255] {
+                let i = s.instance(LitmusLayout::standard(d, 8192));
+                assert!(i.program.len() > 8);
+                assert_eq!(i.threads as usize, s.events().threads.len());
+                assert!(!i.allowed.is_empty(), "{s}: empty SC set");
+            }
+        }
+    }
+
+    #[test]
+    fn lang_route_agrees_on_metadata() {
+        let layout = LitmusLayout::standard(32, 4096);
+        for s in Shape::ALL {
+            let a = s.instance(layout);
+            let b = s.instance_via_lang(layout).unwrap();
+            assert_eq!(a.threads, b.threads, "{s}");
+            assert_eq!(a.observers, b.observers, "{s}");
+            assert_eq!(a.allowed, b.allowed, "{s}");
+        }
+    }
+}

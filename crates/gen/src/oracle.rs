@@ -1,0 +1,202 @@
+//! The sequential-consistency enumeration oracle.
+//!
+//! Under sequential consistency every execution of a litmus test is some
+//! interleaving of its threads' events against a single memory (the
+//! small-step operational reading of SC, in the SOS tradition). The
+//! tests in the catalogue are tiny — at most four threads of one or two
+//! events — so the oracle simply *enumerates every interleaving*,
+//! collecting the set of reachable outcome vectors. An observed outcome
+//! is then **weak** exactly when it is absent from that set: the weak
+//! predicate of every generated instance is derived here, never written
+//! by hand.
+//!
+//! The state space is memoised on `(thread positions, memory, reads so
+//! far)`, so even the widest shape (IRIW: 2520 interleavings) explores a
+//! few hundred distinct states.
+
+use crate::shape::{Event, TestEvents};
+use std::collections::{BTreeSet, HashSet};
+use wmm_litmus::Observer;
+
+/// Exhaustively interleave `events` under SC and return the set of
+/// reachable outcome vectors (in the order given by
+/// [`TestEvents::observers`]).
+pub fn sc_outcomes(events: &TestEvents) -> BTreeSet<Vec<u32>> {
+    let observers = events.observers();
+    let num_locs = events.num_locs() as usize;
+    let num_reads = events.num_reads() as usize;
+    let mut out = BTreeSet::new();
+    let mut seen: HashSet<(Vec<usize>, Vec<u32>, Vec<u32>)> = HashSet::new();
+    let mut pcs = vec![0usize; events.threads.len()];
+    let mut mem = vec![0u32; num_locs];
+    let mut reads = vec![0u32; num_reads];
+    dfs(
+        events, &observers, &mut pcs, &mut mem, &mut reads, &mut seen, &mut out,
+    );
+    out
+}
+
+fn dfs(
+    events: &TestEvents,
+    observers: &[Observer],
+    pcs: &mut Vec<usize>,
+    mem: &mut Vec<u32>,
+    reads: &mut Vec<u32>,
+    seen: &mut HashSet<(Vec<usize>, Vec<u32>, Vec<u32>)>,
+    out: &mut BTreeSet<Vec<u32>>,
+) {
+    if !seen.insert((pcs.clone(), mem.clone(), reads.clone())) {
+        return;
+    }
+    let mut done = true;
+    for t in 0..events.threads.len() {
+        let pc = pcs[t];
+        if pc >= events.threads[t].len() {
+            continue;
+        }
+        done = false;
+        pcs[t] += 1;
+        match events.threads[t][pc] {
+            Event::W { loc, val } => {
+                let old = mem[loc as usize];
+                mem[loc as usize] = val;
+                dfs(events, observers, pcs, mem, reads, seen, out);
+                mem[loc as usize] = old;
+            }
+            Event::R { loc } => {
+                let idx = read_index(events, t, pc);
+                let old = reads[idx];
+                reads[idx] = mem[loc as usize];
+                dfs(events, observers, pcs, mem, reads, seen, out);
+                reads[idx] = old;
+            }
+        }
+        pcs[t] -= 1;
+    }
+    if done {
+        let obs: Vec<u32> = observers
+            .iter()
+            .map(|o| match o {
+                Observer::Reg(k) => reads[*k as usize],
+                Observer::FinalMem(l) => mem[*l as usize],
+            })
+            .collect();
+        out.insert(obs);
+    }
+}
+
+/// The global (thread-major) read index of the read at `(thread, pc)`.
+fn read_index(events: &TestEvents, thread: usize, pc: usize) -> usize {
+    let mut idx = 0;
+    for (t, evs) in events.threads.iter().enumerate() {
+        for (i, e) in evs.iter().enumerate() {
+            if t == thread && i == pc {
+                return idx;
+            }
+            if matches!(e, Event::R { .. }) {
+                idx += 1;
+            }
+        }
+    }
+    unreachable!("read_index called on a non-event position")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    fn set(vs: &[&[u32]]) -> BTreeSet<Vec<u32>> {
+        vs.iter().map(|v| v.to_vec()).collect()
+    }
+
+    #[test]
+    fn mp_sc_set_excludes_exactly_the_weak_outcome() {
+        let s = sc_outcomes(&Shape::Mp.events());
+        assert_eq!(s, set(&[&[0, 0], &[0, 1], &[1, 1]]));
+    }
+
+    #[test]
+    fn lb_sc_set_excludes_double_one() {
+        let s = sc_outcomes(&Shape::Lb.events());
+        assert_eq!(s, set(&[&[0, 0], &[0, 1], &[1, 0]]));
+    }
+
+    #[test]
+    fn sb_sc_set_excludes_double_zero() {
+        let s = sc_outcomes(&Shape::Sb.events());
+        assert_eq!(s, set(&[&[0, 1], &[1, 0], &[1, 1]]));
+    }
+
+    #[test]
+    fn coww_final_value_is_always_the_second_write() {
+        let s = sc_outcomes(&Shape::CoWW.events());
+        assert_eq!(s, set(&[&[2]]));
+    }
+
+    #[test]
+    fn corr_never_reads_backwards() {
+        // Reads of one location: (0,0), (0,1), (1,1) — never (1,0).
+        let s = sc_outcomes(&Shape::CoRR.events());
+        assert_eq!(s, set(&[&[0, 0], &[0, 1], &[1, 1]]));
+    }
+
+    #[test]
+    fn two_plus_two_w_forbids_both_first_writes_last() {
+        // Outcome = final (x, y). x = 1 requires all of T1 to precede
+        // T0's first write, forcing y = 2 — so (1, 1) is unreachable,
+        // while (1,2), (2,1) and (2,2) all are.
+        let s = sc_outcomes(&Shape::TwoPlusTwoW.events());
+        assert!(!s.contains(&vec![1, 1]), "{s:?}");
+        assert!(s.contains(&vec![1, 2]));
+        assert!(s.contains(&vec![2, 1]));
+        assert!(s.contains(&vec![2, 2]));
+    }
+
+    #[test]
+    fn iriw_forbids_opposite_orders() {
+        let s = sc_outcomes(&Shape::Iriw.events());
+        // T2 sees x then not-yet y, T3 sees y then not-yet x.
+        assert!(!s.contains(&vec![1, 0, 1, 0]), "IRIW weak outcome in SC set");
+        assert!(s.contains(&vec![1, 1, 1, 1]));
+        assert!(s.contains(&vec![0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn isa2_forbidden_outcome_absent() {
+        let s = sc_outcomes(&Shape::Isa2.events());
+        assert!(!s.contains(&vec![1, 1, 0]), "ISA2 weak outcome in SC set");
+        assert!(s.contains(&vec![1, 1, 1]));
+    }
+
+    #[test]
+    fn every_shape_has_at_least_one_forbidden_outcome_in_range() {
+        // The whole point of a litmus shape: the cross-product of
+        // observed value ranges strictly contains the SC set.
+        for shape in Shape::ALL {
+            let ev = shape.events();
+            let s = sc_outcomes(&ev);
+            let width = ev.observers().len();
+            // Value range per observer: 0..=max value written anywhere.
+            let max_val = ev
+                .threads
+                .iter()
+                .flatten()
+                .filter_map(|e| match e {
+                    crate::shape::Event::W { val, .. } => Some(*val),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            let mut total = 1usize;
+            for _ in 0..width {
+                total *= (max_val + 1) as usize;
+            }
+            assert!(
+                s.len() < total,
+                "{shape}: SC set covers the whole outcome space ({total})"
+            );
+            assert!(!s.is_empty(), "{shape}: empty SC set");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The communication-cycle shape catalogue.
+//!
+//! A litmus *shape* is an abstract multi-threaded program over a handful
+//! of shared locations: per thread, an ordered list of read and write
+//! [events](Event). The catalogue enumerates the classic critical-cycle
+//! families of the weak-memory literature — the Fig. 2 trio (MP, LB, SB)
+//! the paper tests by hand, the remaining two-thread two-location cycles
+//! (S, R, 2+2W), the three-thread cycles (WRC, RWC, ISA2), the
+//! four-thread independent-reads shape (IRIW), and the per-location
+//! coherence sanity tests (CoRR, CoWW).
+//!
+//! Shapes carry *no* weak-outcome predicate: the forbidden outcomes of
+//! every shape are derived by exhaustively interleaving its events under
+//! sequential consistency ([`crate::oracle`]).
+
+use std::fmt;
+use std::str::FromStr;
+use wmm_litmus::Observer;
+
+/// One abstract memory event of a litmus shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Write `val` to location `loc`.
+    W {
+        /// Location index (0 = `x`, 1 = `y`, 2 = `z`).
+        loc: u32,
+        /// The written value (non-zero; memory starts zeroed).
+        val: u32,
+    },
+    /// Read location `loc` into the next observer register.
+    R {
+        /// Location index.
+        loc: u32,
+    },
+}
+
+/// An abstract litmus test: named threads of events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestEvents {
+    /// The shape's short name (e.g. `"MP"`).
+    pub name: String,
+    /// Per-thread event lists, thread order = block order.
+    pub threads: Vec<Vec<Event>>,
+}
+
+impl TestEvents {
+    /// Number of distinct locations the events touch.
+    pub fn num_locs(&self) -> u32 {
+        self.threads
+            .iter()
+            .flatten()
+            .map(|e| match e {
+                Event::W { loc, .. } | Event::R { loc } => loc + 1,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of read events (= observer registers), thread-major order.
+    pub fn num_reads(&self) -> u32 {
+        self.threads
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, Event::R { .. }))
+            .count() as u32
+    }
+
+    /// The observers of this shape's outcome vector: one register per
+    /// read (thread-major order), then the final memory value of every
+    /// location written more than once — for those, *which* write lands
+    /// last is part of the outcome (S, R, 2+2W, CoWW).
+    pub fn observers(&self) -> Vec<Observer> {
+        let mut out: Vec<Observer> = (0..self.num_reads()).map(Observer::Reg).collect();
+        let mut writes_per_loc = vec![0u32; self.num_locs() as usize];
+        for e in self.threads.iter().flatten() {
+            if let Event::W { loc, .. } = e {
+                writes_per_loc[*loc as usize] += 1;
+            }
+        }
+        for (loc, &n) in writes_per_loc.iter().enumerate() {
+            if n >= 2 {
+                out.push(Observer::FinalMem(loc as u32));
+            }
+        }
+        out
+    }
+}
+
+/// The generated shape catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Shape {
+    /// Message passing (Fig. 2).
+    Mp,
+    /// Load buffering (Fig. 2).
+    Lb,
+    /// Store buffering (Fig. 2).
+    Sb,
+    /// Store-to-read causality: `Wx2; Wy1 ∥ Ry; Wx1`.
+    S,
+    /// Read-to-write causality: `Wx1; Wy1 ∥ Wy2; Rx`.
+    R,
+    /// Two-plus-two writes: `Wx1; Wy2 ∥ Wy1; Wx2`.
+    TwoPlusTwoW,
+    /// Write-to-read causality, three threads.
+    Wrc,
+    /// Read-to-write causality, three threads.
+    Rwc,
+    /// The ISA2 three-thread transitive cycle.
+    Isa2,
+    /// Independent reads of independent writes, four threads.
+    Iriw,
+    /// Coherence of read-read pairs on one location.
+    CoRR,
+    /// Coherence of write-write pairs on one location.
+    CoWW,
+}
+
+impl Shape {
+    /// Every shape in the catalogue.
+    pub const ALL: [Shape; 12] = [
+        Shape::Mp,
+        Shape::Lb,
+        Shape::Sb,
+        Shape::S,
+        Shape::R,
+        Shape::TwoPlusTwoW,
+        Shape::Wrc,
+        Shape::Rwc,
+        Shape::Isa2,
+        Shape::Iriw,
+        Shape::CoRR,
+        Shape::CoWW,
+    ];
+
+    /// The paper's Fig. 2 trio — the shapes the tuning pipeline
+    /// campaigns over.
+    pub const TRIO: [Shape; 3] = [Shape::Mp, Shape::Lb, Shape::Sb];
+
+    /// The conventional short name.
+    pub fn short(&self) -> &'static str {
+        match self {
+            Shape::Mp => "MP",
+            Shape::Lb => "LB",
+            Shape::Sb => "SB",
+            Shape::S => "S",
+            Shape::R => "R",
+            Shape::TwoPlusTwoW => "2+2W",
+            Shape::Wrc => "WRC",
+            Shape::Rwc => "RWC",
+            Shape::Isa2 => "ISA2",
+            Shape::Iriw => "IRIW",
+            Shape::CoRR => "CoRR",
+            Shape::CoWW => "CoWW",
+        }
+    }
+
+    /// The abstract event structure of the shape. Every outcome-relevant
+    /// fact about the shape — including which outcomes are forbidden — is
+    /// derived from this list; nothing else is stored per shape.
+    pub fn events(&self) -> TestEvents {
+        use Event::{R, W};
+        let (x, y, z) = (0u32, 1u32, 2u32);
+        let threads: Vec<Vec<Event>> = match self {
+            Shape::Mp => vec![
+                vec![W { loc: x, val: 1 }, W { loc: y, val: 1 }],
+                vec![R { loc: y }, R { loc: x }],
+            ],
+            Shape::Lb => vec![
+                vec![R { loc: x }, W { loc: y, val: 1 }],
+                vec![R { loc: y }, W { loc: x, val: 1 }],
+            ],
+            Shape::Sb => vec![
+                vec![W { loc: x, val: 1 }, R { loc: y }],
+                vec![W { loc: y, val: 1 }, R { loc: x }],
+            ],
+            Shape::S => vec![
+                vec![W { loc: x, val: 2 }, W { loc: y, val: 1 }],
+                vec![R { loc: y }, W { loc: x, val: 1 }],
+            ],
+            Shape::R => vec![
+                vec![W { loc: x, val: 1 }, W { loc: y, val: 1 }],
+                vec![W { loc: y, val: 2 }, R { loc: x }],
+            ],
+            Shape::TwoPlusTwoW => vec![
+                vec![W { loc: x, val: 1 }, W { loc: y, val: 2 }],
+                vec![W { loc: y, val: 1 }, W { loc: x, val: 2 }],
+            ],
+            Shape::Wrc => vec![
+                vec![W { loc: x, val: 1 }],
+                vec![R { loc: x }, W { loc: y, val: 1 }],
+                vec![R { loc: y }, R { loc: x }],
+            ],
+            Shape::Rwc => vec![
+                vec![W { loc: x, val: 1 }],
+                vec![R { loc: x }, R { loc: y }],
+                vec![W { loc: y, val: 1 }, R { loc: x }],
+            ],
+            Shape::Isa2 => vec![
+                vec![W { loc: x, val: 1 }, W { loc: y, val: 1 }],
+                vec![R { loc: y }, W { loc: z, val: 1 }],
+                vec![R { loc: z }, R { loc: x }],
+            ],
+            Shape::Iriw => vec![
+                vec![W { loc: x, val: 1 }],
+                vec![W { loc: y, val: 1 }],
+                vec![R { loc: x }, R { loc: y }],
+                vec![R { loc: y }, R { loc: x }],
+            ],
+            Shape::CoRR => vec![
+                vec![W { loc: x, val: 1 }],
+                vec![R { loc: x }, R { loc: x }],
+            ],
+            Shape::CoWW => vec![vec![W { loc: x, val: 1 }, W { loc: x, val: 2 }]],
+        };
+        TestEvents {
+            name: self.short().to_string(),
+            threads,
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short())
+    }
+}
+
+impl FromStr for Shape {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Shape::ALL
+            .into_iter()
+            .find(|sh| sh.short().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown litmus shape {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_names_are_unique() {
+        let names: std::collections::BTreeSet<&str> =
+            Shape::ALL.iter().map(|s| s.short()).collect();
+        assert_eq!(names.len(), Shape::ALL.len());
+    }
+
+    #[test]
+    fn trio_is_fig2() {
+        assert_eq!(
+            Shape::TRIO.map(|s| s.short()),
+            ["MP", "LB", "SB"]
+        );
+    }
+
+    #[test]
+    fn thread_counts() {
+        assert_eq!(Shape::Mp.events().threads.len(), 2);
+        assert_eq!(Shape::Wrc.events().threads.len(), 3);
+        assert_eq!(Shape::Iriw.events().threads.len(), 4);
+        assert_eq!(Shape::CoWW.events().threads.len(), 1);
+    }
+
+    #[test]
+    fn observers_cover_reads_and_multiwritten_locations() {
+        use wmm_litmus::Observer;
+        // MP: two reads, no multi-written locations.
+        assert_eq!(
+            Shape::Mp.events().observers(),
+            vec![Observer::Reg(0), Observer::Reg(1)]
+        );
+        // 2+2W: no reads, both locations written twice.
+        assert_eq!(
+            Shape::TwoPlusTwoW.events().observers(),
+            vec![Observer::FinalMem(0), Observer::FinalMem(1)]
+        );
+        // S: one read plus the doubly-written x.
+        assert_eq!(
+            Shape::S.events().observers(),
+            vec![Observer::Reg(0), Observer::FinalMem(0)]
+        );
+        // IRIW: four reads only.
+        assert_eq!(Shape::Iriw.events().observers().len(), 4);
+    }
+
+    #[test]
+    fn locations_counted() {
+        assert_eq!(Shape::Mp.events().num_locs(), 2);
+        assert_eq!(Shape::Isa2.events().num_locs(), 3);
+        assert_eq!(Shape::CoRR.events().num_locs(), 1);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in Shape::ALL {
+            assert_eq!(s.short().parse::<Shape>().unwrap(), s);
+        }
+        assert!("XYZ".parse::<Shape>().is_err());
+        assert_eq!("iriw".parse::<Shape>().unwrap(), Shape::Iriw);
+    }
+}

@@ -1,0 +1,200 @@
+//! The generated-suite campaign runner.
+//!
+//! Campaigns every generated litmus instance across a grid of chips ×
+//! stress strategies × distances on the deterministic parallel layer
+//! (`wmm_litmus::parallel`, via [`run_many`]). Stress strategies are
+//! passed in as factories so this crate stays below `wmm-core` in the
+//! crate graph: the `repro suite` subcommand instantiates them from the
+//! paper's tuned strategies.
+
+use crate::Shape;
+use rand::rngs::SmallRng;
+use std::sync::Arc;
+use wmm_litmus::runner::mix_seed;
+use wmm_litmus::{run_many, Histogram, LitmusLayout, RunManyConfig, StressParts};
+use wmm_sim::chip::Chip;
+
+/// A named stress strategy for the suite: a per-run factory of
+/// stressing blocks plus the thread-randomisation toggle (the `+`/`-`
+/// suffix of the paper's environment names).
+pub struct StressSpec {
+    /// Display name, e.g. `"sys-str+"`.
+    pub name: String,
+    /// Whether thread ids are randomised.
+    pub randomize: bool,
+    /// Build one run's stressing blocks for a chip.
+    #[allow(clippy::type_complexity)]
+    pub make: Arc<dyn Fn(&Chip, &mut SmallRng) -> StressParts + Send + Sync>,
+}
+
+impl StressSpec {
+    /// The native environment: no stressing blocks, no randomisation.
+    pub fn native() -> Self {
+        StressSpec {
+            name: "no-str-".to_string(),
+            randomize: false,
+            make: Arc::new(|_, _| (Vec::new(), Vec::new())),
+        }
+    }
+}
+
+/// Suite campaign configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Distances `d` each shape is instantiated at.
+    pub distances: Vec<u32>,
+    /// Executions per cell (the paper's `C`).
+    pub execs: u32,
+    /// Words of global memory per launch (must cover the scratchpad the
+    /// strategies stress).
+    pub global_words: u32,
+    /// Base seed; each cell derives its own seed from its coordinates,
+    /// so results are independent of cell iteration order.
+    pub base_seed: u64,
+    /// Worker threads per cell campaign (0 ⇒ all cores). Histograms are
+    /// bit-identical for every value (see `wmm_litmus::run_many`).
+    pub workers: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            distances: vec![64],
+            execs: 32,
+            global_words: 8192,
+            base_seed: 2016,
+            workers: 0,
+        }
+    }
+}
+
+/// One cell of the suite matrix: a shape at a distance, on a chip,
+/// under a strategy.
+#[derive(Debug, Clone)]
+pub struct SuiteCell {
+    /// The generated shape.
+    pub shape: Shape,
+    /// The instantiation distance.
+    pub distance: u32,
+    /// Chip short name.
+    pub chip: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// The outcome histogram (weak = outside the derived SC set).
+    pub hist: Histogram,
+}
+
+impl SuiteCell {
+    /// Weak outcomes as a fraction of total.
+    pub fn weak_rate(&self) -> f64 {
+        self.hist.weak_rate()
+    }
+}
+
+/// Campaign every `shape × distance × chip × strategy` cell and return
+/// the matrix in that (row-major) order.
+///
+/// Deterministic in `(shapes, cfg, chips, strategies)`: each cell's
+/// campaign seed is [`mix_seed`]-derived from the cell's coordinates
+/// alone and `run_many` is worker-count-independent, so the result is
+/// bit-identical for every `cfg.workers`.
+pub fn run_suite(
+    shapes: &[Shape],
+    chips: &[Chip],
+    strategies: &[StressSpec],
+    cfg: &SuiteConfig,
+) -> Vec<SuiteCell> {
+    let mut cells = Vec::new();
+    for (si, shape) in shapes.iter().enumerate() {
+        for &d in &cfg.distances {
+            let inst = shape.instance(LitmusLayout::standard(d, cfg.global_words));
+            for (ci, chip) in chips.iter().enumerate() {
+                for (ki, strat) in strategies.iter().enumerate() {
+                    let chip2 = chip.clone();
+                    let make = Arc::clone(&strat.make);
+                    // Chain one mix per coordinate: unlike a polynomial
+                    // pack, this cannot collide for any in-range values.
+                    let cell_seed = [si as u64, u64::from(d), ci as u64, ki as u64]
+                        .into_iter()
+                        .fold(cfg.base_seed, mix_seed);
+                    let hist = run_many(
+                        chip,
+                        &inst,
+                        move |rng| make(&chip2, rng),
+                        RunManyConfig {
+                            count: cfg.execs,
+                            base_seed: cell_seed,
+                            randomize_ids: strat.randomize,
+                            parallelism: cfg.workers,
+                        },
+                    );
+                    cells.push(SuiteCell {
+                        shape: *shape,
+                        distance: d,
+                        chip: chip.short.to_string(),
+                        strategy: strat.name.clone(),
+                        hist,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strong_chip() -> Chip {
+        let mut c = Chip::by_short("K20").unwrap();
+        c.reorder.base = [0.0; 4];
+        c.reorder.gain = [0.0; 4];
+        c
+    }
+
+    #[test]
+    fn native_suite_on_sc_chip_has_no_weak_outcomes() {
+        let cfg = SuiteConfig {
+            execs: 12,
+            ..Default::default()
+        };
+        let cells = run_suite(
+            &Shape::ALL,
+            &[strong_chip()],
+            &[StressSpec::native()],
+            &cfg,
+        );
+        assert_eq!(cells.len(), Shape::ALL.len());
+        for c in &cells {
+            assert_eq!(c.hist.weak(), 0, "{} on SC chip: {}", c.shape, c.hist);
+            assert_eq!(c.hist.total(), u64::from(cfg.execs));
+        }
+    }
+
+    #[test]
+    fn suite_is_worker_count_independent() {
+        let chips = [Chip::by_short("Titan").unwrap()];
+        let shapes = [Shape::Mp, Shape::Iriw, Shape::CoWW];
+        let base = SuiteConfig {
+            execs: 16,
+            ..Default::default()
+        };
+        let runs: Vec<Vec<SuiteCell>> = [1usize, 2, 8]
+            .into_iter()
+            .map(|w| {
+                let cfg = SuiteConfig {
+                    workers: w,
+                    ..base.clone()
+                };
+                run_suite(&shapes, &chips, &[StressSpec::native()], &cfg)
+            })
+            .collect();
+        for other in &runs[1..] {
+            assert_eq!(runs[0].len(), other.len());
+            for (a, b) in runs[0].iter().zip(other.iter()) {
+                assert_eq!(a.hist, b.hist, "{} {}", a.shape, a.strategy);
+            }
+        }
+    }
+}

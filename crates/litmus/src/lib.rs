@@ -1,16 +1,19 @@
-//! # wmm-litmus — weak-memory litmus tests for the simulated GPU
+//! # wmm-litmus — the weak-memory litmus runtime for the simulated GPU
 //!
-//! The MP (message passing), LB (load buffering) and SB (store buffering)
-//! tests of the paper's Fig. 2, parameterised the way Sec. 3 requires:
-//! by the *distance* `d` between the two communication locations, with
-//! the communicating threads placed in distinct blocks and the locations
-//! in global memory.
+//! Generic litmus *instances* — a kernel, a memory layout, a set of
+//! [observers](Observer) and the SC-reachable outcome set that defines
+//! the weak predicate — plus the machinery to [run](run_many) them
+//! repeatedly (optionally alongside caller-supplied stressing blocks)
+//! and histogram the outcomes.
 //!
-//! The crate builds litmus [instances](LitmusInstance) (kernel + memory
-//! layout + weak-outcome predicate) and [runs](run_many) them repeatedly —
-//! optionally alongside caller-supplied stressing blocks — counting weak
-//! behaviours. The tuning pipeline in `wmm-core` drives these runners for
-//! its patch-finding, access-sequence and spread searches.
+//! Instances are *constructed* elsewhere: the `wmm-gen` crate enumerates
+//! the classic communication-cycle shapes (MP, LB, SB, IRIW, …),
+//! parameterised by the distance `d` between communication locations the
+//! way Sec. 3 of the paper requires, and derives each instance's
+//! `allowed` set with an exhaustive sequential-consistency oracle. This
+//! crate deliberately contains no shape catalogue and no hardcoded weak
+//! predicates — an outcome is weak exactly when it is absent from the
+//! instance's SC set.
 
 pub mod outcome;
 pub mod parallel;
@@ -19,68 +22,55 @@ pub mod runner;
 pub use outcome::{Histogram, LitmusOutcome};
 pub use runner::{run_instance, run_many, RunManyConfig, StressParts};
 
-use std::fmt;
+use std::collections::BTreeSet;
 use std::sync::Arc;
-use wmm_sim::exec::{KernelGroup, LaunchSpec, Role};
-use wmm_sim::ir::builder::KernelBuilder;
+use wmm_sim::exec::{KernelGroup, LaunchSpec, Role, RunResult};
 use wmm_sim::ir::Program;
 
-/// The three idiomatic weak-memory tests of Fig. 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum LitmusTest {
-    /// Message passing: `T1: x←1; y←1` ∥ `T2: r1←y; r2←x`;
-    /// weak when `r1 = 1 ∧ r2 = 0`.
-    Mp,
-    /// Load buffering: `T1: r1←x; y←1` ∥ `T2: r2←y; x←1`;
-    /// weak when `r1 = 1 ∧ r2 = 1`.
-    Lb,
-    /// Store buffering: `T1: x←1; r1←y` ∥ `T2: y←1; r2←x`;
-    /// weak when `r1 = 0 ∧ r2 = 0`.
-    Sb,
+/// Observer slots reserved after `result_base` (bounds the number of
+/// reads a generated test may observe; the sync counter lives past them).
+pub const MAX_OBSERVERS: u32 = 8;
+
+/// Where one observed value of an outcome vector comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Observer {
+    /// The value stored by the test's `k`-th read (in thread-major
+    /// program order), written by the kernel to `result_base + k`.
+    Reg(u32),
+    /// The final memory value of communication location `k` (read from
+    /// the drained memory image at [`LitmusLayout::loc_addr`]). Used by
+    /// write-only shapes (2+2W, CoWW) and mixed shapes (S, R) whose
+    /// outcome depends on which write to a location lands last.
+    FinalMem(u32),
 }
 
-impl LitmusTest {
-    /// All three tests in the paper's order.
-    pub const ALL: [LitmusTest; 3] = [LitmusTest::Mp, LitmusTest::Lb, LitmusTest::Sb];
-
-    /// The paper's abbreviation.
-    pub fn short(&self) -> &'static str {
+impl Observer {
+    /// A short label for table and histogram output: `r{k}` for register
+    /// observers, `m{k}` for final-memory observers.
+    pub fn label(&self) -> String {
         match self {
-            LitmusTest::Mp => "MP",
-            LitmusTest::Lb => "LB",
-            LitmusTest::Sb => "SB",
+            Observer::Reg(k) => format!("r{k}"),
+            Observer::FinalMem(k) => format!("m{k}"),
         }
-    }
-
-    /// Is `(r1, r2)` the weak outcome for this test?
-    pub fn is_weak(&self, r1: u32, r2: u32) -> bool {
-        match self {
-            LitmusTest::Mp => r1 == 1 && r2 == 0,
-            LitmusTest::Lb => r1 == 1 && r2 == 1,
-            LitmusTest::Sb => r1 == 0 && r2 == 0,
-        }
-    }
-}
-
-impl fmt::Display for LitmusTest {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.short())
     }
 }
 
 /// Memory layout of a litmus instance.
 ///
-/// `x` sits at `comm_base` (keep it line-aligned so "distance below the
-/// patch size" means "same line", as in the paper's plots); `y` sits
-/// `distance` words later (adjacent when `distance = 0`). The observed
-/// registers are written to `result_base` and `result_base + 1`.
+/// Communication location `k` sits at `comm_base + k·max(d, 1)` — so at
+/// `distance = 0` the locations are adjacent words (same line on every
+/// chip), and the distance between consecutive locations is `d` words
+/// otherwise, exactly the parameterisation the paper's plots sweep. The
+/// observed read values are written to `result_base..result_base + k`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LitmusLayout {
-    /// Address of `x` (word index in global memory).
+    /// Address of the first communication location (keep it line-aligned
+    /// so "distance below the patch size" means "same line", as in the
+    /// paper's plots).
     pub comm_base: u32,
-    /// Distance `d` in words between the communication locations.
+    /// Distance `d` in words between consecutive communication locations.
     pub distance: u32,
-    /// Where the two observed registers are stored after the test.
+    /// Where observed read values are stored after the test.
     pub result_base: u32,
     /// Total words of global memory in the launch (must cover the
     /// scratchpad any stressing blocks target).
@@ -88,8 +78,8 @@ pub struct LitmusLayout {
 }
 
 impl LitmusLayout {
-    /// A standard layout: `x` at word 0, results at word 1024, and
-    /// `global_words` words of memory overall.
+    /// A standard layout: communication at word 0, results at word 1024,
+    /// and `global_words` words of memory overall.
     pub fn standard(distance: u32, global_words: u32) -> Self {
         LitmusLayout {
             comm_base: 0,
@@ -99,137 +89,129 @@ impl LitmusLayout {
         }
     }
 
-    /// Address of `y`.
+    /// Address of communication location `k`.
+    pub fn loc_addr(&self, k: u32) -> u32 {
+        self.comm_base + k * self.distance.max(1)
+    }
+
+    /// Address of the second location (`y` in the two-location tests).
     pub fn y_addr(&self) -> u32 {
-        self.comm_base + self.distance.max(1)
+        self.loc_addr(1)
     }
 
     /// Address of the start-alignment counter (see
-    /// [`LitmusInstance::build`]).
+    /// [`LitmusInstance::new`]), past the observer slots.
     pub fn sync_addr(&self) -> u32 {
-        self.result_base + 2
+        self.result_base + MAX_OBSERVERS
     }
 }
 
-/// A ready-to-run litmus test: program, layout and launch skeleton.
+/// A ready-to-run litmus test: program, layout, launch skeleton,
+/// observers, and the SC-reachable outcome set its weak predicate is
+/// derived from.
 #[derive(Debug, Clone)]
 pub struct LitmusInstance {
-    /// Which idiom.
-    pub test: LitmusTest,
+    /// The test's name (e.g. `"MP"`, `"IRIW"`), used in diagnostics.
+    pub name: String,
     /// The memory layout.
     pub layout: LitmusLayout,
-    /// The two-thread kernel (threads in distinct blocks).
+    /// The kernel (every test thread in a distinct block).
     pub program: Arc<Program>,
+    /// Number of test threads (= blocks of the app kernel group).
+    pub threads: u32,
+    /// Number of communication locations the kernel touches.
+    pub locations: u32,
+    /// Where each entry of the outcome vector is observed.
+    pub observers: Vec<Observer>,
+    /// The set of outcome vectors reachable under sequential
+    /// consistency. An observed outcome is *weak* iff it is not in this
+    /// set — the predicate is derived, never hardcoded.
+    pub allowed: Arc<BTreeSet<Vec<u32>>>,
 }
 
 impl LitmusInstance {
-    /// Build the kernel for `test` under `layout`.
-    ///
-    /// The kernel launches as two blocks of one warp each; only lane 0 of
-    /// each block participates (the paper's tests likewise use one active
-    /// thread per block). Blocks are distinct so all communication is
-    /// inter-block, through global memory.
+    /// Assemble an instance from parts, checking layout invariants.
     ///
     /// # Panics
     ///
-    /// Panics if the layout places results inside the communication
-    /// region or memory is too small.
-    pub fn build(test: LitmusTest, layout: LitmusLayout) -> Self {
+    /// Panics if any of the `locations` communication locations reaches
+    /// the result region, memory is too small, an observer references a
+    /// location outside `locations`, or there are more register
+    /// observers than [`MAX_OBSERVERS`].
+    pub fn new(
+        name: impl Into<String>,
+        layout: LitmusLayout,
+        program: Program,
+        threads: u32,
+        locations: u32,
+        observers: Vec<Observer>,
+        allowed: BTreeSet<Vec<u32>>,
+    ) -> Self {
+        assert!(threads >= 1, "a litmus test needs at least one thread");
+        assert!(locations >= 1, "a litmus test touches at least one location");
         assert!(
-            layout.result_base > layout.y_addr(),
-            "results must not overlap communication locations"
+            layout.loc_addr(locations - 1) < layout.result_base,
+            "communication locations must sit below the result region"
         );
-        assert!(
-            layout.global_words > layout.result_base + 2,
-            "global memory too small for layout"
-        );
-        let mut b = KernelBuilder::new(format!("litmus-{}", test.short()));
-        let tid = b.tid();
-        let zero = b.const_(0);
-        let is_lane0 = b.eq(tid, zero);
-        b.if_(is_lane0, |b| {
-            // Start alignment: both test threads rendezvous on a counter
-            // before racing, maximising their temporal overlap (the GPU
-            // LITMUS tool uses the same trick; without it most runs have
-            // the two threads executing far apart in time).
-            let sync = b.const_(layout.sync_addr());
-            let one = b.const_(1);
-            let two = b.const_(2);
-            let _ = b.atomic_add_global(sync, one);
-            b.while_(
-                |b| {
-                    let seen = b.load_global(sync);
-                    b.ne(seen, two)
-                },
-                |_| {},
-            );
-            let bid = b.bid();
-            let zero = b.const_(0);
-            let is_t1 = b.eq(bid, zero);
-            let x = b.const_(layout.comm_base);
-            let y = b.const_(layout.y_addr());
-            let one = b.const_(1);
-            let res1 = b.const_(layout.result_base);
-            let res2 = b.const_(layout.result_base + 1);
-            match test {
-                LitmusTest::Mp => {
-                    b.if_else(
-                        is_t1,
-                        |b| {
-                            b.store_global(x, one);
-                            b.store_global(y, one);
-                        },
-                        |b| {
-                            let r1 = b.load_global(y);
-                            let r2 = b.load_global(x);
-                            b.store_global(res1, r1);
-                            b.store_global(res2, r2);
-                        },
-                    );
+        for o in &observers {
+            match o {
+                Observer::Reg(k) => {
+                    assert!(*k < MAX_OBSERVERS, "observer register {k} out of range")
                 }
-                LitmusTest::Lb => {
-                    b.if_else(
-                        is_t1,
-                        |b| {
-                            let r1 = b.load_global(x);
-                            b.store_global(y, one);
-                            b.store_global(res1, r1);
-                        },
-                        |b| {
-                            let r2 = b.load_global(y);
-                            b.store_global(x, one);
-                            b.store_global(res2, r2);
-                        },
-                    );
-                }
-                LitmusTest::Sb => {
-                    b.if_else(
-                        is_t1,
-                        |b| {
-                            b.store_global(x, one);
-                            let r1 = b.load_global(y);
-                            b.store_global(res1, r1);
-                        },
-                        |b| {
-                            b.store_global(y, one);
-                            let r2 = b.load_global(x);
-                            b.store_global(res2, r2);
-                        },
-                    );
+                Observer::FinalMem(k) => {
+                    assert!(*k < locations, "observed location {k} out of range")
                 }
             }
-        });
-        let program = b.finish().expect("litmus kernel is valid by construction");
+        }
+        assert!(
+            layout.global_words > layout.sync_addr(),
+            "global memory too small for layout"
+        );
         LitmusInstance {
-            test,
+            name: name.into(),
             layout,
             program: Arc::new(program),
+            threads,
+            locations,
+            observers,
+            allowed: Arc::new(allowed),
         }
+    }
+
+    /// Read this instance's outcome vector back from a finished run:
+    /// register observers from the result region, final-memory
+    /// observers from the drained memory image.
+    pub fn observe(&self, result: &RunResult) -> Vec<u32> {
+        self.observers
+            .iter()
+            .map(|o| match o {
+                Observer::Reg(k) => result.word(self.layout.result_base + k),
+                Observer::FinalMem(k) => result.word(self.layout.loc_addr(*k)),
+            })
+            .collect()
+    }
+
+    /// Is this outcome vector weak, i.e. unreachable under SC?
+    pub fn is_weak(&self, obs: &[u32]) -> bool {
+        !self.allowed.contains(obs)
+    }
+
+    /// Labels for the outcome vector entries, observer order.
+    pub fn labels(&self) -> Vec<String> {
+        self.observers.iter().map(Observer::label).collect()
+    }
+
+    /// Render a histogram with this instance's weak outcomes flagged.
+    pub fn display_histogram(&self, h: &Histogram) -> String {
+        h.display_flagged(&self.labels(), |obs| self.is_weak(obs))
     }
 
     /// The launch spec for this instance plus any stressing groups and
     /// the memory initialisation they require (e.g. a stress-location
-    /// table).
+    /// table). The test launches as `threads` blocks of one warp each;
+    /// only lane 0 of each block participates (the paper's tests likewise
+    /// use one active thread per block), so all communication is
+    /// inter-block, through global memory.
     pub fn launch(
         &self,
         stress: Vec<KernelGroup>,
@@ -238,7 +220,7 @@ impl LitmusInstance {
     ) -> LaunchSpec {
         let mut groups = vec![KernelGroup {
             program: Arc::clone(&self.program),
-            blocks: 2,
+            blocks: self.threads,
             threads_per_block: 32,
             role: Role::App,
         }];
@@ -256,48 +238,115 @@ impl LitmusInstance {
 }
 
 #[cfg(test)]
+pub(crate) mod testutil {
+    //! A hand-assembled MP instance for this crate's unit tests (the
+    //! real construction path lives in `wmm-gen`; duplicating one tiny
+    //! kernel here keeps the crate graph acyclic).
+
+    use super::*;
+    use wmm_sim::ir::builder::KernelBuilder;
+
+    /// Build MP under `layout` with its SC set written out longhand.
+    pub fn mp_instance(layout: LitmusLayout) -> LitmusInstance {
+        let mut b = KernelBuilder::new("litmus-MP-test");
+        let tid = b.tid();
+        let zero = b.const_(0);
+        let is_lane0 = b.eq(tid, zero);
+        b.if_(is_lane0, |b| {
+            let sync = b.const_(layout.sync_addr());
+            let one = b.const_(1);
+            let two = b.const_(2);
+            let _ = b.atomic_add_global(sync, one);
+            b.while_(
+                |b| {
+                    let seen = b.load_global(sync);
+                    b.ne(seen, two)
+                },
+                |_| {},
+            );
+            let bid = b.bid();
+            let zero = b.const_(0);
+            let is_t0 = b.eq(bid, zero);
+            let x = b.const_(layout.loc_addr(0));
+            let y = b.const_(layout.loc_addr(1));
+            let one = b.const_(1);
+            let res0 = b.const_(layout.result_base);
+            let res1 = b.const_(layout.result_base + 1);
+            b.if_else(
+                is_t0,
+                |b| {
+                    b.store_global(x, one);
+                    b.store_global(y, one);
+                },
+                |b| {
+                    let r0 = b.load_global(y);
+                    let r1 = b.load_global(x);
+                    b.store_global(res0, r0);
+                    b.store_global(res1, r1);
+                },
+            );
+        });
+        let program = b.finish().expect("test kernel is valid");
+        let allowed: BTreeSet<Vec<u32>> =
+            [vec![0, 0], vec![0, 1], vec![1, 1]].into_iter().collect();
+        LitmusInstance::new(
+            "MP",
+            layout,
+            program,
+            2,
+            2,
+            vec![Observer::Reg(0), Observer::Reg(1)],
+            allowed,
+        )
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn weak_predicates_match_fig_2() {
-        assert!(LitmusTest::Mp.is_weak(1, 0));
-        assert!(!LitmusTest::Mp.is_weak(1, 1));
-        assert!(!LitmusTest::Mp.is_weak(0, 0));
-        assert!(!LitmusTest::Mp.is_weak(0, 1));
-        assert!(LitmusTest::Lb.is_weak(1, 1));
-        assert!(!LitmusTest::Lb.is_weak(0, 1));
-        assert!(LitmusTest::Sb.is_weak(0, 0));
-        assert!(!LitmusTest::Sb.is_weak(1, 0));
+    fn weak_predicate_is_set_complement() {
+        let inst = testutil::mp_instance(LitmusLayout::standard(64, 4096));
+        assert!(inst.is_weak(&[1, 0]));
+        assert!(!inst.is_weak(&[1, 1]));
+        assert!(!inst.is_weak(&[0, 0]));
+        assert!(!inst.is_weak(&[0, 1]));
+        // Garbage values are not SC-reachable either.
+        assert!(inst.is_weak(&[2, 2]));
     }
 
     #[test]
     fn layout_distance_zero_is_adjacent() {
         let l = LitmusLayout::standard(0, 4096);
         assert_eq!(l.y_addr(), 1);
+        assert_eq!(l.loc_addr(2), 2);
         let l = LitmusLayout::standard(64, 4096);
         assert_eq!(l.y_addr(), 64);
+        assert_eq!(l.loc_addr(2), 128);
     }
 
     #[test]
-    fn instances_build_for_all_tests_and_distances() {
-        for t in LitmusTest::ALL {
-            for d in [0, 1, 31, 32, 64, 255] {
-                let i = LitmusInstance::build(t, LitmusLayout::standard(d, 8192));
-                assert!(i.program.len() > 8);
-            }
-        }
+    fn sync_counter_sits_past_observer_slots() {
+        let l = LitmusLayout::standard(32, 4096);
+        assert_eq!(l.sync_addr(), l.result_base + MAX_OBSERVERS);
     }
 
     #[test]
-    #[should_panic(expected = "results must not overlap")]
-    fn overlapping_results_rejected() {
+    fn observer_labels() {
+        assert_eq!(Observer::Reg(0).label(), "r0");
+        assert_eq!(Observer::FinalMem(1).label(), "m1");
+    }
+
+    #[test]
+    #[should_panic(expected = "global memory too small")]
+    fn undersized_memory_rejected() {
         let l = LitmusLayout {
             comm_base: 0,
-            distance: 2000,
+            distance: 2,
             result_base: 1024,
-            global_words: 8192,
+            global_words: 1030,
         };
-        let _ = LitmusInstance::build(LitmusTest::Mp, l);
+        let _ = testutil::mp_instance(l);
     }
 }

@@ -1,25 +1,29 @@
-//! Litmus run outcomes and histograms.
+//! Litmus run outcomes and histograms, over N observer values.
+//!
+//! Until the generator subsystem landed, outcomes were hardwired to the
+//! `(r1, r2)` register pair of the Fig. 2 trio. An outcome is now an
+//! arbitrary-length vector of observed values — one entry per
+//! [`Observer`](crate::Observer) of the instance — so the same histogram
+//! machinery serves two-thread coherence tests and four-thread IRIW
+//! alike.
 
-use crate::LitmusTest;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// The observed registers of one litmus execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The observed values of one litmus execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LitmusOutcome {
-    /// `r1` as defined in Fig. 2.
-    pub r1: u32,
-    /// `r2` as defined in Fig. 2.
-    pub r2: u32,
-    /// Whether this is the test's weak outcome.
+    /// One value per observer of the instance, in observer order.
+    pub obs: Vec<u32>,
+    /// Whether this outcome is outside the test's SC-reachable set.
     pub weak: bool,
 }
 
-/// A histogram of `(r1, r2)` outcomes over many executions, in the style
-/// of the `litmus` tool's output.
+/// A histogram of observer-vector outcomes over many executions, in the
+/// style of the `litmus` tool's output.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
-    counts: BTreeMap<(u32, u32), u64>,
+    counts: BTreeMap<Vec<u32>, u64>,
     weak: u64,
     total: u64,
 }
@@ -32,7 +36,7 @@ impl Histogram {
 
     /// Record one outcome.
     pub fn record(&mut self, outcome: LitmusOutcome) {
-        *self.counts.entry((outcome.r1, outcome.r2)).or_insert(0) += 1;
+        *self.counts.entry(outcome.obs).or_insert(0) += 1;
         self.total += 1;
         if outcome.weak {
             self.weak += 1;
@@ -41,8 +45,8 @@ impl Histogram {
 
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
-        for (&k, &v) in &other.counts {
-            *self.counts.entry(k).or_insert(0) += v;
+        for (k, &v) in &other.counts {
+            *self.counts.entry(k.clone()).or_insert(0) += v;
         }
         self.total += other.total;
         self.weak += other.weak;
@@ -67,22 +71,35 @@ impl Histogram {
         }
     }
 
-    /// Count for a specific `(r1, r2)` outcome.
-    pub fn count(&self, r1: u32, r2: u32) -> u64 {
-        self.counts.get(&(r1, r2)).copied().unwrap_or(0)
+    /// Count for a specific observer vector.
+    pub fn count(&self, obs: &[u32]) -> u64 {
+        self.counts.get(obs).copied().unwrap_or(0)
     }
 
-    /// Iterate over `((r1, r2), count)` pairs in sorted order.
-    pub fn iter(&self) -> impl Iterator<Item = ((u32, u32), u64)> + '_ {
-        self.counts.iter().map(|(&k, &v)| (k, v))
+    /// Iterate over `(observer vector, count)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], u64)> + '_ {
+        self.counts.iter().map(|(k, &v)| (k.as_slice(), v))
     }
 
-    /// Render with the weak outcome of `test` flagged `*`, litmus-style.
-    pub fn display_for(&self, test: LitmusTest) -> String {
+    /// Render with outcomes satisfying `is_weak` flagged `*`,
+    /// litmus-style, labelling values with the provided observer names.
+    pub fn display_flagged(
+        &self,
+        labels: &[String],
+        mut is_weak: impl FnMut(&[u32]) -> bool,
+    ) -> String {
         let mut s = String::new();
-        for ((r1, r2), n) in self.iter() {
-            let flag = if test.is_weak(r1, r2) { "*" } else { " " };
-            s.push_str(&format!("{flag} r1={r1} r2={r2} : {n}\n"));
+        for (obs, n) in self.iter() {
+            let flag = if is_weak(obs) { "*" } else { " " };
+            let cells: Vec<String> = obs
+                .iter()
+                .enumerate()
+                .map(|(i, v)| match labels.get(i) {
+                    Some(l) => format!("{l}={v}"),
+                    None => format!("o{i}={v}"),
+                })
+                .collect();
+            s.push_str(&format!("{flag} {} : {n}\n", cells.join(" ")));
         }
         s.push_str(&format!(
             "weak: {} / {} ({:.2}%)\n",
@@ -96,8 +113,9 @@ impl Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for ((r1, r2), n) in self.iter() {
-            writeln!(f, "r1={r1} r2={r2} : {n}")?;
+        for (obs, n) in self.iter() {
+            let cells: Vec<String> = obs.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "({}) : {n}", cells.join(","))?;
         }
         writeln!(f, "weak: {} / {}", self.weak, self.total)
     }
@@ -107,33 +125,46 @@ impl fmt::Display for Histogram {
 mod tests {
     use super::*;
 
-    fn o(r1: u32, r2: u32, weak: bool) -> LitmusOutcome {
-        LitmusOutcome { r1, r2, weak }
+    fn o(obs: &[u32], weak: bool) -> LitmusOutcome {
+        LitmusOutcome {
+            obs: obs.to_vec(),
+            weak,
+        }
     }
 
     #[test]
     fn record_and_count() {
         let mut h = Histogram::new();
-        h.record(o(1, 0, true));
-        h.record(o(1, 1, false));
-        h.record(o(1, 0, true));
-        assert_eq!(h.count(1, 0), 2);
-        assert_eq!(h.count(1, 1), 1);
-        assert_eq!(h.count(0, 0), 0);
+        h.record(o(&[1, 0], true));
+        h.record(o(&[1, 1], false));
+        h.record(o(&[1, 0], true));
+        assert_eq!(h.count(&[1, 0]), 2);
+        assert_eq!(h.count(&[1, 1]), 1);
+        assert_eq!(h.count(&[0, 0]), 0);
         assert_eq!(h.weak(), 2);
         assert_eq!(h.total(), 3);
         assert!((h.weak_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
+    fn vectors_of_any_width_are_keys() {
+        let mut h = Histogram::new();
+        h.record(o(&[1, 0, 1, 0], false));
+        h.record(o(&[7], true));
+        assert_eq!(h.count(&[1, 0, 1, 0]), 1);
+        assert_eq!(h.count(&[7]), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
     fn merge_sums() {
         let mut a = Histogram::new();
-        a.record(o(0, 0, false));
+        a.record(o(&[0, 0], false));
         let mut b = Histogram::new();
-        b.record(o(0, 0, false));
-        b.record(o(1, 0, true));
+        b.record(o(&[0, 0], false));
+        b.record(o(&[1, 0], true));
         a.merge(&b);
-        assert_eq!(a.count(0, 0), 2);
+        assert_eq!(a.count(&[0, 0]), 2);
         assert_eq!(a.weak(), 1);
         assert_eq!(a.total(), 3);
     }
@@ -146,10 +177,11 @@ mod tests {
     #[test]
     fn display_flags_weak_outcome() {
         let mut h = Histogram::new();
-        h.record(o(1, 0, true));
-        h.record(o(0, 0, false));
-        let s = h.display_for(LitmusTest::Mp);
-        assert!(s.contains("* r1=1 r2=0"));
-        assert!(s.contains("  r1=0 r2=0"));
+        h.record(o(&[1, 0], true));
+        h.record(o(&[0, 0], false));
+        let labels = vec!["r0".to_string(), "r1".to_string()];
+        let s = h.display_flagged(&labels, |obs| obs == [1, 0]);
+        assert!(s.contains("* r0=1 r1=0"));
+        assert!(s.contains("  r0=0 r1=0"));
     }
 }

@@ -17,6 +17,11 @@ use wmm_sim::Word;
 pub type StressParts = (Vec<KernelGroup>, Vec<(u32, Word)>);
 
 /// Execute one litmus instance alongside the given stressing blocks.
+///
+/// The outcome vector is read back per the instance's observers —
+/// register observers from the result region, final-memory observers
+/// from the drained memory image — and flagged weak iff it is absent
+/// from the instance's SC-reachable set.
 pub fn run_instance(
     gpu: &mut Gpu,
     inst: &LitmusInstance,
@@ -27,13 +32,9 @@ pub fn run_instance(
     let (groups, init) = stress;
     let spec = inst.launch(groups, init, randomize_ids);
     let result = gpu.run(&spec, seed);
-    let r1 = result.word(inst.layout.result_base);
-    let r2 = result.word(inst.layout.result_base + 1);
-    LitmusOutcome {
-        r1,
-        r2,
-        weak: inst.test.is_weak(r1, r2),
-    }
+    let obs = inst.observe(&result);
+    let weak = inst.is_weak(&obs);
+    LitmusOutcome { obs, weak }
 }
 
 /// Configuration for [`run_many`].
@@ -125,7 +126,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{LitmusLayout, LitmusTest};
+    use crate::testutil::mp_instance;
+    use crate::LitmusLayout;
 
     fn strong_chip() -> Chip {
         let mut c = Chip::by_short("K20").unwrap();
@@ -137,28 +139,26 @@ mod tests {
     #[test]
     fn no_weak_outcomes_under_sequential_consistency() {
         let chip = strong_chip();
-        for t in LitmusTest::ALL {
-            let inst = LitmusInstance::build(t, LitmusLayout::standard(64, 4096));
-            let h = run_many(
-                &chip,
-                &inst,
-                |_| (Vec::new(), Vec::new()),
-                RunManyConfig {
-                    count: 200,
-                    base_seed: 7,
-                    ..Default::default()
-                },
-            );
-            assert_eq!(h.weak(), 0, "{t}: {h}");
-            assert_eq!(h.total(), 200);
-        }
+        let inst = mp_instance(LitmusLayout::standard(64, 4096));
+        let h = run_many(
+            &chip,
+            &inst,
+            |_| (Vec::new(), Vec::new()),
+            RunManyConfig {
+                count: 200,
+                base_seed: 7,
+                ..Default::default()
+            },
+        );
+        assert_eq!(h.weak(), 0, "MP: {h}");
+        assert_eq!(h.total(), 200);
     }
 
     #[test]
     fn outcomes_are_interleavings_under_sc() {
         // Under SC, MP can produce (0,0), (1,1), (0,1) but never (1,0).
         let chip = strong_chip();
-        let inst = LitmusInstance::build(LitmusTest::Mp, LitmusLayout::standard(64, 4096));
+        let inst = mp_instance(LitmusLayout::standard(64, 4096));
         let h = run_many(
             &chip,
             &inst,
@@ -169,7 +169,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(h.count(1, 0), 0);
+        assert_eq!(h.count(&[1, 0]), 0);
         // The scheduler's randomness should produce at least two distinct
         // interleaving outcomes across 300 runs.
         let distinct = h.iter().count();
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn run_many_is_deterministic() {
         let chip = Chip::by_short("Titan").unwrap();
-        let inst = LitmusInstance::build(LitmusTest::Sb, LitmusLayout::standard(32, 4096));
+        let inst = mp_instance(LitmusLayout::standard(32, 4096));
         let cfg = RunManyConfig {
             count: 64,
             base_seed: 11,

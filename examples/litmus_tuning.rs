@@ -11,16 +11,14 @@
 
 use gpu_wmm::core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
 use gpu_wmm::core::tuning::{patch, TuningConfig};
-use gpu_wmm::litmus::{run_many, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use gpu_wmm::gen::Shape;
+use gpu_wmm::litmus::{run_many, LitmusLayout, RunManyConfig};
 use gpu_wmm::sim::chip::Chip;
 
 fn main() {
     let chip = Chip::by_short("Titan").expect("GTX Titan");
     let pad = Scratchpad::new(2048, 2048);
-    let inst = LitmusInstance::build(
-        LitmusTest::Mp,
-        LitmusLayout::standard(64, pad.required_words()),
-    );
+    let inst = Shape::Mp.instance(LitmusLayout::standard(64, pad.required_words()));
 
     println!("MP litmus test, d = 64, on {}\n", chip.name);
 
@@ -35,7 +33,7 @@ fn main() {
             ..Default::default()
         },
     );
-    println!("native:\n{}", native.display_for(LitmusTest::Mp));
+    println!("native:\n{}", inst.display_histogram(&native));
 
     // Stress the scratchpad location whose channel matches x.
     let chip2 = chip.clone();
@@ -57,7 +55,7 @@ fn main() {
     println!(
         "stressed (σ = {} @ location 0):\n{}",
         chip.preferred_seq,
-        stressed.display_for(LitmusTest::Mp)
+        inst.display_histogram(&stressed)
     );
 
     // Patch finding (one stage of the Tab. 2 tuning pipeline).

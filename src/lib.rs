@@ -7,7 +7,12 @@
 //! * [`sim`] — the simulated GPU substrate (kernel IR, SIMT execution,
 //!   per-chip weak memory model, cost model);
 //! * [`lang`] — a small C-like kernel language lowering to the IR;
-//! * [`litmus`] — the MP/LB/SB litmus tests and runners;
+//! * [`litmus`] — the generic litmus-instance runtime and campaign
+//!   runners;
+//! * [`gen`] — the litmus-test generator: the communication-cycle shape
+//!   catalogue (MP, LB, SB, …, IRIW, CoRR, CoWW), the SC-enumeration
+//!   oracle that derives each test's forbidden outcomes, and the suite
+//!   campaign runner;
 //! * [`core`] — the paper's contribution: tuned memory stressing, thread
 //!   randomisation, the per-chip tuning pipeline, testing environments,
 //!   and empirical fence insertion;
@@ -20,6 +25,7 @@
 
 pub use wmm_apps as apps;
 pub use wmm_core as core;
+pub use wmm_gen as gen;
 pub use wmm_lang as lang;
 pub use wmm_litmus as litmus;
 pub use wmm_sim as sim;

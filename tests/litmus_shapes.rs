@@ -1,14 +1,16 @@
 //! Integration: the litmus-level shapes that Sec. 3 of the paper
-//! establishes, end to end across `wmm-sim`, `wmm-litmus` and
-//! `wmm-core`.
+//! establishes, end to end across `wmm-sim`, `wmm-gen`, `wmm-litmus`
+//! and `wmm-core` — now over *generated* instances whose weak
+//! predicates come from the SC-enumeration oracle.
 
 use gpu_wmm::core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
-use gpu_wmm::litmus::{run_many, Histogram, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig};
+use gpu_wmm::gen::Shape;
+use gpu_wmm::litmus::{run_many, Histogram, LitmusLayout, RunManyConfig};
 use gpu_wmm::sim::chip::Chip;
 
-fn stressed_weak_count(chip: &Chip, test: LitmusTest, d: u32, location: u32, count: u32) -> u64 {
+fn stressed_weak_count(chip: &Chip, test: Shape, d: u32, location: u32, count: u32) -> u64 {
     let pad = Scratchpad::new(2048, 2048);
-    let inst = LitmusInstance::build(test, LitmusLayout::standard(d, pad.required_words()));
+    let inst = test.instance(LitmusLayout::standard(d, pad.required_words()));
     let chip2 = chip.clone();
     let seq = chip.preferred_seq.clone();
     let h: Histogram = run_many(
@@ -34,7 +36,7 @@ fn stress_on_matching_channel_provokes_weak_behaviour() {
     // Location 0 shares a channel with x (both line-aligned at
     // multiples of the patch size and the scratchpad base is
     // channel-aligned).
-    let weak = stressed_weak_count(&chip, LitmusTest::Mp, 64, 0, 150);
+    let weak = stressed_weak_count(&chip, Shape::Mp, 64, 0, 150);
     assert!(weak > 7, "expected frequent MP weak behaviour, got {weak}/150");
 }
 
@@ -43,17 +45,17 @@ fn stress_on_unrelated_channel_is_ineffective() {
     let chip = Chip::by_short("Titan").unwrap();
     // Location 96 maps to channel 3, matching neither x (0) nor y at
     // d = 64 (channel 2).
-    let weak = stressed_weak_count(&chip, LitmusTest::Mp, 64, 96, 150);
+    let weak = stressed_weak_count(&chip, Shape::Mp, 64, 96, 150);
     assert!(weak <= 3, "off-channel stress should do little, got {weak}/150");
 }
 
 #[test]
 fn no_weak_behaviour_below_the_patch_size() {
-    // d = 0 puts x and y in the same line on every chip: same-line
-    // ordering forbids the reordering entirely.
+    // d = 0 puts all communication locations in the same line on every
+    // chip: same-line ordering forbids the reordering entirely.
     for short in ["Titan", "C2075"] {
         let chip = Chip::by_short(short).unwrap();
-        for test in LitmusTest::ALL {
+        for test in Shape::TRIO {
             let weak = stressed_weak_count(&chip, test, 0, 0, 80);
             assert_eq!(weak, 0, "{short}/{test} at d=0");
         }
@@ -63,8 +65,8 @@ fn no_weak_behaviour_below_the_patch_size() {
 #[test]
 fn native_runs_show_almost_no_weak_behaviour() {
     let chip = Chip::by_short("K20").unwrap();
-    for test in LitmusTest::ALL {
-        let inst = LitmusInstance::build(test, LitmusLayout::standard(64, 4096));
+    for test in Shape::TRIO {
+        let inst = test.instance(LitmusLayout::standard(64, 4096));
         let h = run_many(
             &chip,
             &inst,
@@ -87,7 +89,30 @@ fn native_runs_show_almost_no_weak_behaviour() {
 #[test]
 fn all_three_idioms_are_observable_under_stress() {
     let chip = Chip::by_short("Titan").unwrap();
-    for test in LitmusTest::ALL {
+    for test in Shape::TRIO {
+        let weak = stressed_weak_count(&chip, test, 64, 0, 200);
+        assert!(weak > 0, "{test} should show weak behaviour under stress");
+    }
+}
+
+#[test]
+fn coherence_shapes_never_go_weak_even_under_stress() {
+    // CoRR and CoWW race on a *single* location: the simulator keeps
+    // same-line accesses ordered, so the oracle-forbidden outcomes must
+    // never appear no matter how hard the scratchpad is stressed.
+    let chip = Chip::by_short("Titan").unwrap();
+    for test in [Shape::CoRR, Shape::CoWW] {
+        let weak = stressed_weak_count(&chip, test, 64, 0, 120);
+        assert_eq!(weak, 0, "{test} must stay coherent");
+    }
+}
+
+#[test]
+fn wider_cycles_are_observable_under_stress() {
+    // The remaining two-thread relaxed cycles all exhibit their
+    // oracle-forbidden outcomes under matched-channel stressing.
+    let chip = Chip::by_short("Titan").unwrap();
+    for test in [Shape::S, Shape::R, Shape::TwoPlusTwoW] {
         let weak = stressed_weak_count(&chip, test, 64, 0, 200);
         assert!(weak > 0, "{test} should show weak behaviour under stress");
     }

@@ -4,9 +4,8 @@
 //! randomness from `(base_seed, i)` alone and aggregation is
 //! commutative, so 1-, 2- and 8-worker runs must agree exactly.
 
-use gpu_wmm::litmus::{
-    run_many, Histogram, LitmusInstance, LitmusLayout, LitmusTest, RunManyConfig,
-};
+use gpu_wmm::gen::Shape;
+use gpu_wmm::litmus::{run_many, Histogram, LitmusInstance, LitmusLayout, RunManyConfig};
 use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
 use wmm_litmus::parallel::{parallel_fold, parallel_map};
 use wmm_sim::chip::Chip;
@@ -39,9 +38,9 @@ fn native_histogram(
 #[test]
 fn run_many_native_is_worker_count_invariant() {
     let chip = Chip::by_short("Titan").unwrap();
-    for test in LitmusTest::ALL {
+    for test in Shape::TRIO {
         for d in DISTANCES {
-            let inst = LitmusInstance::build(test, LitmusLayout::standard(d, 4096));
+            let inst = test.instance(LitmusLayout::standard(d, 4096));
             let reference = native_histogram(&chip, &inst, WORKER_COUNTS[0], 0xC0FFEE);
             assert_eq!(reference.total(), 48);
             for workers in &WORKER_COUNTS[1..] {
@@ -62,9 +61,9 @@ fn run_many_stressed_is_worker_count_invariant() {
     let chip = Chip::by_short("K20").unwrap();
     let pad = Scratchpad::new(2048, 2048);
     let seq = chip.preferred_seq.clone();
-    for test in LitmusTest::ALL {
+    for test in Shape::TRIO {
         for d in [16, 64] {
-            let inst = LitmusInstance::build(test, LitmusLayout::standard(d, pad.required_words()));
+            let inst = test.instance(LitmusLayout::standard(d, pad.required_words()));
             let run = |parallelism: usize| {
                 let chip2 = chip.clone();
                 let seq2 = seq.clone();
@@ -101,7 +100,7 @@ fn run_many_stressed_is_worker_count_invariant() {
 #[test]
 fn different_seeds_differ() {
     let chip = Chip::by_short("Titan").unwrap();
-    let inst = LitmusInstance::build(LitmusTest::Mp, LitmusLayout::standard(64, 4096));
+    let inst = Shape::Mp.instance(LitmusLayout::standard(64, 4096));
     let a = native_histogram(&chip, &inst, 2, 1);
     let b = native_histogram(&chip, &inst, 2, 2);
     // Totals always match (same count); the outcome distribution should
