@@ -191,7 +191,8 @@ fn kernel() -> wmm_sim::Program {
             );
         },
     );
-    b.finish().expect("ct-octree kernel is valid by construction")
+    b.finish()
+        .expect("ct-octree kernel is valid by construction")
 }
 
 #[cfg(test)]

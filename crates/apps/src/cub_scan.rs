@@ -213,7 +213,8 @@ fn kernel(fenced: bool) -> wmm_sim::Program {
     let out_base = b.const_(OUT);
     let oa = b.add(out_base, gi);
     b.store_global(oa, out_v);
-    b.finish().expect("cub-scan kernel is valid by construction")
+    b.finish()
+        .expect("cub-scan kernel is valid by construction")
 }
 
 #[cfg(test)]
@@ -234,7 +235,7 @@ mod tests {
         for fenced in [true, false] {
             let app = CubScan::new(fenced);
             let chip = sc_chip();
-        let h = AppHarness::new(&chip, &app);
+            let h = AppHarness::new(&chip, &app);
             for seed in 0..5 {
                 let out = h.run_once(&Environment::native(), seed);
                 assert_eq!(out.verdict, RunVerdict::Pass, "fenced={fenced} seed={seed}");

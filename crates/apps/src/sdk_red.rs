@@ -178,7 +178,7 @@ mod tests {
         for fenced in [true, false] {
             let app = SdkRed::new(fenced);
             let chip = sc_chip();
-        let h = AppHarness::new(&chip, &app);
+            let h = AppHarness::new(&chip, &app);
             for seed in 0..5 {
                 let out = h.run_once(&Environment::native(), seed);
                 assert_eq!(out.verdict, RunVerdict::Pass, "fenced={fenced} seed={seed}");

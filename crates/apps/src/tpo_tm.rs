@@ -95,14 +95,9 @@ impl Application for TpoTm {
             return Err(format!("{done} tasks executed, expected {TASKS}"));
         }
         if memory[SIZE as usize] != 0 {
-            return Err(format!(
-                "queue still holds {} tasks",
-                memory[SIZE as usize]
-            ));
+            return Err(format!("queue still holds {} tasks", memory[SIZE as usize]));
         }
-        let mut got: Vec<Word> = (0..TASKS)
-            .map(|i| memory[(OUT + i) as usize])
-            .collect();
+        let mut got: Vec<Word> = (0..TASKS).map(|i| memory[(OUT + i) as usize]).collect();
         let mut want: Vec<Word> = (1..=TASKS).map(execute).collect();
         got.sort_unstable();
         want.sort_unstable();

@@ -1,35 +1,66 @@
-//! Criterion bench: parallel `run_many` scaling — single-thread vs
-//! multi-worker campaign throughput on the same seeded workload, the
-//! measurement behind the campaign-layer parallelisation. Histogram
-//! equality across worker counts is asserted once before timing, so the
-//! numbers compare runs that provably report identical results.
+//! Criterion bench: the unified campaign facade — single-thread vs
+//! multi-worker throughput on the same seeded workload, plus cached
+//! stress artifacts vs the historic rebuild-the-kernel-per-run path.
+//! Histogram equality across worker counts (and across the two stress
+//! paths) is asserted once before timing, so the numbers compare runs
+//! that provably report identical results.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wmm_core::campaign::CampaignBuilder;
+use wmm_core::stress::{
+    build_stress, litmus_stress_threads, Scratchpad, StressArtifacts, StressStrategy,
+    SystematicParams,
+};
 use wmm_gen::Shape;
-use wmm_litmus::{run_many, Histogram, LitmusInstance, LitmusLayout, RunManyConfig};
+use wmm_litmus::runner::{mix_seed, run_instance};
+use wmm_litmus::{Histogram, LitmusInstance, LitmusLayout};
 use wmm_sim::chip::Chip;
+use wmm_sim::exec::Gpu;
 
 const COUNT: u32 = 192;
 
 fn campaign(chip: &Chip, inst: &LitmusInstance, pad: Scratchpad, parallelism: usize) -> Histogram {
-    let chip2 = chip.clone();
-    let seq = chip.preferred_seq.clone();
-    run_many(
-        chip,
-        inst,
-        move |rng| {
-            let threads = litmus_stress_threads(&chip2, rng);
-            let s = build_systematic_at(pad, &seq, &[0], threads, 40);
-            (s.groups, s.init)
-        },
-        RunManyConfig {
-            count: COUNT,
-            base_seed: 2016,
-            randomize_ids: true,
-            parallelism,
-        },
-    )
+    let artifacts = StressArtifacts::pinned(pad, &chip.preferred_seq, &[0], 40);
+    CampaignBuilder::new(chip)
+        .stress(artifacts)
+        .randomize_ids(true)
+        .count(COUNT)
+        .base_seed(2016)
+        .parallelism(parallelism)
+        .build()
+        .run_litmus(inst)
+}
+
+/// The historic suite hot path: rebuild the systematic stress kernel on
+/// every run (what `build_stress` per run used to cost).
+fn rebuild_per_run(chip: &Chip, inst: &LitmusInstance, pad: Scratchpad) -> Histogram {
+    let strategy = StressStrategy::Systematic(SystematicParams::from_paper(chip));
+    let mut gpu = Gpu::new(chip.clone());
+    let mut h = Histogram::new();
+    for i in 0..u64::from(COUNT) {
+        let mut rng = SmallRng::seed_from_u64(mix_seed(2016, i));
+        let threads = litmus_stress_threads(chip, &mut rng);
+        let s = build_stress(chip, &strategy, pad, threads, 40, &mut rng);
+        let seed = rng.gen();
+        h.record(run_instance(&mut gpu, inst, (s.groups, s.init), true, seed));
+    }
+    h
+}
+
+/// The same campaign with the kernel compiled once per environment.
+fn cached_artifacts(chip: &Chip, inst: &LitmusInstance, pad: Scratchpad) -> Histogram {
+    let strategy = StressStrategy::Systematic(SystematicParams::from_paper(chip));
+    let artifacts = StressArtifacts::for_strategy(chip, &strategy, pad, 40);
+    CampaignBuilder::new(chip)
+        .stress(artifacts)
+        .randomize_ids(true)
+        .count(COUNT)
+        .base_seed(2016)
+        .parallelism(1)
+        .build()
+        .run_litmus(inst)
 }
 
 fn bench_parallel(c: &mut Criterion) {
@@ -52,6 +83,22 @@ fn bench_parallel(c: &mut Criterion) {
             b.iter(|| campaign(&chip, &inst, pad, w))
         });
     }
+    group.finish();
+
+    // Per-environment artifact caching vs per-run kernel rebuild: both
+    // paths draw identical randomness, so the histograms are
+    // bit-identical and the delta is pure artifact-construction cost.
+    assert_eq!(
+        rebuild_per_run(&chip, &inst, pad),
+        cached_artifacts(&chip, &inst, pad)
+    );
+    let mut group = c.benchmark_group("stress-artifacts");
+    group.bench_function(format!("{COUNT}-execs-rebuild-per-run"), |b| {
+        b.iter(|| rebuild_per_run(&chip, &inst, pad))
+    });
+    group.bench_function(format!("{COUNT}-execs-cached"), |b| {
+        b.iter(|| cached_artifacts(&chip, &inst, pad))
+    });
     group.finish();
 }
 

@@ -5,7 +5,10 @@ use wmm_sim::chip::Chip;
 
 fn main() {
     let short = std::env::args().nth(1).unwrap_or_else(|| "K20".into());
-    let runs: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let runs: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
     let chip = Chip::by_short(&short).expect("chip");
     println!("chip = {short}, runs = {runs}");
     println!("{:12} {:>10} {:>10}", "app", "no-str-", "sys-str+");
@@ -15,8 +18,14 @@ fn main() {
         let sys = h.campaign(&Environment::sys_str_plus(&chip), runs, 2, 0);
         println!(
             "{:12} {:>6}/{:<4} {:>6}/{:<4}  (pc={} to={} f={})",
-            app.name(), native.errors, native.runs, sys.errors, sys.runs,
-            sys.postcondition_failures, sys.timeouts, sys.faults,
+            app.name(),
+            native.errors,
+            native.runs,
+            sys.errors,
+            sys.runs,
+            sys.postcondition_failures,
+            sys.timeouts,
+            sys.faults,
         );
     }
 }

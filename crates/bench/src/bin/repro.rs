@@ -1,8 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro <experiment> [--chips A,B,...] [--execs N] [--runs N] [--workers N]
-//!                    [--json PATH] [--full]
+//! repro <experiment> [--chips A,B,...] [--execs N] [--runs N] [--seed N]
+//!                    [--workers N] [--json PATH] [--full]
 //!
 //! experiments:
 //!   fig3            patch-finding plots (Titan, C2075, 980)
@@ -17,10 +17,12 @@
 //!   suite           generated litmus suite (shapes x chips x strategies)
 //!   all             everything above, in order
 //!
-//! `--workers N` sets the campaign worker-thread count (0 = all cores;
-//! default from the WMM_WORKERS env var). Results are bit-identical for
-//! every value. `--json PATH` (suite only) writes the weak-rate matrix
-//! as JSON.
+//! `--seed N` sets the base seed every subcommand derives its
+//! per-campaign seeds from (default 2016) — one flag reseeds the entire
+//! reproduction. `--workers N` sets the campaign worker-thread count
+//! (0 = all cores; default from the WMM_WORKERS env var). Results are
+//! bit-identical for every worker count. `--json PATH` (suite only)
+//! writes the weak-rate matrix as JSON.
 //! ```
 
 use wmm_bench::{fig3, fig4, fig5, running, speedup, suite, table2, table3, table5, table6, Scale};
@@ -60,6 +62,11 @@ fn main() {
             "--runs" => {
                 if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
                     scale.app_runs = v;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    scale.seed = v;
                 }
             }
             "--workers" => {
@@ -139,6 +146,10 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|speedup|suite|all> \
-         [--chips A,B] [--execs N] [--runs N] [--workers N] [--json PATH] [--full]"
+         [--chips A,B] [--execs N] [--runs N] [--seed N] [--workers N] [--json PATH] [--full]\n\
+         \n\
+         --seed N     base seed for every subcommand's campaigns (default 2016)\n\
+         --workers N  campaign worker threads (0 = all cores; WMM_WORKERS env default);\n\
+         \x20            results are bit-identical for every value"
     );
 }

@@ -18,7 +18,10 @@ pub fn run_chip(chip: &Chip, scale: Scale) {
         .map(|(_, s)| s.iter().sum::<u64>())
         .max()
         .unwrap_or(0);
-    println!("{:>6} {:>6} {:>6} {:>6} {:>7}", "spread", "MP", "LB", "SB", "total");
+    println!(
+        "{:>6} {:>6} {:>6} {:>6} {:>7}",
+        "spread", "MP", "LB", "SB", "total"
+    );
     for (m, s) in &scores.entries {
         let total: u64 = s.iter().sum();
         println!(
@@ -31,7 +34,10 @@ pub fn run_chip(chip: &Chip, scale: Scale) {
             bar(total, max, 30)
         );
     }
-    println!("best spread = {} (paper: 2)\n", spread::best_spread(&scores));
+    println!(
+        "best spread = {} (paper: 2)\n",
+        spread::best_spread(&scores)
+    );
 }
 
 /// Generate and print the figure's two panels (980 and K20).

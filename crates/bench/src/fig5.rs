@@ -57,10 +57,7 @@ fn measure(
         }
     }
     let n = n.max(1) as f64;
-    (
-        time / n,
-        chip.supports_power.then_some(energy / n),
-    )
+    (time / n, chip.supports_power.then_some(energy / n))
 }
 
 /// Produce the scatter data for the requested chips.

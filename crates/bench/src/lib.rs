@@ -42,7 +42,8 @@ pub struct Scale {
     pub harden_iters: u32,
     /// Runs of the final empirical-stability check.
     pub harden_stable: u32,
-    /// Base seed.
+    /// Base seed every subcommand derives its per-campaign seeds from
+    /// (the `repro` binary's global `--seed` flag; default 2016).
     pub seed: u64,
     /// Worker threads for campaign layers (0 ⇒ all cores). Set by the
     /// `repro` binary's `--workers` flag or the `WMM_WORKERS` env var;

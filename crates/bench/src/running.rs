@@ -16,13 +16,21 @@ pub fn run(scale: Scale) -> (u32, u32) {
     let chip = Chip::by_short("K20").expect("K20");
     let app = CbeDot::new();
     let h = AppHarness::new(&chip, &app);
-    println!("Running example (Sec. 1): cbe-dot on {}, {} executions\n", chip.name, runs);
+    println!(
+        "Running example (Sec. 1): cbe-dot on {}, {} executions\n",
+        chip.name, runs
+    );
     let native = h.campaign(&Environment::native(), runs, scale.seed, scale.workers);
     println!(
         "native (no-str-): {:>4} / {} erroneous   (paper: 0 / 1000)",
         native.errors, native.runs
     );
-    let sys = h.campaign(&Environment::sys_str_plus(&chip), runs, scale.seed + 1, scale.workers);
+    let sys = h.campaign(
+        &Environment::sys_str_plus(&chip),
+        runs,
+        scale.seed + 1,
+        scale.workers,
+    );
     println!(
         "under sys-str+ :  {:>4} / {} erroneous   (paper: 102 / 1000)",
         sys.errors, sys.runs

@@ -1,17 +1,19 @@
 //! `repro speedup` — measure the parallel campaign layer.
 //!
-//! Times [`wmm_litmus::run_many`] at worker counts 1, 2, 4, … up to the
-//! machine's core count (always including at least 1 and 2), verifying
-//! at each count that the histogram is bit-identical to the
-//! single-worker reference before reporting throughput. On an N-core
-//! machine the campaign shape is embarrassingly parallel, so throughput
-//! should scale near-linearly until workers exceed physical cores.
+//! Times a [`Campaign`](wmm_core::campaign::Campaign) at worker counts
+//! 1, 2, 4, … up to the machine's core count (always including at least
+//! 1 and 2), verifying at each count that the histogram is bit-identical
+//! to the single-worker reference before reporting throughput. On an
+//! N-core machine the campaign shape is embarrassingly parallel, so
+//! throughput should scale near-linearly until workers exceed physical
+//! cores.
 
 use crate::Scale;
 use std::time::Instant;
-use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
+use wmm_core::campaign::CampaignBuilder;
+use wmm_core::stress::{Scratchpad, StressArtifacts};
 use wmm_gen::Shape;
-use wmm_litmus::{run_many, LitmusLayout, RunManyConfig};
+use wmm_litmus::LitmusLayout;
 use wmm_sim::chip::Chip;
 
 /// One measured point of the scaling curve.
@@ -64,25 +66,18 @@ const SAMPLES: usize = 3;
 pub fn measure(chip: &Chip, test: Shape, distance: u32, count: u32, seed: u64) -> Vec<Point> {
     let pad = Scratchpad::new(2048, 2048);
     let inst = test.instance(LitmusLayout::standard(distance, pad.required_words()));
-    let seq = chip.preferred_seq.clone();
+    // One stress kernel for the whole measurement, shared by every
+    // worker count (the compile cost is off the timed path entirely).
+    let artifacts = StressArtifacts::pinned(pad, &chip.preferred_seq, &[0], 40);
     let campaign = |parallelism: usize| {
-        let chip2 = chip.clone();
-        let seq2 = seq.clone();
-        run_many(
-            chip,
-            &inst,
-            move |rng| {
-                let threads = litmus_stress_threads(&chip2, rng);
-                let s = build_systematic_at(pad, &seq2, &[0], threads, 40);
-                (s.groups, s.init)
-            },
-            RunManyConfig {
-                count,
-                base_seed: seed,
-                randomize_ids: true,
-                parallelism,
-            },
-        )
+        CampaignBuilder::new(chip)
+            .stress(artifacts.clone())
+            .randomize_ids(true)
+            .count(count)
+            .base_seed(seed)
+            .parallelism(parallelism)
+            .build()
+            .run_litmus(&inst)
     };
     let reference = campaign(1); // also serves as the untimed warm-up
     let mut base_secs = 0.0;
@@ -120,7 +115,7 @@ pub fn run(scale: Scale) {
     // time, with a floor keeping even `--execs 1` meaningful.
     let count = scale.execs.max(8) * 8;
     println!(
-        "parallel run_many scaling — {} executions per point, chip {}, {} core(s)\n",
+        "parallel campaign scaling — {} executions per point, chip {}, {} core(s)\n",
         count,
         chip.short,
         std::thread::available_parallelism()

@@ -1,17 +1,19 @@
 //! `repro suite` — campaign the generated litmus suite.
 //!
 //! Runs every shape of the `wmm-gen` catalogue across chips × stress
-//! strategies and prints a weak-rate matrix. Each cell's weak-outcome
-//! predicate is derived by the SC-enumeration oracle — nothing on this
-//! path carries a hand-written predicate. Optionally serialises the
-//! matrix to JSON (`--json <path>`, hand-rolled — no serde in the
-//! dependency-free build container) so bench trajectories can be
-//! captured as `BENCH_*.json` artifacts.
+//! strategies — through the unified campaign facade
+//! (`wmm_core::campaign`), with each `(chip, strategy)` column's stress
+//! kernels compiled once for the whole matrix — and prints a weak-rate
+//! matrix. Each cell's weak-outcome predicate is derived by the
+//! SC-enumeration oracle — nothing on this path carries a hand-written
+//! predicate. Optionally serialises the matrix to JSON (`--json <path>`,
+//! hand-rolled — no serde in the dependency-free build container) so
+//! bench trajectories can be captured as `BENCH_*.json` artifacts.
 
 use crate::Scale;
-use std::sync::Arc;
-use wmm_core::stress::{build_stress, litmus_stress_threads, Scratchpad, StressStrategy, SystematicParams};
-use wmm_gen::{run_suite, Shape, StressSpec, SuiteCell, SuiteConfig};
+use wmm_core::stress::Scratchpad;
+use wmm_core::suite::{run_suite, SuiteCell, SuiteConfig, SuiteStrategy};
+use wmm_gen::Shape;
 use wmm_sim::chip::Chip;
 
 /// The scratchpad suite campaigns stress (after the litmus layout,
@@ -26,40 +28,14 @@ fn suite_scratchpad(chips: &[Chip]) -> Scratchpad {
     Scratchpad::new(2048, words)
 }
 
-/// A named [`StressSpec`]: the strategy is computed per chip (the
-/// systematic strategy's parameters are per-chip, Tab. 2), and each
-/// run's stressing-thread count and location table come from the run's
-/// RNG exactly as the Tab. 5 environments do.
-fn spec_for(
-    short: &str,
-    randomize: bool,
-    pad: Scratchpad,
-    iters: u32,
-    strategy_of: impl Fn(&Chip) -> StressStrategy + Send + Sync + 'static,
-) -> StressSpec {
-    let name = format!("{short}{}", if randomize { "+" } else { "-" });
-    StressSpec {
-        name,
-        randomize,
-        make: Arc::new(move |chip, rng| {
-            let strategy = strategy_of(chip);
-            let threads = litmus_stress_threads(chip, rng);
-            let s = build_stress(chip, &strategy, pad, threads, iters, rng);
-            (s.groups, s.init)
-        }),
-    }
-}
-
 /// The suite's default strategy column set: native plus the paper's
 /// tuned systematic environment and the random baseline (both with
 /// thread randomisation, the paper's most effective configuration).
-pub fn default_strategies(pad: Scratchpad) -> Vec<StressSpec> {
+pub fn default_strategies() -> Vec<SuiteStrategy> {
     vec![
-        StressSpec::native(),
-        spec_for("sys-str", true, pad, 40, |chip| {
-            StressStrategy::Systematic(SystematicParams::from_paper(chip))
-        }),
-        spec_for("rand-str", true, pad, 40, |_| StressStrategy::Random),
+        SuiteStrategy::native(),
+        SuiteStrategy::sys_str_plus(40),
+        SuiteStrategy::rand_str_plus(40),
     ]
 }
 
@@ -77,12 +53,11 @@ pub fn run(chips: Option<Vec<String>>, scale: Scale) -> Vec<SuiteCell> {
             Chip::by_short("K20").expect("chip"),
         ],
     };
-    let pad = suite_scratchpad(&chips);
-    let strategies = default_strategies(pad);
+    let strategies = default_strategies();
     let cfg = SuiteConfig {
         distances: vec![64],
         execs: scale.execs,
-        global_words: pad.required_words(),
+        pad: suite_scratchpad(&chips),
         base_seed: scale.seed,
         workers: scale.workers,
     };
@@ -99,14 +74,14 @@ pub fn run(chips: Option<Vec<String>>, scale: Scale) -> Vec<SuiteCell> {
     print_matrix(&chips, &strategies, &cells);
     println!("Expected shape: sys-str+ provokes weak outcomes on the relaxed shapes");
     println!("(MP/LB/SB/S/R/2+2W and the 3/4-thread cycles); the coherence tests");
-    println!("CoRR/CoWW never go weak (same-line ordering is preserved); no-str-");
-    println!("stays near zero everywhere.");
+    println!("CoRR/CoWW never go weak (same-line ordering is preserved); the fenced");
+    println!("variants MP+fences/SB+fences and no-str- stay at zero everywhere.");
     cells
 }
 
 /// Print the matrix: one row per (shape, distance), one column per
 /// (chip, strategy).
-fn print_matrix(chips: &[Chip], strategies: &[StressSpec], cells: &[SuiteCell]) {
+fn print_matrix(chips: &[Chip], strategies: &[SuiteStrategy], cells: &[SuiteCell]) {
     print!("{:>10}", "shape");
     for chip in chips {
         for s in strategies {
@@ -122,7 +97,12 @@ fn print_matrix(chips: &[Chip], strategies: &[StressSpec], cells: &[SuiteCell]) 
             let c = &cells[i];
             print!(
                 " {:>15}",
-                format!("{}/{} ({:.1}%)", c.hist.weak(), c.hist.total(), 100.0 * c.weak_rate())
+                format!(
+                    "{}/{} ({:.1}%)",
+                    c.hist.weak(),
+                    c.hist.total(),
+                    100.0 * c.weak_rate()
+                )
             );
             i += 1;
         }
@@ -135,7 +115,9 @@ fn print_matrix(chips: &[Chip], strategies: &[StressSpec], cells: &[SuiteCell]) 
 /// plain ASCII names, so no string escaping is needed).
 pub fn to_json(cells: &[SuiteCell], execs: u32, seed: u64) -> String {
     let mut s = String::from("{\n");
-    s.push_str(&format!("  \"execs\": {execs},\n  \"seed\": {seed},\n  \"cells\": [\n"));
+    s.push_str(&format!(
+        "  \"execs\": {execs},\n  \"seed\": {seed},\n  \"cells\": [\n"
+    ));
     for (i, c) in cells.iter().enumerate() {
         let outcomes: Vec<String> = c
             .hist
@@ -174,7 +156,7 @@ mod tests {
             ..Scale::quick()
         };
         let cells = run(Some(vec!["Titan".to_string()]), scale);
-        // 12 shapes × 1 chip × 3 strategies.
+        // Every shape × 1 chip × 3 strategies.
         assert_eq!(cells.len(), Shape::ALL.len() * 3);
         // Under sys-str+, the relaxed two-thread shapes show weak
         // behaviour; the coherence tests never do.
@@ -186,8 +168,16 @@ mod tests {
                 .unwrap()
         };
         assert!(weak_of(Shape::Mp, "sys-str+") > 0, "MP should go weak");
-        assert_eq!(weak_of(Shape::CoRR, "sys-str+"), 0, "CoRR must stay coherent");
-        assert_eq!(weak_of(Shape::CoWW, "sys-str+"), 0, "CoWW must stay coherent");
+        assert_eq!(
+            weak_of(Shape::CoRR, "sys-str+"),
+            0,
+            "CoRR must stay coherent"
+        );
+        assert_eq!(
+            weak_of(Shape::CoWW, "sys-str+"),
+            0,
+            "CoWW must stay coherent"
+        );
     }
 
     #[test]
@@ -196,18 +186,17 @@ mod tests {
             execs: 8,
             ..Scale::quick()
         };
-        let pad = suite_scratchpad(&[Chip::by_short("K20").unwrap()]);
         let cfg = SuiteConfig {
             execs: scale.execs,
-            global_words: pad.required_words(),
+            pad: suite_scratchpad(&[Chip::by_short("K20").unwrap()]),
             base_seed: scale.seed,
             workers: 1,
             ..Default::default()
         };
-        let cells = wmm_gen::run_suite(
+        let cells = run_suite(
             &[Shape::Mp, Shape::CoWW],
             &[Chip::by_short("K20").unwrap()],
-            &[wmm_gen::StressSpec::native()],
+            &[SuiteStrategy::native()],
             &cfg,
         );
         let j = to_json(&cells, cfg.execs, cfg.base_seed);

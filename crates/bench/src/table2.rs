@@ -26,7 +26,15 @@ pub fn run(chips: Option<Vec<String>>, scale: Scale) -> Vec<ChipTuning> {
     println!("Tab. 2: stressing parameters and time spent tuning\n");
     println!(
         "{:8} {:>8} {:>8} {:12} {:12} {:>7} {:>7}  {:>10} {:>9}",
-        "chip", "patch", "(paper)", "sequence", "(paper)", "spread", "(paper)", "executions", "time"
+        "chip",
+        "patch",
+        "(paper)",
+        "sequence",
+        "(paper)",
+        "spread",
+        "(paper)",
+        "executions",
+        "time"
     );
     let mut out = Vec::new();
     for chip in &chips {

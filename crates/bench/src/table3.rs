@@ -25,7 +25,12 @@ pub fn run(chip_short: &str, scale: Scale) {
         let ranked = scores.ranked_for(*test);
         println!("{test}:");
         for (rank, e) in ranked.iter().take(3).enumerate() {
-            println!("  rank {:>2}  {:12} score {}", rank + 1, e.seq.to_string(), e.scores[ti]);
+            println!(
+                "  rank {:>2}  {:12} score {}",
+                rank + 1,
+                e.seq.to_string(),
+                e.scores[ti]
+            );
         }
         let wrank = ranked
             .iter()

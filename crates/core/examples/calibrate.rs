@@ -1,8 +1,8 @@
 //! Calibration probe: weak-behaviour rates per (test, d, stress location).
-use rand::rngs::SmallRng;
-use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
+use wmm_core::campaign::CampaignBuilder;
+use wmm_core::stress::{Scratchpad, StressArtifacts};
 use wmm_gen::Shape;
-use wmm_litmus::{run_many, LitmusLayout, RunManyConfig};
+use wmm_litmus::LitmusLayout;
 use wmm_sim::chip::Chip;
 
 fn main() {
@@ -13,27 +13,26 @@ fn main() {
     // Native rates first.
     for t in Shape::TRIO {
         let inst = t.instance(LitmusLayout::standard(64, pad.required_words()));
-        let h = run_many(&chip, &inst, |_| (Vec::new(), Vec::new()), RunManyConfig { count: 1000, base_seed: 1, ..Default::default() });
+        let h = CampaignBuilder::new(&chip)
+            .count(1000)
+            .base_seed(1)
+            .build()
+            .run_litmus(&inst);
         println!("native {t} d=64: {}/{}", h.weak(), h.total());
     }
+    // One pinned kernel re-targeted across the whole location grid.
+    let artifacts = StressArtifacts::pinned(pad, &seq, &[0], 40);
     for t in Shape::TRIO {
         for d in [0u32, 32, 64] {
             let inst = t.instance(LitmusLayout::standard(d, pad.required_words()));
             print!("{t} d={d:3}: ");
             for l in (0..256).step_by(32) {
-                let chip2 = chip.clone();
-                let pad2 = pad;
-                let seq2 = seq.clone();
-                let h = run_many(
-                    &chip,
-                    &inst,
-                    move |rng: &mut SmallRng| {
-                        let threads = litmus_stress_threads(&chip2, rng);
-                        let s = build_systematic_at(pad2, &seq2, &[l], threads, 40);
-                        (s.groups, s.init)
-                    },
-                    RunManyConfig { count: c, base_seed: 42, ..Default::default() },
-                );
+                let h = CampaignBuilder::new(&chip)
+                    .stress(artifacts.with_locations(&[l]))
+                    .count(c)
+                    .base_seed(42)
+                    .build()
+                    .run_litmus(&inst);
                 print!("{:4}", h.weak());
             }
             println!("   (per {c} runs, l=0,32,..224)");

@@ -29,7 +29,11 @@ fn main() {
             let weak = inst.is_weak(&obs);
             hist.record(LitmusOutcome { obs, weak });
         }
-        println!("{t}: avg bypasses/run = {:.2}, avg app_turns = {}", total_byp as f64 / 300.0, app_turns / 300);
+        println!(
+            "{t}: avg bypasses/run = {:.2}, avg app_turns = {}",
+            total_byp as f64 / 300.0,
+            app_turns / 300
+        );
         println!("{}", inst.display_histogram(&hist));
     }
 }

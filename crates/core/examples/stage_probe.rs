@@ -12,12 +12,28 @@ fn main() {
     if stage == "seq" || stage == "both" {
         let scores = sequence::score_sequences(&chip, chip.patch_words, &cfg);
         let win = sequence::most_effective(&scores);
-        println!("{short} seq winner: '{}' {:?} (expected '{}')", win.seq, win.scores, chip.preferred_seq);
+        println!(
+            "{short} seq winner: '{}' {:?} (expected '{}')",
+            win.seq, win.scores, chip.preferred_seq
+        );
         for t in Shape::TRIO {
             let ranked = scores.ranked_for(t);
-            let top: Vec<String> = ranked.iter().take(3).map(|e| format!("{}", e.seq)).collect();
-            let bot: Vec<String> = ranked.iter().rev().take(3).map(|e| format!("{}", e.seq)).collect();
-            let pos = ranked.iter().position(|e| e.seq == chip.preferred_seq).unwrap() + 1;
+            let top: Vec<String> = ranked
+                .iter()
+                .take(3)
+                .map(|e| format!("{}", e.seq))
+                .collect();
+            let bot: Vec<String> = ranked
+                .iter()
+                .rev()
+                .take(3)
+                .map(|e| format!("{}", e.seq))
+                .collect();
+            let pos = ranked
+                .iter()
+                .position(|e| e.seq == chip.preferred_seq)
+                .unwrap()
+                + 1;
             println!("  {t}: top3={top:?} bottom3={bot:?} preferred-rank={pos}");
         }
     }
@@ -25,7 +41,13 @@ fn main() {
         let ss = spread::score_spreads(&chip, chip.patch_words, &chip.preferred_seq, &cfg);
         println!("{short} spread curve:");
         for (m, s) in &ss.entries {
-            println!("  m={m:2}: MP={} LB={} SB={} total={}", s[0], s[1], s[2], s[0]+s[1]+s[2]);
+            println!(
+                "  m={m:2}: MP={} LB={} SB={} total={}",
+                s[0],
+                s[1],
+                s[2],
+                s[0] + s[1] + s[2]
+            );
         }
         println!("best = {}", spread::best_spread(&ss));
     }

@@ -10,6 +10,13 @@ fn main() {
     let t = tune_chip(&chip, &cfg);
     println!(
         "{}: patch={} seq='{}' spread={} (expected patch={} seq='{}' spread=2) [{} execs, {:?}]",
-        t.chip, t.patch_words, t.seq, t.spread, chip.patch_words, chip.preferred_seq, t.executions, t.elapsed
+        t.chip,
+        t.patch_words,
+        t.seq,
+        t.spread,
+        chip.patch_words,
+        chip.preferred_seq,
+        t.executions,
+        t.elapsed
     );
 }

@@ -1,0 +1,409 @@
+//! The unified campaign API: one execution path for every
+//! repeat-the-experiment loop in the workspace.
+//!
+//! The paper's core loop — *run a test `C` times under an environment
+//! and count bad outcomes* — used to be implemented separately by the
+//! litmus runner, the application harness, the generated-suite runner
+//! and the tuning sweeps, each with its own config struct and each
+//! re-emitting its stressing kernels on every run. This module folds
+//! them into one facade:
+//!
+//! * [`Workload`] — the thing executed per run: build a launch, observe
+//!   the result, classify it. Implemented by [`LitmusWorkload`] (any
+//!   [`LitmusInstance`]) and by
+//!   [`AppHarness`](crate::env::AppHarness) (any
+//!   [`Application`](crate::app::Application) variant).
+//! * [`CampaignBuilder`] → [`Campaign`] — owns the chip, the stress
+//!   artifacts, the execution count, the base seed and the worker
+//!   count; executes on the deterministic parallel layer
+//!   ([`wmm_litmus::parallel`]) and folds per-run verdicts into the
+//!   workload's summary ([`Histogram`] for litmus,
+//!   [`CampaignResult`](crate::env::CampaignResult) for applications).
+//!
+//! Stress artifacts ([`StressArtifacts`]) are built **once per
+//! environment** — kernel `Program`s compiled up front, location tables
+//! and thread counts instantiated per run from the run's own RNG — so
+//! campaigns no longer pay a kernel emission per execution.
+//!
+//! # Determinism
+//!
+//! Run `i` derives *all* of its randomness from
+//! [`mix_seed`]`(base_seed, i)`: the per-run stress instantiation, the
+//! launch seed, everything. Summaries are folded per worker and merged
+//! commutatively, so any worker count — including `0` ("all cores") on
+//! machines with different core counts — reports bit-identical results.
+//! Workers claim run indices dynamically in chunks (see
+//! [`wmm_litmus::parallel`]), each reusing one simulator instance.
+//!
+//! ```
+//! use wmm_core::campaign::CampaignBuilder;
+//! use wmm_core::env::Environment;
+//! use wmm_gen::Shape;
+//! use wmm_litmus::LitmusLayout;
+//! use wmm_core::stress::Scratchpad;
+//! use wmm_sim::chip::Chip;
+//!
+//! let chip = Chip::by_short("K20").unwrap();
+//! let pad = Scratchpad::new(2048, 2048);
+//! let inst = Shape::Mp.instance(LitmusLayout::standard(64, pad.required_words()));
+//! let hist = CampaignBuilder::new(&chip)
+//!     .environment(&Environment::sys_str_plus(&chip), pad, 40)
+//!     .count(40)
+//!     .base_seed(7)
+//!     .build()
+//!     .run_litmus(&inst);
+//! assert_eq!(hist.total(), 40);
+//! ```
+
+use crate::env::Environment;
+use crate::stress::{litmus_stress_threads, StressArtifacts};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU32, Ordering};
+use wmm_litmus::runner::{mix_seed, run_instance};
+use wmm_litmus::{Histogram, LitmusInstance, LitmusOutcome};
+use wmm_sim::chip::Chip;
+use wmm_sim::exec::Gpu;
+
+/// Per-run context handed to a [`Workload`]: the campaign's chip, its
+/// prepared stress artifacts and the thread-randomisation toggle.
+pub struct RunCtx<'a> {
+    /// The chip the campaign runs on.
+    pub chip: &'a Chip,
+    /// Stress artifacts shared by every run of the campaign.
+    pub stress: &'a StressArtifacts,
+    /// Whether thread ids are randomised (the environment's `+`/`-`).
+    pub randomize_ids: bool,
+}
+
+/// One unit of repeatable work: build a launch under an environment,
+/// observe the result, classify it.
+///
+/// Implementations must be deterministic in `(self, ctx, rng)` — every
+/// run draws all of its randomness from the `rng` it is handed (seeded
+/// by the campaign from `(base_seed, index)` alone) — and `fold`/`merge`
+/// must be commutative so shard order cannot influence the summary.
+pub trait Workload: Sync {
+    /// The classification of one run.
+    type Verdict: Send;
+    /// The campaign-level aggregate of verdicts.
+    type Summary: Send;
+
+    /// A fresh, empty summary.
+    fn summary(&self) -> Self::Summary;
+
+    /// Execute one run on a reusable simulator.
+    fn run_once(&self, gpu: &mut Gpu, ctx: &RunCtx<'_>, rng: &mut SmallRng) -> Self::Verdict;
+
+    /// Fold one verdict into a summary.
+    fn fold(&self, into: &mut Self::Summary, verdict: Self::Verdict);
+
+    /// Merge a worker's shard into the aggregate (commutative).
+    fn merge(&self, into: &mut Self::Summary, shard: Self::Summary);
+}
+
+/// A [`LitmusInstance`] as a campaign workload: each run launches the
+/// instance alongside freshly instantiated stressing blocks sized per
+/// Sec. 3.2 ([`litmus_stress_threads`]) and records the observed outcome
+/// vector into a [`Histogram`].
+pub struct LitmusWorkload<'a>(pub &'a LitmusInstance);
+
+impl Workload for LitmusWorkload<'_> {
+    type Verdict = LitmusOutcome;
+    type Summary = Histogram;
+
+    fn summary(&self) -> Histogram {
+        Histogram::new()
+    }
+
+    fn run_once(&self, gpu: &mut Gpu, ctx: &RunCtx<'_>, rng: &mut SmallRng) -> LitmusOutcome {
+        let stress = if ctx.stress.is_native() {
+            // Native campaigns draw nothing before the launch seed.
+            (Vec::new(), Vec::new())
+        } else {
+            let threads = litmus_stress_threads(ctx.chip, rng);
+            let s = ctx.stress.make(threads, rng);
+            (s.groups, s.init)
+        };
+        let seed = rng.gen();
+        run_instance(gpu, self.0, stress, ctx.randomize_ids, seed)
+    }
+
+    fn fold(&self, into: &mut Histogram, verdict: LitmusOutcome) {
+        into.record(verdict);
+    }
+
+    fn merge(&self, into: &mut Histogram, shard: Histogram) {
+        into.merge(&shard);
+    }
+}
+
+/// Builder for a [`Campaign`]: chip, environment (as prepared stress
+/// artifacts plus the randomisation toggle), execution count, base seed
+/// and parallelism.
+#[derive(Clone)]
+pub struct CampaignBuilder<'a> {
+    chip: &'a Chip,
+    stress: StressArtifacts,
+    randomize_ids: bool,
+    count: u32,
+    base_seed: u64,
+    parallelism: usize,
+}
+
+impl<'a> CampaignBuilder<'a> {
+    /// A native campaign on `chip`: no stress, no randomisation,
+    /// 100 executions, seed 0, all cores.
+    pub fn new(chip: &'a Chip) -> Self {
+        CampaignBuilder {
+            chip,
+            stress: StressArtifacts::none(),
+            randomize_ids: false,
+            count: 100,
+            base_seed: 0,
+            parallelism: 0,
+        }
+    }
+
+    /// Configure from a Tab. 5 [`Environment`]: builds the strategy's
+    /// stress artifacts once for the given scratchpad and iteration
+    /// count, and takes the environment's randomisation toggle.
+    pub fn environment(
+        self,
+        env: &Environment,
+        pad: crate::stress::Scratchpad,
+        iters: u32,
+    ) -> Self {
+        let stress = StressArtifacts::for_strategy(self.chip, &env.stress, pad, iters);
+        self.stress(stress).randomize_ids(env.randomize)
+    }
+
+    /// Use pre-built stress artifacts (e.g. pinned tuning stress, or
+    /// artifacts shared across several campaigns).
+    pub fn stress(mut self, artifacts: StressArtifacts) -> Self {
+        self.stress = artifacts;
+        self
+    }
+
+    /// Toggle thread-id randomisation (the environment's `+` suffix).
+    pub fn randomize_ids(mut self, on: bool) -> Self {
+        self.randomize_ids = on;
+        self
+    }
+
+    /// Number of executions (the paper's `C`).
+    pub fn count(mut self, count: u32) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Seed from which each run's randomness is derived.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Worker threads (0 ⇒ all available cores). Results are
+    /// bit-identical for every value.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Finalise into a runnable [`Campaign`].
+    pub fn build(self) -> Campaign<'a> {
+        Campaign {
+            chip: self.chip,
+            stress: self.stress,
+            randomize_ids: self.randomize_ids,
+            count: self.count,
+            base_seed: self.base_seed,
+            parallelism: self.parallelism,
+        }
+    }
+}
+
+/// A configured campaign, ready to execute any [`Workload`]. Construct
+/// through [`CampaignBuilder`]; a campaign can be reused for several
+/// workloads (its artifacts are built once).
+pub struct Campaign<'a> {
+    chip: &'a Chip,
+    stress: StressArtifacts,
+    randomize_ids: bool,
+    count: u32,
+    base_seed: u64,
+    parallelism: usize,
+}
+
+impl<'a> Campaign<'a> {
+    /// The chip this campaign runs on.
+    pub fn chip(&self) -> &Chip {
+        self.chip
+    }
+
+    /// The configured execution count.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Execute the workload `count` times and return the folded summary.
+    pub fn run<W: Workload>(&self, workload: &W) -> W::Summary {
+        self.run_impl(workload, None)
+    }
+
+    /// Like [`Campaign::run`], with a progress callback invoked after
+    /// every completed run with the number of runs finished so far (from
+    /// worker threads; keep it cheap and `Sync`). Completion order is
+    /// scheduling-dependent — only the final summary is deterministic.
+    pub fn run_with_progress<W: Workload>(
+        &self,
+        workload: &W,
+        progress: &(dyn Fn(u32) + Sync),
+    ) -> W::Summary {
+        self.run_impl(workload, Some(progress))
+    }
+
+    /// Convenience: campaign a litmus instance into its outcome
+    /// histogram.
+    pub fn run_litmus(&self, inst: &LitmusInstance) -> Histogram {
+        self.run(&LitmusWorkload(inst))
+    }
+
+    fn run_impl<W: Workload>(
+        &self,
+        workload: &W,
+        progress: Option<&(dyn Fn(u32) + Sync)>,
+    ) -> W::Summary {
+        let jobs = self.count as usize;
+        let workers = wmm_litmus::parallel::resolve_workers(self.parallelism, jobs);
+        let done = AtomicU32::new(0);
+        let ctx = RunCtx {
+            chip: self.chip,
+            stress: &self.stress,
+            randomize_ids: self.randomize_ids,
+        };
+        let shards = wmm_litmus::parallel::parallel_fold(
+            workers,
+            jobs,
+            || (Gpu::new(self.chip.clone()), workload.summary()),
+            |(gpu, acc), i| {
+                let mut rng = SmallRng::seed_from_u64(mix_seed(self.base_seed, i as u64));
+                let verdict = workload.run_once(gpu, &ctx, &mut rng);
+                workload.fold(acc, verdict);
+                if let Some(cb) = progress {
+                    cb(done.fetch_add(1, Ordering::Relaxed) + 1);
+                }
+            },
+        );
+        let mut out = workload.summary();
+        for (_, shard) in shards {
+            workload.merge(&mut out, shard);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stress::Scratchpad;
+    use wmm_gen::Shape;
+    use wmm_litmus::LitmusLayout;
+
+    fn strong_chip() -> Chip {
+        let mut c = Chip::by_short("K20").unwrap();
+        c.reorder.base = [0.0; 4];
+        c.reorder.gain = [0.0; 4];
+        c
+    }
+
+    #[test]
+    fn no_weak_outcomes_under_sequential_consistency() {
+        let chip = strong_chip();
+        let inst = Shape::Mp.instance(LitmusLayout::standard(64, 4096));
+        let h = CampaignBuilder::new(&chip)
+            .count(200)
+            .base_seed(7)
+            .build()
+            .run_litmus(&inst);
+        assert_eq!(h.weak(), 0, "MP: {h}");
+        assert_eq!(h.total(), 200);
+    }
+
+    #[test]
+    fn outcomes_are_interleavings_under_sc() {
+        // Under SC, MP can produce (0,0), (1,1), (0,1) but never (1,0).
+        let chip = strong_chip();
+        let inst = Shape::Mp.instance(LitmusLayout::standard(64, 4096));
+        let h = CampaignBuilder::new(&chip)
+            .count(300)
+            .base_seed(3)
+            .build()
+            .run_litmus(&inst);
+        assert_eq!(h.count(&[1, 0]), 0);
+        // The scheduler's randomness should produce at least two
+        // distinct interleaving outcomes across 300 runs.
+        assert!(h.iter().count() >= 2, "{h}");
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_across_worker_counts() {
+        let chip = Chip::by_short("Titan").unwrap();
+        let inst = Shape::Mp.instance(LitmusLayout::standard(32, 4096));
+        let run = |workers| {
+            CampaignBuilder::new(&chip)
+                .count(64)
+                .base_seed(11)
+                .parallelism(workers)
+                .build()
+                .run_litmus(&inst)
+        };
+        let a = run(4);
+        assert_eq!(a, run(4));
+        assert_eq!(a, run(1));
+    }
+
+    #[test]
+    fn stressed_campaign_reuses_artifacts_and_stays_deterministic() {
+        let chip = Chip::by_short("K20").unwrap();
+        let pad = Scratchpad::new(2048, 2048);
+        let inst = Shape::Mp.instance(LitmusLayout::standard(64, pad.required_words()));
+        let env = Environment::sys_str_plus(&chip);
+        let run = |workers| {
+            CampaignBuilder::new(&chip)
+                .environment(&env, pad, 40)
+                .count(48)
+                .base_seed(5)
+                .parallelism(workers)
+                .build()
+                .run_litmus(&inst)
+        };
+        let a = run(1);
+        assert_eq!(a.total(), 48);
+        assert!(
+            a.weak() > 0,
+            "sys-str+ should provoke weak MP outcomes: {a}"
+        );
+        assert_eq!(a, run(2));
+        assert_eq!(a, run(8));
+    }
+
+    #[test]
+    fn progress_callback_sees_every_run() {
+        let chip = strong_chip();
+        let inst = Shape::Sb.instance(LitmusLayout::standard(64, 4096));
+        let seen = AtomicU32::new(0);
+        let max = AtomicU32::new(0);
+        let h = CampaignBuilder::new(&chip)
+            .count(37)
+            .parallelism(2)
+            .build()
+            .run_with_progress(&LitmusWorkload(&inst), &|n| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                max.fetch_max(n, Ordering::Relaxed);
+            });
+        assert_eq!(h.total(), 37);
+        assert_eq!(seen.load(Ordering::Relaxed), 37);
+        assert_eq!(max.load(Ordering::Relaxed), 37);
+    }
+}

@@ -8,10 +8,12 @@
 //! criterion (errors in more than 5% of executions).
 
 use crate::app::{AppSpec, Application};
-use crate::stress::{app_stress_blocks, build_stress, Scratchpad, StressStrategy, SystematicParams};
+use crate::campaign::{CampaignBuilder, RunCtx, Workload};
+use crate::stress::{
+    app_stress_blocks, Scratchpad, StressArtifacts, StressStrategy, SystematicParams,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use wmm_litmus::runner::mix_seed;
 use wmm_sim::chip::Chip;
 use wmm_sim::exec::{Gpu, KernelGroup, LaunchSpec, Role, RunStatus};
 use wmm_sim::Word;
@@ -28,7 +30,11 @@ pub struct Environment {
 impl Environment {
     /// The paper's name: strategy plus `+`/`-`, e.g. `"sys-str+"`.
     pub fn name(&self) -> String {
-        format!("{}{}", self.stress.short(), if self.randomize { "+" } else { "-" })
+        format!(
+            "{}{}",
+            self.stress.short(),
+            if self.randomize { "+" } else { "-" }
+        )
     }
 
     /// The most effective environment of Sec. 4.3: tuned systematic
@@ -206,26 +212,44 @@ impl<'a> AppHarness<'a> {
         &self.spec
     }
 
+    /// Build the stress artifacts for running this application under
+    /// `env`: the strategy's kernels compiled once, sized to this
+    /// harness's scratchpad and calibrated stressing-loop length.
+    pub fn artifacts(&self, env: &Environment) -> StressArtifacts {
+        StressArtifacts::for_strategy(self.chip, &env.stress, self.pad, self.stress_iters.max(60))
+    }
+
     /// Execute the application once under `env` with a deterministic
     /// seed, running all phases and checking the post-condition.
+    ///
+    /// One-shot convenience: builds the environment's stress artifacts
+    /// for this single run. Campaign loops go through
+    /// [`AppHarness::campaign`] (or a [`Campaign`](crate::campaign::Campaign)
+    /// directly), which builds them once for all runs.
     pub fn run_once(&self, env: &Environment, seed: u64) -> AppRunOutcome {
-        let mut rng = SmallRng::seed_from_u64(seed);
         let mut gpu = Gpu::new(self.chip.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        self.run_with(&mut gpu, &self.artifacts(env), env.randomize, &mut rng)
+    }
+
+    /// The shared per-run body: execute all phases with stressing blocks
+    /// instantiated from the prepared artifacts, checking the
+    /// post-condition at the end.
+    fn run_with(
+        &self,
+        gpu: &mut Gpu,
+        stress: &StressArtifacts,
+        randomize_ids: bool,
+        rng: &mut SmallRng,
+    ) -> AppRunOutcome {
         let mut image: Vec<Word> = Vec::new();
         let mut app_turns = 0u64;
         let mut runtime_ms = 0.0f64;
         let mut energy_j: Option<f64> = self.chip.supports_power.then_some(0.0);
         let total_app_blocks: u32 = self.spec.phases.iter().map(|p| p.blocks).sum();
         for (pi, phase) in self.spec.phases.iter().enumerate() {
-            let stress_threads = app_stress_blocks(total_app_blocks.max(2), &mut rng) * 64;
-            let setup = build_stress(
-                self.chip,
-                &env.stress,
-                self.pad,
-                stress_threads,
-                self.stress_iters.max(60),
-                &mut rng,
-            );
+            let stress_threads = app_stress_blocks(total_app_blocks.max(2), rng) * 64;
+            let setup = stress.make(stress_threads, rng);
             let mut groups = vec![KernelGroup {
                 program: std::sync::Arc::new(phase.program.clone()),
                 blocks: phase.blocks,
@@ -244,7 +268,7 @@ impl<'a> AppHarness<'a> {
                 init_image: std::mem::take(&mut image),
                 init,
                 max_turns: self.spec.max_turns_per_phase,
-                randomize_ids: env.randomize,
+                randomize_ids,
             };
             let result = gpu.run(&spec, rng.gen());
             app_turns += result.app_turns;
@@ -294,14 +318,17 @@ impl<'a> AppHarness<'a> {
     }
 
     /// Run a campaign of `runs` executions under `env`, in parallel, and
-    /// aggregate the verdicts.
+    /// aggregate the verdicts — a thin shim over the unified
+    /// [`Campaign`](crate::campaign::Campaign) facade, with this
+    /// harness as the [`Workload`]. The environment's stress artifacts
+    /// are built once and shared by all runs.
     ///
     /// Deterministic in `(self, env, base_seed)`: run `i` is seeded by
-    /// [`mix_seed`]`(base_seed, i)` alone, so any `parallelism`
-    /// (`0` = all cores) yields the same [`CampaignResult`]. Workers pull
-    /// run indices dynamically from a shared queue
-    /// ([`wmm_litmus::parallel`]), so long-running erroneous executions
-    /// don't leave the other workers idle.
+    /// [`mix_seed`](wmm_litmus::runner::mix_seed)`(base_seed, i)` alone,
+    /// so any `parallelism` (`0` = all cores) yields the same
+    /// [`CampaignResult`]. Workers pull run indices dynamically from a
+    /// shared queue ([`wmm_litmus::parallel`]), so long-running
+    /// erroneous executions don't leave the other workers idle.
     pub fn campaign(
         &self,
         env: &Environment,
@@ -309,26 +336,52 @@ impl<'a> AppHarness<'a> {
         base_seed: u64,
         parallelism: usize,
     ) -> CampaignResult {
-        let workers = wmm_litmus::parallel::resolve_workers(parallelism, runs as usize);
-        let verdicts = wmm_litmus::parallel::parallel_map(workers, runs as usize, |i| {
-            self.run_once(env, mix_seed(base_seed, i as u64)).verdict
-        });
-        let mut r = CampaignResult {
-            runs: verdicts.len() as u32,
-            ..Default::default()
-        };
-        for v in verdicts {
-            if v.is_error() {
-                r.errors += 1;
-            }
-            match v {
-                RunVerdict::PostConditionFailed(_) => r.postcondition_failures += 1,
-                RunVerdict::Timeout => r.timeouts += 1,
-                RunVerdict::Divergence | RunVerdict::Fault(_) => r.faults += 1,
-                RunVerdict::Pass => {}
-            }
+        CampaignBuilder::new(self.chip)
+            .stress(self.artifacts(env))
+            .randomize_ids(env.randomize)
+            .count(runs)
+            .base_seed(base_seed)
+            .parallelism(parallelism)
+            .build()
+            .run(self)
+    }
+}
+
+/// An application harness is a campaign [`Workload`]: each run executes
+/// every phase under the campaign's environment and is classified by a
+/// [`RunVerdict`], folded into a [`CampaignResult`].
+impl Workload for AppHarness<'_> {
+    type Verdict = RunVerdict;
+    type Summary = CampaignResult;
+
+    fn summary(&self) -> CampaignResult {
+        CampaignResult::default()
+    }
+
+    fn run_once(&self, gpu: &mut Gpu, ctx: &RunCtx<'_>, rng: &mut SmallRng) -> RunVerdict {
+        self.run_with(gpu, ctx.stress, ctx.randomize_ids, rng)
+            .verdict
+    }
+
+    fn fold(&self, into: &mut CampaignResult, verdict: RunVerdict) {
+        into.runs += 1;
+        if verdict.is_error() {
+            into.errors += 1;
         }
-        r
+        match verdict {
+            RunVerdict::PostConditionFailed(_) => into.postcondition_failures += 1,
+            RunVerdict::Timeout => into.timeouts += 1,
+            RunVerdict::Divergence | RunVerdict::Fault(_) => into.faults += 1,
+            RunVerdict::Pass => {}
+        }
+    }
+
+    fn merge(&self, into: &mut CampaignResult, shard: CampaignResult) {
+        into.runs += shard.runs;
+        into.errors += shard.errors;
+        into.postcondition_failures += shard.postcondition_failures;
+        into.timeouts += shard.timeouts;
+        into.faults += shard.faults;
     }
 }
 
@@ -392,7 +445,10 @@ mod tests {
             if memory[128] == self.expected {
                 Ok(())
             } else {
-                Err(format!("counter = {}, expected {}", memory[128], self.expected))
+                Err(format!(
+                    "counter = {}, expected {}",
+                    memory[128], self.expected
+                ))
             }
         }
     }
@@ -426,11 +482,7 @@ mod tests {
         let h = AppHarness::new(&chip, &app);
         let r = h.campaign(&Environment::native(), 60, 5, 0);
         assert_eq!(r.runs, 60);
-        assert!(
-            r.error_rate() < 0.05,
-            "native error rate too high: {:?}",
-            r
-        );
+        assert!(r.error_rate() < 0.05, "native error rate too high: {:?}", r);
     }
 
     #[test]

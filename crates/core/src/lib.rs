@@ -3,16 +3,31 @@
 //! The paper's primary contribution, built on the `wmm-sim` substrate and
 //! the `wmm-litmus` tests:
 //!
+//! * [`campaign`] — the unified campaign facade: the [`Workload`] trait
+//!   ("run once, observe, classify") and the
+//!   [`CampaignBuilder`]/[`Campaign`] driver every repeat-`C`-times loop
+//!   in the workspace executes on, with stress artifacts built once per
+//!   environment;
 //! * [`stress`] — the four memory stressing strategies (`no-str`,
 //!   `rand-str`, `cache-str`, and the tuned `sys-str`) targeting a
-//!   scratchpad disjoint from the application (Sec. 3, 4.2).
+//!   scratchpad disjoint from the application (Sec. 3, 4.2), plus the
+//!   per-environment [`StressArtifacts`] cache;
+//! * [`mod@env`] — the Tab. 5 testing environments and the application
+//!   harness;
+//! * [`tuning`] — the per-chip tuning pipeline (Sec. 3);
+//! * [`suite`] — the generated-litmus-suite campaign runner;
+//! * [`harden`] — empirical fence insertion (Alg. 1, Sec. 5).
 
 pub mod app;
+pub mod campaign;
 pub mod env;
 pub mod harden;
-pub mod tuning;
 pub mod stress;
+pub mod suite;
+pub mod tuning;
 
 pub use app::{AppSpec, Application, Phase};
+pub use campaign::{Campaign, CampaignBuilder, LitmusWorkload, Workload};
 pub use env::{AppHarness, CampaignResult, Environment, RunVerdict};
-pub use stress::{Scratchpad, StressStrategy, SystematicParams};
+pub use stress::{Scratchpad, StressArtifacts, StressStrategy, SystematicParams};
+pub use suite::{run_suite, SuiteCell, SuiteConfig, SuiteStrategy};

@@ -18,7 +18,7 @@
 //!   sequence.
 
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use wmm_sim::chip::Chip;
 use wmm_sim::exec::{KernelGroup, Role};
@@ -122,7 +122,232 @@ pub struct StressSetup {
     pub init: Vec<(u32, Word)>,
 }
 
-/// Build the stressing blocks for one run.
+/// Per-environment stress artifacts, built **once** and reused across
+/// every run of a campaign.
+///
+/// Compiling a stressing kernel per run is the historic hot-path cost:
+/// a campaign of `C` executions under `sys-str` used to emit `C`
+/// identical `Program`s. The kernel of the systematic and cache-sized
+/// strategies depends only on environment-level constants (scratchpad,
+/// access sequence, spread, iteration count), so this type compiles it
+/// at construction and [`StressArtifacts::make`] merely re-instantiates
+/// the cheap per-run parts — the location table drawn from the run's RNG
+/// and the kernel-group thread count.
+///
+/// `make` draws exactly the values (in exactly the order) the one-shot
+/// [`build_stress`] draws — in fact `build_stress` now delegates here —
+/// so cached and uncached campaigns are bit-for-bit identical.
+///
+/// The `rand-str` kernel bakes a fresh in-kernel PRNG seed into the
+/// program every run, so it is the one strategy whose kernel cannot be
+/// cached; its `make` still rebuilds per run (documented cost of that
+/// strategy, not of this API).
+#[derive(Debug, Clone)]
+pub struct StressArtifacts {
+    pad: Scratchpad,
+    iters: u32,
+    kind: ArtifactKind,
+}
+
+#[derive(Debug, Clone)]
+enum ArtifactKind {
+    /// `no-str`: nothing to launch.
+    None,
+    /// `rand-str`: the kernel embeds a per-run seed; rebuilt per run.
+    Random,
+    /// `cache-str`: one fixed kernel, no per-run state at all.
+    Fixed { program: Arc<Program> },
+    /// `sys-str`: one fixed kernel; the location table is drawn per run.
+    Systematic {
+        program: Arc<Program>,
+        regions: u32,
+        spread: u32,
+        patch_words: u32,
+    },
+    /// Systematic stress pinned to explicit locations (the tuning
+    /// micro-benchmarks' `⟨T_d, σ@L⟩`): kernel *and* table are fixed.
+    Pinned {
+        program: Arc<Program>,
+        init: Vec<(u32, Word)>,
+        spread: u32,
+    },
+}
+
+impl StressArtifacts {
+    /// Artifacts for the native environment (`no-str`): nothing is ever
+    /// launched.
+    pub fn none() -> Self {
+        StressArtifacts {
+            pad: Scratchpad::new(64, 0),
+            iters: 0,
+            kind: ArtifactKind::None,
+        }
+    }
+
+    /// Build the artifacts for a strategy on a chip: compile whatever is
+    /// compilable once, record what must be drawn per run.
+    pub fn for_strategy(
+        chip: &Chip,
+        strategy: &StressStrategy,
+        pad: Scratchpad,
+        iters: u32,
+    ) -> Self {
+        let kind = match strategy {
+            StressStrategy::None => ArtifactKind::None,
+            StressStrategy::Random => ArtifactKind::Random,
+            StressStrategy::CacheSized => {
+                let words = pad.words.min(chip.l2_scaled_words).max(1);
+                ArtifactKind::Fixed {
+                    program: Arc::new(cache_stress_kernel(pad, words, iters)),
+                }
+            }
+            StressStrategy::Systematic(p) => {
+                let regions = (pad.words / p.patch_words).max(1);
+                let spread = p.spread.clamp(1, regions).min(64);
+                ArtifactKind::Systematic {
+                    program: Arc::new(systematic_stress_kernel(pad, &p.seq, spread, iters)),
+                    regions,
+                    spread,
+                    patch_words: p.patch_words,
+                }
+            }
+        };
+        StressArtifacts { pad, iters, kind }
+    }
+
+    /// Artifacts for systematic stress pinned to explicit scratchpad
+    /// locations (word offsets within the pad). Kernel and location
+    /// table are both environment-level constants here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel_locations` is empty or any location exceeds the
+    /// pad.
+    pub fn pinned(pad: Scratchpad, seq: &AccessSeq, rel_locations: &[u32], iters: u32) -> Self {
+        assert!(!rel_locations.is_empty(), "need at least one location");
+        for &l in rel_locations {
+            assert!(l < pad.words, "location {l} outside scratchpad");
+        }
+        let spread = rel_locations.len() as u32;
+        StressArtifacts {
+            pad,
+            iters,
+            kind: ArtifactKind::Pinned {
+                program: Arc::new(systematic_stress_kernel(pad, seq, spread, iters)),
+                init: Self::table_for(pad, rel_locations),
+                spread,
+            },
+        }
+    }
+
+    /// Re-pin already-built pinned artifacts to a different location set
+    /// of the same size, reusing the compiled kernel (the location sweep
+    /// of patch finding visits hundreds of location sets that all share
+    /// one kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if these artifacts are not pinned, the location count
+    /// changes (the spread is baked into the kernel), or a location
+    /// exceeds the pad.
+    pub fn with_locations(&self, rel_locations: &[u32]) -> Self {
+        let ArtifactKind::Pinned {
+            program, spread, ..
+        } = &self.kind
+        else {
+            panic!("with_locations requires pinned artifacts");
+        };
+        assert_eq!(
+            *spread,
+            rel_locations.len() as u32,
+            "location count is baked into the pinned kernel"
+        );
+        for &l in rel_locations {
+            assert!(l < self.pad.words, "location {l} outside scratchpad");
+        }
+        StressArtifacts {
+            pad: self.pad,
+            iters: self.iters,
+            kind: ArtifactKind::Pinned {
+                program: Arc::clone(program),
+                init: Self::table_for(self.pad, rel_locations),
+                spread: *spread,
+            },
+        }
+    }
+
+    /// Whether this is the native environment (no stressing blocks —
+    /// callers skip their per-run thread-count draw, as the legacy
+    /// native campaigns did).
+    pub fn is_native(&self) -> bool {
+        matches!(self.kind, ArtifactKind::None)
+    }
+
+    /// Instantiate one run's stressing blocks. Draws from `rng` exactly
+    /// what the one-shot [`build_stress`] would (nothing for `no-str`,
+    /// `cache-str` and pinned; the kernel seed for `rand-str`; the
+    /// location picks for `sys-str`), so a campaign over cached
+    /// artifacts is bit-identical to one rebuilding per run.
+    pub fn make(&self, threads: u32, rng: &mut SmallRng) -> StressSetup {
+        match &self.kind {
+            ArtifactKind::None => StressSetup::default(),
+            ArtifactKind::Random => {
+                let program = random_stress_kernel(self.pad, self.iters, rng.gen());
+                StressSetup {
+                    groups: groups_for(Arc::new(program), threads),
+                    init: Vec::new(),
+                }
+            }
+            ArtifactKind::Fixed { program } => StressSetup {
+                groups: groups_for(Arc::clone(program), threads),
+                init: Vec::new(),
+            },
+            ArtifactKind::Systematic {
+                program,
+                regions,
+                spread,
+                patch_words,
+            } => {
+                // Choose `spread` distinct regions; stress the first
+                // location of each (stressing multiple locations of one
+                // patch is redundant, Sec. 3.3).
+                let mut picks: Vec<u32> = Vec::with_capacity(*spread as usize);
+                while picks.len() < *spread as usize {
+                    let r = rng.gen_range(0..*regions);
+                    if !picks.contains(&r) {
+                        picks.push(r);
+                    }
+                }
+                let locations: Vec<u32> = picks.iter().map(|&r| r * patch_words).collect();
+                StressSetup {
+                    groups: groups_for(Arc::clone(program), threads.max(spread * 32)),
+                    init: Self::table_for(self.pad, &locations),
+                }
+            }
+            ArtifactKind::Pinned {
+                program,
+                init,
+                spread,
+            } => StressSetup {
+                groups: groups_for(Arc::clone(program), threads.max(spread * 32)),
+                init: init.clone(),
+            },
+        }
+    }
+
+    /// The location table passing per-run stress targets to the kernel.
+    fn table_for(pad: Scratchpad, rel_locations: &[u32]) -> Vec<(u32, Word)> {
+        rel_locations
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (pad.table_base + i as u32, pad.base + l))
+            .collect()
+    }
+}
+
+/// Build the stressing blocks for one run — the one-shot form, now a
+/// thin delegate to [`StressArtifacts`] (campaign loops should build the
+/// artifacts once instead of calling this per run).
 ///
 /// * `threads` — total stressing threads to launch (the paper randomises
 ///   this per run; see [`litmus_stress_threads`] and
@@ -137,45 +362,13 @@ pub fn build_stress(
     iters: u32,
     rng: &mut SmallRng,
 ) -> StressSetup {
-    match strategy {
-        StressStrategy::None => StressSetup::default(),
-        StressStrategy::Random => {
-            let program = random_stress_kernel(pad, iters, rng.gen());
-            StressSetup {
-                groups: groups_for(program, threads),
-                init: Vec::new(),
-            }
-        }
-        StressStrategy::CacheSized => {
-            let words = pad.words.min(chip.l2_scaled_words).max(1);
-            let program = cache_stress_kernel(pad, words, iters);
-            StressSetup {
-                groups: groups_for(program, threads),
-                init: Vec::new(),
-            }
-        }
-        StressStrategy::Systematic(p) => {
-            let regions = (pad.words / p.patch_words).max(1);
-            let spread = p.spread.clamp(1, regions).min(64);
-            // Choose `spread` distinct regions; stress the first location
-            // of each (stressing multiple locations of one patch is
-            // redundant, Sec. 3.3).
-            let mut picks: Vec<u32> = Vec::with_capacity(spread as usize);
-            while picks.len() < spread as usize {
-                let r = rng.gen_range(0..regions);
-                if !picks.contains(&r) {
-                    picks.push(r);
-                }
-            }
-            let locations: Vec<u32> = picks.iter().map(|&r| r * p.patch_words).collect();
-            build_systematic_at(pad, &p.seq, &locations, threads, iters)
-        }
-    }
+    StressArtifacts::for_strategy(chip, strategy, pad, iters).make(threads, rng)
 }
 
 /// Systematic stress pinned to explicit scratchpad locations (word
 /// offsets within the pad) — the form the tuning micro-benchmarks use,
-/// where `⟨T_d, σ@L⟩` stresses a *specific* location set `L`.
+/// where `⟨T_d, σ@L⟩` stresses a *specific* location set `L`. One-shot
+/// delegate to [`StressArtifacts::pinned`].
 ///
 /// At least 32 threads per location are used so every location receives
 /// stress; threads distribute round-robin over the locations.
@@ -190,29 +383,17 @@ pub fn build_systematic_at(
     threads: u32,
     iters: u32,
 ) -> StressSetup {
-    assert!(!rel_locations.is_empty(), "need at least one location");
-    for &l in rel_locations {
-        assert!(l < pad.words, "location {l} outside scratchpad");
-    }
-    let spread = rel_locations.len() as u32;
-    let init: Vec<(u32, Word)> = rel_locations
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| (pad.table_base + i as u32, pad.base + l))
-        .collect();
-    let program = systematic_stress_kernel(pad, seq, spread, iters);
-    let threads = threads.max(spread * 32);
-    StressSetup {
-        groups: groups_for(program, threads),
-        init,
-    }
+    // Pinned artifacts draw nothing from an RNG; a throwaway stream
+    // keeps `make`'s signature uniform.
+    let mut rng = SmallRng::seed_from_u64(0);
+    StressArtifacts::pinned(pad, seq, rel_locations, iters).make(threads, &mut rng)
 }
 
-fn groups_for(program: Program, threads: u32) -> Vec<KernelGroup> {
+fn groups_for(program: Arc<Program>, threads: u32) -> Vec<KernelGroup> {
     let tpb = 64;
     let blocks = threads.div_ceil(tpb).max(1);
     vec![KernelGroup {
-        program: Arc::new(program),
+        program,
         blocks,
         threads_per_block: tpb,
         role: Role::Stress,
@@ -432,12 +613,7 @@ mod tests {
             };
             let mut gpu = Gpu::new(c.clone());
             let r = gpu.run(&spec, 5);
-            assert!(
-                r.status.is_completed(),
-                "{}: {:?}",
-                strat.short(),
-                r.status
-            );
+            assert!(r.status.is_completed(), "{}: {:?}", strat.short(), r.status);
             assert!(r.instructions > 1000, "{}", strat.short());
         }
     }
@@ -460,6 +636,84 @@ mod tests {
             let b = app_stress_blocks(8, &mut r);
             assert!((1..=4).contains(&b), "got {b}");
         }
+    }
+
+    #[test]
+    fn reused_artifacts_match_fresh_artifacts_run_by_run() {
+        // Instantiating runs off one cached artifact set must equal
+        // building fresh artifacts for every run (what the historic
+        // per-run `build_stress` path did).
+        let c = chip();
+        let pad = Scratchpad::new(2048, 2048);
+        for strat in [
+            StressStrategy::None,
+            StressStrategy::Random,
+            StressStrategy::CacheSized,
+            StressStrategy::Systematic(SystematicParams::from_paper(&c)),
+        ] {
+            let cached = StressArtifacts::for_strategy(&c, &strat, pad, 30);
+            for run in 0..4u64 {
+                let mut r1 = SmallRng::seed_from_u64(run * 7 + 1);
+                let mut r2 = r1.clone();
+                let a = cached.make(300, &mut r1);
+                let b = build_stress(&c, &strat, pad, 300, 30, &mut r2);
+                assert_eq!(a.init, b.init, "{} run {run}", strat.short());
+                assert_eq!(a.groups.len(), b.groups.len());
+                for (ga, gb) in a.groups.iter().zip(&b.groups) {
+                    assert_eq!(ga.blocks, gb.blocks, "{}", strat.short());
+                    assert_eq!(
+                        ga.program.to_string(),
+                        gb.program.to_string(),
+                        "{} run {run}",
+                        strat.short()
+                    );
+                }
+                // The RNG streams must stay in lockstep too.
+                assert_eq!(r1.gen::<u64>(), r2.gen::<u64>(), "{}", strat.short());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_kernels_are_shared_not_rebuilt() {
+        let c = chip();
+        let pad = Scratchpad::new(2048, 2048);
+        let art = StressArtifacts::for_strategy(
+            &c,
+            &StressStrategy::Systematic(SystematicParams::from_paper(&c)),
+            pad,
+            40,
+        );
+        let a = art.make(256, &mut rng());
+        let b = art.make(256, &mut rng());
+        assert!(
+            Arc::ptr_eq(&a.groups[0].program, &b.groups[0].program),
+            "systematic kernel must be compiled once and shared"
+        );
+    }
+
+    #[test]
+    fn with_locations_reuses_the_pinned_kernel() {
+        let pad = Scratchpad::new(2048, 2048);
+        let seq: AccessSeq = "st ld".parse().unwrap();
+        let base = StressArtifacts::pinned(pad, &seq, &[0], 40);
+        let moved = base.with_locations(&[96]);
+        let a = base.make(128, &mut rng());
+        let b = moved.make(128, &mut rng());
+        assert!(Arc::ptr_eq(&a.groups[0].program, &b.groups[0].program));
+        assert_eq!(b.init, vec![(pad.table_base, pad.base + 96)]);
+        // ...and matches a directly pinned build.
+        let direct = build_systematic_at(pad, &seq, &[96], 128, 40);
+        assert_eq!(b.init, direct.init);
+        assert_eq!(b.groups[0].blocks, direct.groups[0].blocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "location count")]
+    fn with_locations_rejects_spread_change() {
+        let pad = Scratchpad::new(2048, 2048);
+        let seq: AccessSeq = "st".parse().unwrap();
+        let _ = StressArtifacts::pinned(pad, &seq, &[0], 40).with_locations(&[0, 64]);
     }
 
     #[test]

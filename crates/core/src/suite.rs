@@ -1,0 +1,272 @@
+//! The generated-suite campaign runner.
+//!
+//! Campaigns every generated litmus shape across a grid of chips ×
+//! stress strategies × distances through the unified
+//! [`Campaign`](crate::campaign::Campaign) facade. The stress artifacts
+//! of each `(chip, strategy)` column are built **once** and shared by
+//! every cell (and every run) in that column.
+//!
+//! This runner used to live in `wmm-gen` behind per-run closure
+//! factories (so that crate could stay below `wmm-core` in the crate
+//! graph); with the campaign facade in `wmm-core` the runner lives here
+//! and the columns are plain [`StressStrategy`] values.
+
+use crate::campaign::CampaignBuilder;
+use crate::stress::{Scratchpad, StressArtifacts, StressStrategy, SystematicParams};
+use std::sync::Arc;
+use wmm_gen::Shape;
+use wmm_litmus::runner::mix_seed;
+use wmm_litmus::{Histogram, LitmusLayout};
+use wmm_sim::chip::Chip;
+
+/// A named suite column: a stress strategy (computed per chip — the
+/// systematic strategy's parameters are per-chip, Tab. 2) plus the
+/// thread-randomisation toggle of the paper's environment names.
+#[derive(Clone)]
+pub struct SuiteStrategy {
+    /// Display name, e.g. `"sys-str+"`.
+    pub name: String,
+    /// Whether thread ids are randomised (the `+`/`-` suffix).
+    pub randomize: bool,
+    /// Stressing-loop iterations per stressing thread.
+    pub iters: u32,
+    strategy_of: Arc<dyn Fn(&Chip) -> StressStrategy + Send + Sync>,
+}
+
+impl SuiteStrategy {
+    /// The native column: no stressing blocks, no randomisation.
+    pub fn native() -> Self {
+        SuiteStrategy {
+            name: "no-str-".to_string(),
+            randomize: false,
+            iters: 0,
+            strategy_of: Arc::new(|_| StressStrategy::None),
+        }
+    }
+
+    /// A column from a per-chip strategy constructor; the display name
+    /// is the strategy's short name plus the `+`/`-` suffix.
+    pub fn new(
+        short: &str,
+        randomize: bool,
+        iters: u32,
+        strategy_of: impl Fn(&Chip) -> StressStrategy + Send + Sync + 'static,
+    ) -> Self {
+        SuiteStrategy {
+            name: format!("{short}{}", if randomize { "+" } else { "-" }),
+            randomize,
+            iters,
+            strategy_of: Arc::new(strategy_of),
+        }
+    }
+
+    /// The paper's tuned systematic environment, `sys-str+` (Tab. 2
+    /// parameters per chip).
+    pub fn sys_str_plus(iters: u32) -> Self {
+        SuiteStrategy::new("sys-str", true, iters, |chip| {
+            StressStrategy::Systematic(SystematicParams::from_paper(chip))
+        })
+    }
+
+    /// The random-stress baseline with randomisation, `rand-str+`.
+    pub fn rand_str_plus(iters: u32) -> Self {
+        SuiteStrategy::new("rand-str", true, iters, |_| StressStrategy::Random)
+    }
+
+    /// The strategy this column applies on `chip`.
+    pub fn strategy(&self, chip: &Chip) -> StressStrategy {
+        (self.strategy_of)(chip)
+    }
+
+    /// Build this column's stress artifacts for `chip`, compiled once
+    /// for the whole column.
+    pub fn artifacts(&self, chip: &Chip, pad: Scratchpad) -> StressArtifacts {
+        StressArtifacts::for_strategy(chip, &self.strategy(chip), pad, self.iters)
+    }
+}
+
+impl std::fmt::Debug for SuiteStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuiteStrategy")
+            .field("name", &self.name)
+            .field("randomize", &self.randomize)
+            .field("iters", &self.iters)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Suite campaign configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Distances `d` each shape is instantiated at.
+    pub distances: Vec<u32>,
+    /// Executions per cell (the paper's `C`).
+    pub execs: u32,
+    /// The scratchpad the strategies stress; every launch provides
+    /// `pad.required_words()` words of global memory.
+    pub pad: Scratchpad,
+    /// Base seed; each cell derives its own seed from its coordinates,
+    /// so results are independent of cell iteration order.
+    pub base_seed: u64,
+    /// Worker threads per cell campaign (0 ⇒ all cores). Histograms are
+    /// bit-identical for every value (see [`crate::campaign`]).
+    pub workers: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            distances: vec![64],
+            execs: 32,
+            pad: Scratchpad::new(2048, 6144),
+            base_seed: 2016,
+            workers: 0,
+        }
+    }
+}
+
+/// One cell of the suite matrix: a shape at a distance, on a chip,
+/// under a strategy.
+#[derive(Debug, Clone)]
+pub struct SuiteCell {
+    /// The generated shape.
+    pub shape: Shape,
+    /// The instantiation distance.
+    pub distance: u32,
+    /// Chip short name.
+    pub chip: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// The outcome histogram (weak = outside the derived SC set).
+    pub hist: Histogram,
+}
+
+impl SuiteCell {
+    /// Weak outcomes as a fraction of total.
+    pub fn weak_rate(&self) -> f64 {
+        self.hist.weak_rate()
+    }
+}
+
+/// Campaign every `shape × distance × chip × strategy` cell and return
+/// the matrix in that (row-major) order.
+///
+/// Stress artifacts are built once per `(chip, strategy)` column and
+/// shared across all of that column's cells and runs.
+///
+/// Deterministic in `(shapes, cfg, chips, strategies)`: each cell's
+/// campaign seed is [`mix_seed`]-derived from the cell's coordinates
+/// alone and campaigns are worker-count-independent, so the result is
+/// bit-identical for every `cfg.workers`.
+pub fn run_suite(
+    shapes: &[Shape],
+    chips: &[Chip],
+    strategies: &[SuiteStrategy],
+    cfg: &SuiteConfig,
+) -> Vec<SuiteCell> {
+    // One artifact set per (chip, strategy) column, compiled up front.
+    let artifacts: Vec<Vec<StressArtifacts>> = chips
+        .iter()
+        .map(|chip| {
+            strategies
+                .iter()
+                .map(|s| s.artifacts(chip, cfg.pad))
+                .collect()
+        })
+        .collect();
+    let mut cells = Vec::new();
+    for (si, shape) in shapes.iter().enumerate() {
+        for &d in &cfg.distances {
+            let inst = shape.instance(LitmusLayout::standard(d, cfg.pad.required_words()));
+            for (ci, chip) in chips.iter().enumerate() {
+                for (ki, strat) in strategies.iter().enumerate() {
+                    // Chain one mix per coordinate: unlike a polynomial
+                    // pack, this cannot collide for any in-range values.
+                    let cell_seed = [si as u64, u64::from(d), ci as u64, ki as u64]
+                        .into_iter()
+                        .fold(cfg.base_seed, mix_seed);
+                    let hist = CampaignBuilder::new(chip)
+                        .stress(artifacts[ci][ki].clone())
+                        .randomize_ids(strat.randomize)
+                        .count(cfg.execs)
+                        .base_seed(cell_seed)
+                        .parallelism(cfg.workers)
+                        .build()
+                        .run_litmus(&inst);
+                    cells.push(SuiteCell {
+                        shape: *shape,
+                        distance: d,
+                        chip: chip.short.to_string(),
+                        strategy: strat.name.clone(),
+                        hist,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strong_chip() -> Chip {
+        let mut c = Chip::by_short("K20").unwrap();
+        c.reorder.base = [0.0; 4];
+        c.reorder.gain = [0.0; 4];
+        c
+    }
+
+    #[test]
+    fn native_suite_on_sc_chip_has_no_weak_outcomes() {
+        let cfg = SuiteConfig {
+            execs: 12,
+            ..Default::default()
+        };
+        let cells = run_suite(
+            &Shape::ALL,
+            &[strong_chip()],
+            &[SuiteStrategy::native()],
+            &cfg,
+        );
+        assert_eq!(cells.len(), Shape::ALL.len());
+        for c in &cells {
+            assert_eq!(c.hist.weak(), 0, "{} on SC chip: {}", c.shape, c.hist);
+            assert_eq!(c.hist.total(), u64::from(cfg.execs));
+        }
+    }
+
+    #[test]
+    fn suite_is_worker_count_independent() {
+        let chips = [Chip::by_short("Titan").unwrap()];
+        let shapes = [Shape::Mp, Shape::Iriw, Shape::CoWW];
+        let base = SuiteConfig {
+            execs: 16,
+            ..Default::default()
+        };
+        let runs: Vec<Vec<SuiteCell>> = [1usize, 2, 8]
+            .into_iter()
+            .map(|w| {
+                let cfg = SuiteConfig {
+                    workers: w,
+                    ..base.clone()
+                };
+                run_suite(&shapes, &chips, &[SuiteStrategy::native()], &cfg)
+            })
+            .collect();
+        for other in &runs[1..] {
+            assert_eq!(runs[0].len(), other.len());
+            for (a, b) in runs[0].iter().zip(other.iter()) {
+                assert_eq!(a.hist, b.hist, "{} {}", a.shape, a.strategy);
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_names_carry_the_suffix() {
+        assert_eq!(SuiteStrategy::native().name, "no-str-");
+        assert_eq!(SuiteStrategy::sys_str_plus(40).name, "sys-str+");
+        assert_eq!(SuiteStrategy::rand_str_plus(40).name, "rand-str+");
+    }
+}

@@ -11,10 +11,11 @@
 //! stressing thread "stores to and then loads from location l" (`st ld`).
 
 use super::TuningConfig;
-use crate::stress::{build_systematic_at, litmus_stress_threads};
+use crate::campaign::CampaignBuilder;
+use crate::stress::StressArtifacts;
 use wmm_gen::Shape;
 use wmm_litmus::runner::mix_seed;
-use wmm_litmus::{run_many, LitmusLayout, RunManyConfig};
+use wmm_litmus::LitmusLayout;
 use wmm_sim::chip::Chip;
 use wmm_sim::seq::AccessSeq;
 
@@ -62,7 +63,7 @@ pub struct PatchReport {
 /// The sweep parallelises across *locations* (each location's campaign
 /// runs sequentially on one worker): location campaigns are independent
 /// and there are far more of them than cores, so this keeps every core
-/// busy without paying a thread fan-out per `run_many` call. Each
+/// busy without paying a thread fan-out per inner campaign. Each
 /// location's base seed is derived from `(test, distance, l)` alone, so
 /// the grid is identical for every `cfg.parallelism`.
 pub fn sweep(chip: &Chip, test: Shape, distance: u32, cfg: &TuningConfig) -> PatchGrid {
@@ -72,32 +73,26 @@ pub fn sweep(chip: &Chip, test: Shape, distance: u32, cfg: &TuningConfig) -> Pat
     // Seed index from the full catalogue so any shape can be swept
     // (the trio occupies positions 0..3, keeping legacy seeds intact).
     let test_idx = Shape::ALL.iter().position(|t| *t == test).unwrap() as u64;
-    let locations: Vec<u32> = (0..cfg.locations).step_by(cfg.location_step as usize).collect();
+    let locations: Vec<u32> = (0..cfg.locations)
+        .step_by(cfg.location_step as usize)
+        .collect();
+    // One pinned stress kernel serves the whole sweep: every location's
+    // campaign re-pins the same compiled program to its location.
+    let artifacts = StressArtifacts::pinned(pad, &seq, &[0], cfg.stress_iters);
     let workers = wmm_litmus::parallel::resolve_workers(cfg.parallelism, locations.len());
     let counts = wmm_litmus::parallel::parallel_map(workers, locations.len(), |k| {
         let l = locations[k];
-        let chip2 = chip.clone();
-        let seq2 = seq.clone();
-        let iters = cfg.stress_iters;
-        run_many(
-            chip,
-            &inst,
-            move |rng| {
-                let threads = litmus_stress_threads(&chip2, rng);
-                let s = build_systematic_at(pad, &seq2, &[l], threads, iters);
-                (s.groups, s.init)
-            },
-            RunManyConfig {
-                count: cfg.execs,
-                base_seed: mix_seed(
-                    cfg.base_seed,
-                    (test_idx * 1_000_003 + u64::from(distance)) * 1_000_003 + u64::from(l),
-                ),
-                randomize_ids: false,
-                parallelism: 1,
-            },
-        )
-        .weak()
+        CampaignBuilder::new(chip)
+            .stress(artifacts.with_locations(&[l]))
+            .count(cfg.execs)
+            .base_seed(mix_seed(
+                cfg.base_seed,
+                (test_idx * 1_000_003 + u64::from(distance)) * 1_000_003 + u64::from(l),
+            ))
+            .parallelism(1)
+            .build()
+            .run_litmus(&inst)
+            .weak()
     });
     PatchGrid {
         test,

@@ -7,10 +7,11 @@
 
 use super::pareto::select_winner;
 use super::TuningConfig;
-use crate::stress::{build_systematic_at, litmus_stress_threads};
+use crate::campaign::CampaignBuilder;
+use crate::stress::StressArtifacts;
 use wmm_gen::Shape;
 use wmm_litmus::runner::mix_seed;
-use wmm_litmus::{run_many, LitmusInstance, LitmusLayout, RunManyConfig};
+use wmm_litmus::{LitmusInstance, LitmusLayout};
 use wmm_sim::chip::Chip;
 use wmm_sim::seq::AccessSeq;
 
@@ -107,34 +108,28 @@ pub fn score_sequences(chip: &Chip, patch_words: u32, cfg: &TuningConfig) -> Seq
             }
         }
     }
+    // One pinned stress kernel per sequence, compiled up front and
+    // re-pinned per job — not one kernel per (job × run).
+    let artifacts: Vec<StressArtifacts> = seqs
+        .iter()
+        .map(|seq| StressArtifacts::pinned(pad, seq, &[0], cfg.stress_iters))
+        .collect();
     let workers = wmm_litmus::parallel::resolve_workers(cfg.parallelism, jobs.len());
     let weaks = wmm_litmus::parallel::parallel_map(workers, jobs.len(), |k| {
         let job = &jobs[k];
-        let chip2 = chip.clone();
-        let seq2 = seqs[job.si].clone();
-        let iters = cfg.stress_iters;
         let l = job.l;
-        run_many(
-            chip,
-            &insts[job.inst],
-            move |rng| {
-                let threads = litmus_stress_threads(&chip2, rng);
-                let s = build_systematic_at(pad, &seq2, &[l], threads, iters);
-                (s.groups, s.init)
-            },
-            RunManyConfig {
-                count: cfg.execs,
-                base_seed: mix_seed(
-                    cfg.base_seed ^ SEQ_STAGE_SALT,
-                    ((job.si as u64 * 31 + job.ti as u64) * 1_000_003 + u64::from(job.d))
-                        * 1_000_003
-                        + u64::from(l),
-                ),
-                randomize_ids: false,
-                parallelism: 1,
-            },
-        )
-        .weak()
+        CampaignBuilder::new(chip)
+            .stress(artifacts[job.si].with_locations(&[l]))
+            .count(cfg.execs)
+            .base_seed(mix_seed(
+                cfg.base_seed ^ SEQ_STAGE_SALT,
+                ((job.si as u64 * 31 + job.ti as u64) * 1_000_003 + u64::from(job.d)) * 1_000_003
+                    + u64::from(l),
+            ))
+            .parallelism(1)
+            .build()
+            .run_litmus(&insts[job.inst])
+            .weak()
     });
     let mut entries: Vec<SeqScore> = seqs
         .iter()

@@ -10,10 +10,11 @@
 
 use super::pareto::select_winner;
 use super::TuningConfig;
-use crate::stress::{build_stress, litmus_stress_threads, StressStrategy, SystematicParams};
+use crate::campaign::CampaignBuilder;
+use crate::stress::{StressArtifacts, StressStrategy, SystematicParams};
 use wmm_gen::Shape;
 use wmm_litmus::runner::mix_seed;
-use wmm_litmus::{run_many, LitmusLayout, RunManyConfig};
+use wmm_litmus::LitmusLayout;
 use wmm_sim::chip::Chip;
 use wmm_sim::seq::AccessSeq;
 
@@ -60,40 +61,38 @@ pub fn score_spreads(
             }
         }
     }
+    // One compiled systematic kernel per spread, shared by all of that
+    // spread's jobs and runs (only the per-run location table is drawn
+    // from each run's RNG).
+    let artifacts: Vec<StressArtifacts> = (1..=cfg.max_spread)
+        .map(|m| {
+            let strategy = StressStrategy::Systematic(SystematicParams {
+                patch_words,
+                seq: seq.clone(),
+                spread: m,
+            });
+            StressArtifacts::for_strategy(chip, &strategy, pad, cfg.stress_iters)
+        })
+        .collect();
     let workers = wmm_litmus::parallel::resolve_workers(cfg.parallelism, jobs.len());
     let weaks = wmm_litmus::parallel::parallel_map(workers, jobs.len(), |k| {
         let (m, ti, d) = jobs[k];
         let inst = Shape::TRIO[ti].instance(LitmusLayout::standard(d, pad.required_words()));
-        let chip2 = chip.clone();
-        let strategy = StressStrategy::Systematic(SystematicParams {
-            patch_words,
-            seq: seq.clone(),
-            spread: m,
-        });
-        let iters = cfg.stress_iters;
-        run_many(
-            chip,
-            &inst,
-            move |rng| {
-                let threads = litmus_stress_threads(&chip2, rng);
-                let s = build_stress(&chip2, &strategy, pad, threads, iters, rng);
-                (s.groups, s.init)
-            },
-            RunManyConfig {
-                // This stage has far fewer configurations than the
-                // location/sequence sweeps (the paper compensates
-                // with its much denser distance grid), so spend
-                // more executions per spread for a stable curve.
-                count: cfg.execs * 10,
-                base_seed: mix_seed(
-                    cfg.base_seed ^ SPREAD_STAGE_SALT,
-                    (u64::from(m) * 31 + ti as u64) * 1_000_003 + u64::from(d),
-                ),
-                randomize_ids: false,
-                parallelism: 1,
-            },
-        )
-        .weak()
+        CampaignBuilder::new(chip)
+            .stress(artifacts[(m - 1) as usize].clone())
+            // This stage has far fewer configurations than the
+            // location/sequence sweeps (the paper compensates with its
+            // much denser distance grid), so spend more executions per
+            // spread for a stable curve.
+            .count(cfg.execs * 10)
+            .base_seed(mix_seed(
+                cfg.base_seed ^ SPREAD_STAGE_SALT,
+                (u64::from(m) * 31 + ti as u64) * 1_000_003 + u64::from(d),
+            ))
+            .parallelism(1)
+            .build()
+            .run_litmus(&inst)
+            .weak()
     });
     let mut entries: Vec<(u32, [u64; 3])> = (1..=cfg.max_spread).map(|m| (m, [0u64; 3])).collect();
     for (&(m, ti, _), weak) in jobs.iter().zip(weaks) {

@@ -74,10 +74,7 @@ pub fn build_program(events: &TestEvents, layout: &LitmusLayout) -> Program {
             // Compute this thread's read indices before entering the
             // closure; reads are numbered thread-major across the test.
             let first_read = next_read;
-            next_read += evs
-                .iter()
-                .filter(|e| matches!(e, Event::R { .. }))
-                .count() as u32;
+            next_read += evs.iter().filter(|e| matches!(e, Event::R { .. })).count() as u32;
             b.if_(is_t, |b| {
                 let mut read_regs = Vec::new();
                 for ev in evs {
@@ -91,6 +88,7 @@ pub fn build_program(events: &TestEvents, layout: &LitmusLayout) -> Program {
                             let a = b.const_(layout.loc_addr(loc));
                             read_regs.push(b.load_global(a));
                         }
+                        Event::Fence => b.fence_device(),
                     }
                 }
                 // Result stores last, so the test's own accesses stay
@@ -102,7 +100,8 @@ pub fn build_program(events: &TestEvents, layout: &LitmusLayout) -> Program {
             });
         }
     });
-    b.finish().expect("generated litmus kernel is valid by construction")
+    b.finish()
+        .expect("generated litmus kernel is valid by construction")
 }
 
 /// A kernel-language identifier for the shape (`2+2W` → `T2p2W`).
@@ -164,6 +163,7 @@ pub fn to_lang_source(events: &TestEvents, layout: &LitmusLayout) -> String {
                     ));
                     read_names.push(name);
                 }
+                Event::Fence => s.push_str("            fence();\n"),
             }
         }
         for (i, name) in read_names.iter().enumerate() {
@@ -206,8 +206,7 @@ mod tests {
     fn lang_source_compiles_for_every_shape() {
         for shape in Shape::ALL {
             let src = to_lang_source(&shape.events(), &layout(64));
-            let p = wmm_lang::compile(&src)
-                .unwrap_or_else(|e| panic!("{shape}: {e}\n{src}"));
+            let p = wmm_lang::compile(&src).unwrap_or_else(|e| panic!("{shape}: {e}\n{src}"));
             validate(&p).unwrap();
         }
     }

@@ -5,9 +5,10 @@
 //! predicate. This crate replaces that trio with a *generator*:
 //!
 //! * [`shape`] — a catalogue of classic communication-cycle litmus
-//!   shapes (MP, LB, SB, S, R, 2+2W, WRC, RWC, ISA2, IRIW, plus the
-//!   coherence tests CoRR and CoWW), each an abstract list of read and
-//!   write events per thread;
+//!   shapes (MP, LB, SB, S, R, 2+2W, WRC, RWC, ISA2, IRIW, the
+//!   coherence tests CoRR and CoWW, and the fenced variants MP+fences
+//!   and SB+fences), each an abstract list of read, write and fence
+//!   events per thread;
 //! * [`oracle`] — a small-step sequential-consistency semantics that
 //!   exhaustively interleaves a shape's events to compute the set of
 //!   SC-reachable outcomes; an observed outcome is **weak** exactly when
@@ -15,9 +16,12 @@
 //! * [`emit`] — lowering to runnable kernels, either directly as
 //!   `wmm-sim` IR via `KernelBuilder`, or as `.litmus`-style text in the
 //!   `wmm-lang` kernel language (round-tripped through
-//!   [`wmm_lang::compile`]);
-//! * [`suite`] — a campaign runner spanning every generated test across
-//!   chips × stress strategies on the deterministic parallel layer.
+//!   [`wmm_lang::compile`]).
+//!
+//! Campaigning generated instances — across chips, stress strategies and
+//! worker counts — is the job of the unified campaign facade in
+//! `wmm-core` (`wmm_core::campaign` and the suite runner
+//! `wmm_core::suite`), which sits above this crate.
 //!
 //! ```
 //! use wmm_gen::Shape;
@@ -34,10 +38,8 @@
 pub mod emit;
 pub mod oracle;
 pub mod shape;
-pub mod suite;
 
 pub use shape::{Event, Shape, TestEvents};
-pub use suite::{run_suite, StressSpec, SuiteCell, SuiteConfig};
 
 use wmm_litmus::{LitmusInstance, LitmusLayout};
 

@@ -6,8 +6,10 @@
 //! families of the weak-memory literature — the Fig. 2 trio (MP, LB, SB)
 //! the paper tests by hand, the remaining two-thread two-location cycles
 //! (S, R, 2+2W), the three-thread cycles (WRC, RWC, ISA2), the
-//! four-thread independent-reads shape (IRIW), and the per-location
-//! coherence sanity tests (CoRR, CoWW).
+//! four-thread independent-reads shape (IRIW), the per-location
+//! coherence sanity tests (CoRR, CoWW), and fenced variants
+//! (MP+fences, SB+fences) whose kernels carry `fence()` events and so
+//! must never exhibit their base shape's weak outcomes.
 //!
 //! Shapes carry *no* weak-outcome predicate: the forbidden outcomes of
 //! every shape are derived by exhaustively interleaving its events under
@@ -32,6 +34,12 @@ pub enum Event {
         /// Location index.
         loc: u32,
     },
+    /// A device-level memory fence. Invisible to the SC oracle (under
+    /// sequential consistency a fence is a no-op), but emitted as a
+    /// `fence()` in the kernel — so a fenced shape keeps the SC set of
+    /// its unfenced base while its weak outcomes become unobservable on
+    /// the simulated hardware.
+    Fence,
 }
 
 /// An abstract litmus test: named threads of events.
@@ -49,8 +57,9 @@ impl TestEvents {
         self.threads
             .iter()
             .flatten()
-            .map(|e| match e {
-                Event::W { loc, .. } | Event::R { loc } => loc + 1,
+            .filter_map(|e| match e {
+                Event::W { loc, .. } | Event::R { loc } => Some(loc + 1),
+                Event::Fence => None,
             })
             .max()
             .unwrap_or(0)
@@ -113,11 +122,20 @@ pub enum Shape {
     CoRR,
     /// Coherence of write-write pairs on one location.
     CoWW,
+    /// Message passing with a device fence between each thread's two
+    /// accesses: the weak outcome becomes unobservable, while the SC
+    /// oracle (fence-blind) derives the same forbidden set as [`Shape::Mp`].
+    MpFences,
+    /// Store buffering with a device fence between each thread's write
+    /// and read: likewise never weak on hardware.
+    SbFences,
 }
 
 impl Shape {
-    /// Every shape in the catalogue.
-    pub const ALL: [Shape; 12] = [
+    /// Every shape in the catalogue. The Fig. 2 trio stays at positions
+    /// 0..3 (tuning seed formulas index into this array); new shapes are
+    /// appended.
+    pub const ALL: [Shape; 14] = [
         Shape::Mp,
         Shape::Lb,
         Shape::Sb,
@@ -130,6 +148,8 @@ impl Shape {
         Shape::Iriw,
         Shape::CoRR,
         Shape::CoWW,
+        Shape::MpFences,
+        Shape::SbFences,
     ];
 
     /// The paper's Fig. 2 trio — the shapes the tuning pipeline
@@ -151,6 +171,8 @@ impl Shape {
             Shape::Iriw => "IRIW",
             Shape::CoRR => "CoRR",
             Shape::CoWW => "CoWW",
+            Shape::MpFences => "MP+fences",
+            Shape::SbFences => "SB+fences",
         }
     }
 
@@ -206,11 +228,16 @@ impl Shape {
                 vec![R { loc: x }, R { loc: y }],
                 vec![R { loc: y }, R { loc: x }],
             ],
-            Shape::CoRR => vec![
-                vec![W { loc: x, val: 1 }],
-                vec![R { loc: x }, R { loc: x }],
-            ],
+            Shape::CoRR => vec![vec![W { loc: x, val: 1 }], vec![R { loc: x }, R { loc: x }]],
             Shape::CoWW => vec![vec![W { loc: x, val: 1 }, W { loc: x, val: 2 }]],
+            Shape::MpFences => vec![
+                vec![W { loc: x, val: 1 }, Event::Fence, W { loc: y, val: 1 }],
+                vec![R { loc: y }, Event::Fence, R { loc: x }],
+            ],
+            Shape::SbFences => vec![
+                vec![W { loc: x, val: 1 }, Event::Fence, R { loc: y }],
+                vec![W { loc: y, val: 1 }, Event::Fence, R { loc: x }],
+            ],
         };
         TestEvents {
             name: self.short().to_string(),
@@ -249,10 +276,7 @@ mod tests {
 
     #[test]
     fn trio_is_fig2() {
-        assert_eq!(
-            Shape::TRIO.map(|s| s.short()),
-            ["MP", "LB", "SB"]
-        );
+        assert_eq!(Shape::TRIO.map(|s| s.short()), ["MP", "LB", "SB"]);
     }
 
     #[test]
@@ -290,6 +314,26 @@ mod tests {
         assert_eq!(Shape::Mp.events().num_locs(), 2);
         assert_eq!(Shape::Isa2.events().num_locs(), 3);
         assert_eq!(Shape::CoRR.events().num_locs(), 1);
+    }
+
+    #[test]
+    fn fenced_variants_mirror_their_base_shapes() {
+        for (fenced, base) in [(Shape::MpFences, Shape::Mp), (Shape::SbFences, Shape::Sb)] {
+            let fe = fenced.events();
+            let be = base.events();
+            // Same communication structure...
+            assert_eq!(fe.num_locs(), be.num_locs(), "{fenced}");
+            assert_eq!(fe.num_reads(), be.num_reads(), "{fenced}");
+            assert_eq!(fe.observers(), be.observers(), "{fenced}");
+            // ...plus exactly one fence per thread, between the accesses.
+            for (ft, bt) in fe.threads.iter().zip(&be.threads) {
+                assert_eq!(ft.len(), bt.len() + 1, "{fenced}");
+                assert_eq!(ft[1], Event::Fence, "{fenced}");
+                let unfenced: Vec<Event> =
+                    ft.iter().copied().filter(|e| *e != Event::Fence).collect();
+                assert_eq!(&unfenced, bt, "{fenced}");
+            }
+        }
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub struct Token {
 }
 
 const PUNCTS: [&str; 22] = [
-    "==", "!=", "<=", ">=", "<<", ">>", "{", "}", "(", ")", "[", "]", ";", ",", "=", "+", "-",
-    "*", "/", "%", "<", ">",
+    "==", "!=", "<=", ">=", "<<", ">>", "{", "}", "(", ")", "[", "]", ";", ",", "=", "+", "-", "*",
+    "/", "%", "<", ">",
 ];
 const EXTRA_PUNCTS: [&str; 3] = ["&", "|", "^"];
 

@@ -257,8 +257,8 @@ mod tests {
 
     #[test]
     fn while_condition_sees_outer_vars() {
-        let p = compile("kernel k { var i = 0; while i < 3 { i = i + 1; } global[0] = i; }")
-            .unwrap();
+        let p =
+            compile("kernel k { var i = 0; while i < 3 { i = i + 1; } global[0] = i; }").unwrap();
         assert!(p.len() > 6);
     }
 }

@@ -367,8 +367,8 @@ mod tests {
 
     #[test]
     fn atomics_parse_as_expressions_and_statements() {
-        let k = parse_src("kernel k { var o = cas(0, 0, 1); exch(0, 0); atomic_add(4, 1); }")
-            .unwrap();
+        let k =
+            parse_src("kernel k { var o = cas(0, 0, 1); exch(0, 0); atomic_add(4, 1); }").unwrap();
         assert_eq!(k.body.len(), 3);
         assert!(matches!(&k.body[1], Stmt::Expr(Expr::Exch(_, _))));
     }

@@ -2,9 +2,10 @@
 //!
 //! Generic litmus *instances* — a kernel, a memory layout, a set of
 //! [observers](Observer) and the SC-reachable outcome set that defines
-//! the weak predicate — plus the machinery to [run](run_many) them
-//! repeatedly (optionally alongside caller-supplied stressing blocks)
-//! and histogram the outcomes.
+//! the weak predicate — plus the single-execution machinery
+//! ([`run_instance`]) and the deterministic [`parallel`] layer that the
+//! unified campaign facade in `wmm-core` (`wmm_core::campaign`) drives
+//! to run them repeatedly and histogram the outcomes.
 //!
 //! Instances are *constructed* elsewhere: the `wmm-gen` crate enumerates
 //! the classic communication-cycle shapes (MP, LB, SB, IRIW, …),
@@ -20,7 +21,7 @@ pub mod parallel;
 pub mod runner;
 
 pub use outcome::{Histogram, LitmusOutcome};
-pub use runner::{run_instance, run_many, RunManyConfig, StressParts};
+pub use runner::{run_instance, StressParts};
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -148,7 +149,10 @@ impl LitmusInstance {
         allowed: BTreeSet<Vec<u32>>,
     ) -> Self {
         assert!(threads >= 1, "a litmus test needs at least one thread");
-        assert!(locations >= 1, "a litmus test touches at least one location");
+        assert!(
+            locations >= 1,
+            "a litmus test touches at least one location"
+        );
         assert!(
             layout.loc_addr(locations - 1) < layout.result_base,
             "communication locations must sit below the result region"

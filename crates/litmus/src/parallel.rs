@@ -1,10 +1,10 @@
 //! Deterministic parallel work distribution for campaign workloads.
 //!
-//! Every repeat-the-experiment loop in this workspace — litmus campaigns
-//! ([`run_many`](crate::run_many)), application campaigns
-//! (`wmm_core::env::AppHarness::campaign`), and the tuning sweeps of
-//! `wmm_core::tuning` — has the same shape: `jobs` independent indexed
-//! tasks whose randomness is derived from `(base seed, index)` alone.
+//! Every repeat-the-experiment loop in this workspace — litmus and
+//! application campaigns (`wmm_core::campaign::Campaign`), and the
+//! tuning sweeps of `wmm_core::tuning` — has the same shape: `jobs`
+//! independent indexed tasks whose randomness is derived from
+//! `(base seed, index)` alone.
 //! Results therefore do not depend on which thread executes which index,
 //! and these helpers exploit that: they hand out indices in chunks from a
 //! shared atomic counter (dynamic load balancing, no idle tail when task

@@ -1,14 +1,17 @@
-//! Repeated litmus execution, sequential or parallel.
+//! Single-execution litmus machinery: run one instance alongside
+//! stressing blocks, and the seed-mixing function every campaign's
+//! per-run determinism is built on.
 //!
-//! The paper runs each test configuration `C = 1000` times and counts
-//! weak outcomes. [`run_many`] does the same, deterministically: run `i`
-//! derives its RNG from `base_seed` and `i` alone, so results are
-//! reproducible regardless of how runs are spread across worker threads.
+//! The repeat-`C`-times campaign loop that used to live here
+//! (`run_many` and its `RunManyConfig`) is now the unified campaign
+//! facade in `wmm-core` (`wmm_core::campaign::CampaignBuilder`), which
+//! executes every workload — litmus instances, applications, tuning
+//! sweeps, the generated suite — on [`crate::parallel`] with stress
+//! artifacts built once per environment. This module keeps the
+//! crate-level primitives that facade (and any bespoke driver) builds
+//! on.
 
-use crate::{Histogram, LitmusInstance, LitmusOutcome};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use wmm_sim::chip::Chip;
+use crate::{LitmusInstance, LitmusOutcome};
 use wmm_sim::exec::{Gpu, KernelGroup};
 use wmm_sim::Word;
 
@@ -37,32 +40,11 @@ pub fn run_instance(
     LitmusOutcome { obs, weak }
 }
 
-/// Configuration for [`run_many`].
-#[derive(Debug, Clone, Copy)]
-pub struct RunManyConfig {
-    /// Number of executions (the paper's `C`).
-    pub count: u32,
-    /// Seed from which each run's randomness is derived.
-    pub base_seed: u64,
-    /// Apply thread-id randomisation to the test blocks.
-    pub randomize_ids: bool,
-    /// Worker threads (0 ⇒ all available cores).
-    pub parallelism: usize,
-}
-
-impl Default for RunManyConfig {
-    fn default() -> Self {
-        RunManyConfig {
-            count: 100,
-            base_seed: 0,
-            randomize_ids: false,
-            parallelism: 0,
-        }
-    }
-}
-
 /// Mix a base seed and a run index into an independent per-run seed
-/// (SplitMix64 finaliser).
+/// (SplitMix64 finaliser). Run `i` of every campaign in this workspace
+/// derives all of its randomness from `mix_seed(base_seed, i)` alone,
+/// which is what makes campaign results independent of how runs are
+/// spread across worker threads.
 pub fn mix_seed(base: u64, index: u64) -> u64 {
     let mut z = base
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -73,138 +55,38 @@ pub fn mix_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Run a litmus instance `cfg.count` times, each execution with freshly
-/// generated stressing blocks from `make_stress` (the paper randomises
-/// the number of stressing threads per execution), and aggregate the
-/// outcome histogram.
-///
-/// Deterministic in `(inst, cfg, make_stress)`: run `i` derives all of
-/// its randomness from [`mix_seed`]`(cfg.base_seed, i)`, and histogram
-/// merging is commutative, so any `cfg.parallelism` — including `0`
-/// ("all cores") on machines with different core counts — reports
-/// identical totals. Workers claim run indices dynamically in chunks
-/// (see [`crate::parallel`]), each reusing one simulator instance.
-pub fn run_many<F>(
-    chip: &Chip,
-    inst: &LitmusInstance,
-    make_stress: F,
-    cfg: RunManyConfig,
-) -> Histogram
-where
-    F: Fn(&mut SmallRng) -> StressParts + Sync,
-{
-    let workers = crate::parallel::resolve_workers(cfg.parallelism, cfg.count as usize);
-    let shards = crate::parallel::parallel_fold(
-        workers,
-        cfg.count as usize,
-        || (Gpu::new(chip.clone()), Histogram::new()),
-        |(gpu, h), i| h.record(run_one(gpu, inst, &make_stress, cfg, i as u64)),
-    );
-    let mut merged = Histogram::new();
-    for (_, shard) in &shards {
-        merged.merge(shard);
-    }
-    merged
-}
-
-fn run_one<F>(
-    gpu: &mut Gpu,
-    inst: &LitmusInstance,
-    make_stress: &F,
-    cfg: RunManyConfig,
-    index: u64,
-) -> LitmusOutcome
-where
-    F: Fn(&mut SmallRng) -> StressParts + Sync,
-{
-    let mut rng = SmallRng::seed_from_u64(mix_seed(cfg.base_seed, index));
-    let stress = make_stress(&mut rng);
-    let seed = rng.gen();
-    run_instance(gpu, inst, stress, cfg.randomize_ids, seed)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::mp_instance;
     use crate::LitmusLayout;
-
-    fn strong_chip() -> Chip {
-        let mut c = Chip::by_short("K20").unwrap();
-        c.reorder.base = [0.0; 4];
-        c.reorder.gain = [0.0; 4];
-        c
-    }
-
-    #[test]
-    fn no_weak_outcomes_under_sequential_consistency() {
-        let chip = strong_chip();
-        let inst = mp_instance(LitmusLayout::standard(64, 4096));
-        let h = run_many(
-            &chip,
-            &inst,
-            |_| (Vec::new(), Vec::new()),
-            RunManyConfig {
-                count: 200,
-                base_seed: 7,
-                ..Default::default()
-            },
-        );
-        assert_eq!(h.weak(), 0, "MP: {h}");
-        assert_eq!(h.total(), 200);
-    }
-
-    #[test]
-    fn outcomes_are_interleavings_under_sc() {
-        // Under SC, MP can produce (0,0), (1,1), (0,1) but never (1,0).
-        let chip = strong_chip();
-        let inst = mp_instance(LitmusLayout::standard(64, 4096));
-        let h = run_many(
-            &chip,
-            &inst,
-            |_| (Vec::new(), Vec::new()),
-            RunManyConfig {
-                count: 300,
-                base_seed: 3,
-                ..Default::default()
-            },
-        );
-        assert_eq!(h.count(&[1, 0]), 0);
-        // The scheduler's randomness should produce at least two distinct
-        // interleaving outcomes across 300 runs.
-        let distinct = h.iter().count();
-        assert!(distinct >= 2, "{h}");
-    }
-
-    #[test]
-    fn run_many_is_deterministic() {
-        let chip = Chip::by_short("Titan").unwrap();
-        let inst = mp_instance(LitmusLayout::standard(32, 4096));
-        let cfg = RunManyConfig {
-            count: 64,
-            base_seed: 11,
-            parallelism: 4,
-            ..Default::default()
-        };
-        let a = run_many(&chip, &inst, |_| (Vec::new(), Vec::new()), cfg);
-        let b = run_many(&chip, &inst, |_| (Vec::new(), Vec::new()), cfg);
-        assert_eq!(a, b);
-        // ...and independent of the worker count entirely.
-        let seq = run_many(
-            &chip,
-            &inst,
-            |_| (Vec::new(), Vec::new()),
-            RunManyConfig {
-                parallelism: 1,
-                ..cfg
-            },
-        );
-        assert_eq!(a, seq);
-    }
+    use wmm_sim::chip::Chip;
 
     #[test]
     fn mix_seed_spreads() {
         let s: std::collections::HashSet<u64> = (0..1000).map(|i| mix_seed(42, i)).collect();
         assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn run_instance_is_deterministic_in_spec_and_seed() {
+        let chip = Chip::by_short("Titan").unwrap();
+        let inst = mp_instance(LitmusLayout::standard(64, 4096));
+        let mut gpu = Gpu::new(chip);
+        let a = run_instance(&mut gpu, &inst, (Vec::new(), Vec::new()), false, 9);
+        let b = run_instance(&mut gpu, &inst, (Vec::new(), Vec::new()), false, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.obs.len(), inst.observers.len());
+    }
+
+    #[test]
+    fn weak_flag_matches_instance_predicate() {
+        let chip = Chip::by_short("K20").unwrap();
+        let inst = mp_instance(LitmusLayout::standard(64, 4096));
+        let mut gpu = Gpu::new(chip);
+        for seed in 0..20 {
+            let out = run_instance(&mut gpu, &inst, (Vec::new(), Vec::new()), false, seed);
+            assert_eq!(out.weak, inst.is_weak(&out.obs));
+        }
     }
 }

@@ -363,13 +363,7 @@ impl KernelBuilder {
 
     /// A counted loop `for i in start..end { body(i) }` over an existing
     /// register `i` (mutated in place; `end` is re-read each iteration).
-    pub fn for_range(
-        &mut self,
-        i: Reg,
-        start: Reg,
-        end: Reg,
-        body: impl FnOnce(&mut Self, Reg),
-    ) {
+    pub fn for_range(&mut self, i: Reg, start: Reg, end: Reg, body: impl FnOnce(&mut Self, Reg)) {
         self.assign(i, start);
         let one = self.const_(1);
         self.while_(
@@ -492,14 +486,8 @@ mod tests {
         b.spin_lock(l);
         b.unlock(l);
         let p = b.finish().unwrap();
-        assert!(p
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::AtomicCas { .. })));
-        assert!(p
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::AtomicExch { .. })));
+        assert!(p.insts.iter().any(|i| matches!(i, Inst::AtomicCas { .. })));
+        assert!(p.insts.iter().any(|i| matches!(i, Inst::AtomicExch { .. })));
     }
 
     #[test]

@@ -279,9 +279,12 @@ mod tests {
         b.store_shared(a, v);
         let p = b.finish().unwrap();
         assert!(fence_sites(&p).is_empty());
-        assert!(p
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Load { space: Space::Shared, .. })));
+        assert!(p.insts.iter().any(|i| matches!(
+            i,
+            Inst::Load {
+                space: Space::Shared,
+                ..
+            }
+        )));
     }
 }

@@ -144,7 +144,11 @@ mod tests {
         let p = prog(vec![Inst::Jump { target: 5 }], 0);
         assert!(matches!(
             validate(&p),
-            Err(ValidateError::TargetOutOfRange { at: 0, target: 5, .. })
+            Err(ValidateError::TargetOutOfRange {
+                at: 0,
+                target: 5,
+                ..
+            })
         ));
     }
 

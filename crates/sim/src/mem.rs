@@ -448,7 +448,13 @@ mod tests {
             prev = Some(is_store);
         }
         let hot = m.chi(&chip, ReorderKind::StSt, 0, 64, 1000);
-        let cold = m.chi(&chip, ReorderKind::StSt, 0, 64, 1000 + 50 * chip.pressure_tau as u64);
+        let cold = m.chi(
+            &chip,
+            ReorderKind::StSt,
+            0,
+            64,
+            1000 + 50 * chip.pressure_tau as u64,
+        );
         assert!(hot > 0.0);
         assert!(cold < hot * 0.05, "hot {hot} cold {cold}");
     }

@@ -111,13 +111,7 @@ impl AccessSeq {
         for len in 1..=max_len {
             for bits in 0..(1u32 << len) {
                 let accs = (0..len)
-                    .map(|i| {
-                        if bits >> i & 1 == 1 {
-                            Acc::St
-                        } else {
-                            Acc::Ld
-                        }
-                    })
+                    .map(|i| if bits >> i & 1 == 1 { Acc::St } else { Acc::Ld })
                     .collect();
                 out.push(AccessSeq { accs });
             }

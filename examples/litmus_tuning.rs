@@ -9,10 +9,11 @@
 //!
 //! Run with: `cargo run --release --example litmus_tuning`
 
-use gpu_wmm::core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
+use gpu_wmm::core::campaign::CampaignBuilder;
+use gpu_wmm::core::stress::{Scratchpad, StressArtifacts};
 use gpu_wmm::core::tuning::{patch, TuningConfig};
 use gpu_wmm::gen::Shape;
-use gpu_wmm::litmus::{run_many, LitmusLayout, RunManyConfig};
+use gpu_wmm::litmus::LitmusLayout;
 use gpu_wmm::sim::chip::Chip;
 
 fn main() {
@@ -23,35 +24,22 @@ fn main() {
     println!("MP litmus test, d = 64, on {}\n", chip.name);
 
     // Native: interleavings only.
-    let native = run_many(
-        &chip,
-        &inst,
-        |_| (Vec::new(), Vec::new()),
-        RunManyConfig {
-            count: 500,
-            base_seed: 1,
-            ..Default::default()
-        },
-    );
+    let native = CampaignBuilder::new(&chip)
+        .count(500)
+        .base_seed(1)
+        .build()
+        .run_litmus(&inst);
     println!("native:\n{}", inst.display_histogram(&native));
 
-    // Stress the scratchpad location whose channel matches x.
-    let chip2 = chip.clone();
-    let seq = chip.preferred_seq.clone();
-    let stressed = run_many(
-        &chip,
-        &inst,
-        move |rng| {
-            let threads = litmus_stress_threads(&chip2, rng);
-            let s = build_systematic_at(pad, &seq, &[0], threads, 40);
-            (s.groups, s.init)
-        },
-        RunManyConfig {
-            count: 500,
-            base_seed: 2,
-            ..Default::default()
-        },
-    );
+    // Stress the scratchpad location whose channel matches x: the
+    // stressing kernel is compiled once, up front, for all 500 runs.
+    let artifacts = StressArtifacts::pinned(pad, &chip.preferred_seq, &[0], 40);
+    let stressed = CampaignBuilder::new(&chip)
+        .stress(artifacts)
+        .count(500)
+        .base_seed(2)
+        .build()
+        .run_litmus(&inst);
     println!(
         "stressed (σ = {} @ location 0):\n{}",
         chip.preferred_seq,

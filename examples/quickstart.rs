@@ -17,7 +17,10 @@ fn main() {
     let app = CbeDot::new();
     let harness = AppHarness::new(&chip, &app);
 
-    println!("cbe-dot on {} — 300 executions per environment\n", chip.name);
+    println!(
+        "cbe-dot on {} — 300 executions per environment\n",
+        chip.name
+    );
 
     let native = harness.campaign(&Environment::native(), 300, 1, 0);
     println!(

@@ -7,15 +7,17 @@
 //! * [`sim`] — the simulated GPU substrate (kernel IR, SIMT execution,
 //!   per-chip weak memory model, cost model);
 //! * [`lang`] — a small C-like kernel language lowering to the IR;
-//! * [`litmus`] — the generic litmus-instance runtime and campaign
-//!   runners;
+//! * [`litmus`] — the generic litmus-instance runtime and the
+//!   deterministic parallel work-distribution layer;
 //! * [`gen`] — the litmus-test generator: the communication-cycle shape
-//!   catalogue (MP, LB, SB, …, IRIW, CoRR, CoWW), the SC-enumeration
-//!   oracle that derives each test's forbidden outcomes, and the suite
-//!   campaign runner;
-//! * [`core`] — the paper's contribution: tuned memory stressing, thread
+//!   catalogue (MP, LB, SB, …, IRIW, CoRR, CoWW, plus fenced variants)
+//!   and the SC-enumeration oracle that derives each test's forbidden
+//!   outcomes;
+//! * [`core`] — the paper's contribution: the unified campaign facade
+//!   (`Workload` → `CampaignBuilder` → `Campaign`), tuned memory
+//!   stressing with per-environment stress artifacts, thread
 //!   randomisation, the per-chip tuning pipeline, testing environments,
-//!   and empirical fence insertion;
+//!   the generated-suite runner, and empirical fence insertion;
 //! * [`apps`] — the ten application case studies with functional
 //!   post-conditions.
 //!

@@ -1,0 +1,123 @@
+//! Per-run allocation accounting for the campaign hot path.
+//!
+//! The redesign's perf claim is that stress artifacts (compiled stress
+//! `Program`s, location tables) are built **once per environment**
+//! instead of once per run. This test measures it directly: a counting
+//! global allocator tallies heap allocations for (a) the historic
+//! rebuild-`build_stress`-every-run loop and (b) the same campaign
+//! through cached `StressArtifacts` — both sequential, both producing
+//! bit-identical histograms — and asserts the cached path allocates
+//! measurably less.
+
+use gpu_wmm::core::campaign::CampaignBuilder;
+use gpu_wmm::core::stress::{
+    build_stress, litmus_stress_threads, Scratchpad, StressArtifacts, StressStrategy,
+    SystematicParams,
+};
+use gpu_wmm::gen::Shape;
+use gpu_wmm::litmus::runner::{mix_seed, run_instance};
+use gpu_wmm::litmus::{Histogram, LitmusLayout};
+use gpu_wmm::sim::chip::Chip;
+use gpu_wmm::sim::exec::Gpu;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A pass-through allocator that counts allocation calls.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOCATIONS.load(Ordering::Relaxed) - before)
+}
+
+const COUNT: u32 = 48;
+const SEED: u64 = 2016;
+
+#[test]
+fn cached_artifacts_allocate_measurably_less_than_per_run_builds() {
+    let chip = Chip::by_short("Titan").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let inst = Shape::Mp.instance(LitmusLayout::standard(64, pad.required_words()));
+    let strategy = StressStrategy::Systematic(SystematicParams::from_paper(&chip));
+
+    // (a) The historic hot path: one `build_stress` (kernel emission
+    // included) per run.
+    let (legacy, legacy_allocs) = allocations_during(|| {
+        let mut gpu = Gpu::new(chip.clone());
+        let mut h = Histogram::new();
+        for i in 0..u64::from(COUNT) {
+            let mut rng = SmallRng::seed_from_u64(mix_seed(SEED, i));
+            let threads = litmus_stress_threads(&chip, &mut rng);
+            let s = build_stress(&chip, &strategy, pad, threads, 40, &mut rng);
+            let seed = rng.gen();
+            h.record(run_instance(
+                &mut gpu,
+                &inst,
+                (s.groups, s.init),
+                true,
+                seed,
+            ));
+        }
+        h
+    });
+
+    // (b) The redesigned path: artifacts once, `make` per run.
+    let (cached, cached_allocs) = allocations_during(|| {
+        let artifacts = StressArtifacts::for_strategy(&chip, &strategy, pad, 40);
+        CampaignBuilder::new(&chip)
+            .stress(artifacts)
+            .randomize_ids(true)
+            .count(COUNT)
+            .base_seed(SEED)
+            .parallelism(1)
+            .build()
+            .run_litmus(&inst)
+    });
+
+    // Same work, same results...
+    assert_eq!(legacy, cached, "the two paths must stay bit-identical");
+    // ...for measurably fewer allocations. Emitting the systematic
+    // kernel costs ~20 allocations, so the cached path must save at
+    // least 10 per run and at least 10% overall (measured: ~22 saved
+    // per run, ~28% of the campaign's total).
+    eprintln!(
+        "allocations over {COUNT} runs: per-run build_stress = {legacy_allocs}, \
+         cached artifacts = {cached_allocs} \
+         ({:.1}% of the legacy count)",
+        100.0 * cached_allocs as f64 / legacy_allocs as f64
+    );
+    assert!(
+        cached_allocs + u64::from(COUNT) * 10 < legacy_allocs,
+        "expected the cached path to save >=10 allocations per run: \
+         cached {cached_allocs} vs legacy {legacy_allocs}"
+    );
+    assert!(
+        cached_allocs * 10 < legacy_allocs * 9,
+        "expected a >=10% drop in total allocations: \
+         cached {cached_allocs} vs legacy {legacy_allocs}"
+    );
+}

@@ -10,13 +10,13 @@
 //! * suite determinism: campaign histograms are bit-identical across
 //!   1/2/8 workers, including under stress.
 
-use gpu_wmm::gen::{run_suite, Shape, StressSpec, SuiteConfig};
+use gpu_wmm::core::stress::Scratchpad;
+use gpu_wmm::core::suite::{run_suite, SuiteConfig, SuiteStrategy};
+use gpu_wmm::gen::Shape;
 use gpu_wmm::litmus::LitmusLayout;
 use gpu_wmm::sim::ir::validate::validate;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
-use std::sync::Arc;
-use wmm_core::stress::{build_stress, litmus_stress_threads, Scratchpad, StressStrategy, SystematicParams};
 use wmm_sim::chip::Chip;
 
 fn shape_of(idx: usize) -> Shape {
@@ -29,14 +29,14 @@ proptest! {
     /// Every generated program validates, at arbitrary distances, via
     /// the builder back end.
     #[test]
-    fn generated_programs_validate(si in 0usize..12, d in 0u32..256) {
+    fn generated_programs_validate(si in 0usize..Shape::ALL.len(), d in 0u32..256) {
         let inst = shape_of(si).instance(LitmusLayout::standard(d, 8192));
         prop_assert!(validate(&inst.program).is_ok());
     }
 
     /// …and via the wmm-lang textual round-trip.
     #[test]
-    fn lang_round_trip_validates(si in 0usize..12, d in 0u32..256) {
+    fn lang_round_trip_validates(si in 0usize..Shape::ALL.len(), d in 0u32..256) {
         let shape = shape_of(si);
         let layout = LitmusLayout::standard(d, 8192);
         let inst = shape.instance_via_lang(layout);
@@ -48,7 +48,7 @@ proptest! {
     /// every instance retains at least one forbidden (weak) outcome over
     /// the 0/1/2 value range its writes could produce.
     #[test]
-    fn every_instance_keeps_a_forbidden_outcome(si in 0usize..12, d in 0u32..200) {
+    fn every_instance_keeps_a_forbidden_outcome(si in 0usize..Shape::ALL.len(), d in 0u32..200) {
         let shape = shape_of(si);
         let inst = shape.instance(LitmusLayout::standard(d, 8192));
         let width = inst.observers.len();
@@ -135,33 +135,20 @@ fn oracle_agrees_with_legacy_trio_predicates() {
 /// the native and the tuned systematic stressing strategy.
 #[test]
 fn suite_is_deterministic_across_worker_counts() {
-    let chips = [Chip::by_short("Titan").unwrap(), Chip::by_short("K20").unwrap()];
-    let pad = Scratchpad::new(2048, 2048);
-    let strategies = || {
-        vec![
-            StressSpec::native(),
-            StressSpec {
-                name: "sys-str+".to_string(),
-                randomize: true,
-                make: Arc::new(move |chip: &Chip, rng| {
-                    let strategy =
-                        StressStrategy::Systematic(SystematicParams::from_paper(chip));
-                    let threads = litmus_stress_threads(chip, rng);
-                    let s = build_stress(chip, &strategy, pad, threads, 40, rng);
-                    (s.groups, s.init)
-                }),
-            },
-        ]
-    };
+    let chips = [
+        Chip::by_short("Titan").unwrap(),
+        Chip::by_short("K20").unwrap(),
+    ];
+    let strategies = vec![SuiteStrategy::native(), SuiteStrategy::sys_str_plus(40)];
     let shapes = [Shape::Mp, Shape::Sb, Shape::TwoPlusTwoW, Shape::Iriw];
     let run = |workers: usize| {
         run_suite(
             &shapes,
             &chips,
-            &strategies(),
+            &strategies,
             &SuiteConfig {
                 execs: 16,
-                global_words: pad.required_words(),
+                pad: Scratchpad::new(2048, 2048),
                 workers,
                 ..Default::default()
             },

@@ -1,33 +1,26 @@
 //! Integration: the litmus-level shapes that Sec. 3 of the paper
 //! establishes, end to end across `wmm-sim`, `wmm-gen`, `wmm-litmus`
-//! and `wmm-core` — now over *generated* instances whose weak
-//! predicates come from the SC-enumeration oracle.
+//! and `wmm-core` — over *generated* instances whose weak predicates
+//! come from the SC-enumeration oracle, campaigned through the unified
+//! `CampaignBuilder` facade.
 
-use gpu_wmm::core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
+use gpu_wmm::core::campaign::CampaignBuilder;
+use gpu_wmm::core::stress::{Scratchpad, StressArtifacts};
 use gpu_wmm::gen::Shape;
-use gpu_wmm::litmus::{run_many, Histogram, LitmusLayout, RunManyConfig};
+use gpu_wmm::litmus::LitmusLayout;
 use gpu_wmm::sim::chip::Chip;
 
 fn stressed_weak_count(chip: &Chip, test: Shape, d: u32, location: u32, count: u32) -> u64 {
     let pad = Scratchpad::new(2048, 2048);
     let inst = test.instance(LitmusLayout::standard(d, pad.required_words()));
-    let chip2 = chip.clone();
-    let seq = chip.preferred_seq.clone();
-    let h: Histogram = run_many(
-        chip,
-        &inst,
-        move |rng| {
-            let threads = litmus_stress_threads(&chip2, rng);
-            let s = build_systematic_at(pad, &seq, &[location], threads, 40);
-            (s.groups, s.init)
-        },
-        RunManyConfig {
-            count,
-            base_seed: 0xabc,
-            ..Default::default()
-        },
-    );
-    h.weak()
+    let artifacts = StressArtifacts::pinned(pad, &chip.preferred_seq, &[location], 40);
+    CampaignBuilder::new(chip)
+        .stress(artifacts)
+        .count(count)
+        .base_seed(0xabc)
+        .build()
+        .run_litmus(&inst)
+        .weak()
 }
 
 #[test]
@@ -37,7 +30,10 @@ fn stress_on_matching_channel_provokes_weak_behaviour() {
     // multiples of the patch size and the scratchpad base is
     // channel-aligned).
     let weak = stressed_weak_count(&chip, Shape::Mp, 64, 0, 150);
-    assert!(weak > 7, "expected frequent MP weak behaviour, got {weak}/150");
+    assert!(
+        weak > 7,
+        "expected frequent MP weak behaviour, got {weak}/150"
+    );
 }
 
 #[test]
@@ -46,7 +42,10 @@ fn stress_on_unrelated_channel_is_ineffective() {
     // Location 96 maps to channel 3, matching neither x (0) nor y at
     // d = 64 (channel 2).
     let weak = stressed_weak_count(&chip, Shape::Mp, 64, 96, 150);
-    assert!(weak <= 3, "off-channel stress should do little, got {weak}/150");
+    assert!(
+        weak <= 3,
+        "off-channel stress should do little, got {weak}/150"
+    );
 }
 
 #[test]
@@ -67,16 +66,11 @@ fn native_runs_show_almost_no_weak_behaviour() {
     let chip = Chip::by_short("K20").unwrap();
     for test in Shape::TRIO {
         let inst = test.instance(LitmusLayout::standard(64, 4096));
-        let h = run_many(
-            &chip,
-            &inst,
-            |_| (Vec::new(), Vec::new()),
-            RunManyConfig {
-                count: 300,
-                base_seed: 5,
-                ..Default::default()
-            },
-        );
+        let h = CampaignBuilder::new(&chip)
+            .count(300)
+            .base_seed(5)
+            .build()
+            .run_litmus(&inst);
         assert!(
             h.weak() <= 2,
             "{test}: native weak rate too high: {}/{}",
@@ -104,6 +98,22 @@ fn coherence_shapes_never_go_weak_even_under_stress() {
     for test in [Shape::CoRR, Shape::CoWW] {
         let weak = stressed_weak_count(&chip, test, 64, 0, 120);
         assert_eq!(weak, 0, "{test} must stay coherent");
+    }
+}
+
+#[test]
+fn fenced_variants_never_go_weak_even_under_stress() {
+    // MP+fences and SB+fences carry a device fence between each
+    // thread's accesses: the very stress that makes their base shapes
+    // go weak frequently (see the matching-channel tests above) must
+    // provoke nothing here — the fence forbids the reordering.
+    let chip = Chip::by_short("Titan").unwrap();
+    for test in [Shape::MpFences, Shape::SbFences] {
+        let weak = stressed_weak_count(&chip, test, 64, 0, 150);
+        assert_eq!(
+            weak, 0,
+            "{test} must never exhibit weak behaviour under stress"
+        );
     }
 }
 

@@ -4,9 +4,10 @@
 //! randomness from `(base_seed, i)` alone and aggregation is
 //! commutative, so 1-, 2- and 8-worker runs must agree exactly.
 
+use gpu_wmm::core::campaign::CampaignBuilder;
+use gpu_wmm::core::stress::{Scratchpad, StressArtifacts};
 use gpu_wmm::gen::Shape;
-use gpu_wmm::litmus::{run_many, Histogram, LitmusInstance, LitmusLayout, RunManyConfig};
-use wmm_core::stress::{build_systematic_at, litmus_stress_threads, Scratchpad};
+use gpu_wmm::litmus::{Histogram, LitmusInstance, LitmusLayout};
 use wmm_litmus::parallel::{parallel_fold, parallel_map};
 use wmm_sim::chip::Chip;
 
@@ -19,24 +20,19 @@ fn native_histogram(
     parallelism: usize,
     base_seed: u64,
 ) -> Histogram {
-    run_many(
-        chip,
-        inst,
-        |_| (Vec::new(), Vec::new()),
-        RunManyConfig {
-            count: 48,
-            base_seed,
-            randomize_ids: false,
-            parallelism,
-        },
-    )
+    CampaignBuilder::new(chip)
+        .count(48)
+        .base_seed(base_seed)
+        .parallelism(parallelism)
+        .build()
+        .run_litmus(inst)
 }
 
 /// MP/LB/SB at several distances, native (unstressed): every worker
 /// count reports the identical histogram — not just the same totals but
 /// the same per-outcome counts.
 #[test]
-fn run_many_native_is_worker_count_invariant() {
+fn campaign_native_is_worker_count_invariant() {
     let chip = Chip::by_short("Titan").unwrap();
     for test in Shape::TRIO {
         for d in DISTANCES {
@@ -55,33 +51,25 @@ fn run_many_native_is_worker_count_invariant() {
 }
 
 /// The same invariance under systematic stressing, where the per-run
-/// stress blocks themselves come from the per-run RNG.
+/// stress blocks themselves come from the per-run RNG — and the stress
+/// kernel is compiled once per campaign, not per run.
 #[test]
-fn run_many_stressed_is_worker_count_invariant() {
+fn campaign_stressed_is_worker_count_invariant() {
     let chip = Chip::by_short("K20").unwrap();
     let pad = Scratchpad::new(2048, 2048);
-    let seq = chip.preferred_seq.clone();
+    let artifacts = StressArtifacts::pinned(pad, &chip.preferred_seq, &[0], 40);
     for test in Shape::TRIO {
         for d in [16, 64] {
             let inst = test.instance(LitmusLayout::standard(d, pad.required_words()));
             let run = |parallelism: usize| {
-                let chip2 = chip.clone();
-                let seq2 = seq.clone();
-                run_many(
-                    &chip,
-                    &inst,
-                    move |rng| {
-                        let threads = litmus_stress_threads(&chip2, rng);
-                        let s = build_systematic_at(pad, &seq2, &[0], threads, 40);
-                        (s.groups, s.init)
-                    },
-                    RunManyConfig {
-                        count: 32,
-                        base_seed: 0xBEEF ^ d as u64,
-                        randomize_ids: true,
-                        parallelism,
-                    },
-                )
+                CampaignBuilder::new(&chip)
+                    .stress(artifacts.clone())
+                    .randomize_ids(true)
+                    .count(32)
+                    .base_seed(0xBEEF ^ d as u64)
+                    .parallelism(parallelism)
+                    .build()
+                    .run_litmus(&inst)
             };
             let reference = run(1);
             for workers in &WORKER_COUNTS[1..] {
@@ -117,11 +105,17 @@ fn primitives_are_worker_count_invariant() {
     for workers in WORKER_COUNTS {
         let got = parallel_map(workers, 500, |i| (i as u64).wrapping_mul(0x9E3779B9));
         assert_eq!(got, expected);
-        let folded: u64 = parallel_fold(workers, 500, || 0u64, |acc, i| {
-            *acc = acc.wrapping_add(expected[i])
-        })
+        let folded: u64 = parallel_fold(
+            workers,
+            500,
+            || 0u64,
+            |acc, i| *acc = acc.wrapping_add(expected[i]),
+        )
         .into_iter()
         .fold(0u64, u64::wrapping_add);
-        assert_eq!(folded, expected.iter().fold(0u64, |a, &b| a.wrapping_add(b)));
+        assert_eq!(
+            folded,
+            expected.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+        );
     }
 }
