@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro <experiment> [--chips A,B,...] [--execs N] [--runs N] [--seed N]
-//!                    [--workers N] [--json PATH] [--full]
+//!                    [--workers N] [--json PATH] [--placement inter|intra]
+//!                    [--full]
 //!
 //! experiments:
 //!   fig3            patch-finding plots (Titan, C2075, 980)
@@ -22,7 +23,9 @@
 //! reproduction. `--workers N` sets the campaign worker-thread count
 //! (0 = all cores; default from the WMM_WORKERS env var). Results are
 //! bit-identical for every worker count. `--json PATH` (suite only)
-//! writes the weak-rate matrix as JSON.
+//! writes the weak-rate matrix as JSON. `--placement inter|intra`
+//! (suite only) restricts the catalogue to one thread placement —
+//! `intra` runs just the scoped shared-memory shapes.
 //! ```
 
 use wmm_bench::{fig3, fig4, fig5, running, speedup, suite, table2, table3, table5, table6, Scale};
@@ -46,6 +49,7 @@ fn main() {
     }
     let mut chips: Option<Vec<String>> = None;
     let mut json_path: Option<String> = None;
+    let mut placement: Option<wmm_gen::Placement> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -77,6 +81,21 @@ fn main() {
             "--json" => {
                 json_path = it.next().cloned();
             }
+            "--placement" => match it.next() {
+                Some(v) => match v.parse() {
+                    Ok(p) => placement = Some(p),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage();
+                        return;
+                    }
+                },
+                None => {
+                    eprintln!("--placement wants a value (inter|intra)");
+                    usage();
+                    return;
+                }
+            },
             "--full" => {}
             other => {
                 eprintln!("unknown flag {other}");
@@ -86,7 +105,7 @@ fn main() {
         }
     }
     let run_suite = |chips: Option<Vec<String>>, json_path: &Option<String>| {
-        let cells = suite::run(chips, scale);
+        let cells = suite::run(chips, placement, scale);
         if let Some(path) = json_path {
             let json = suite::to_json(&cells, scale.execs, scale.seed);
             match std::fs::write(path, json) {
@@ -146,10 +165,12 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|speedup|suite|all> \
-         [--chips A,B] [--execs N] [--runs N] [--seed N] [--workers N] [--json PATH] [--full]\n\
+         [--chips A,B] [--execs N] [--runs N] [--seed N] [--workers N] [--json PATH] \
+         [--placement inter|intra] [--full]\n\
          \n\
-         --seed N     base seed for every subcommand's campaigns (default 2016)\n\
-         --workers N  campaign worker threads (0 = all cores; WMM_WORKERS env default);\n\
-         \x20            results are bit-identical for every value"
+         --seed N       base seed for every subcommand's campaigns (default 2016)\n\
+         --workers N    campaign worker threads (0 = all cores; WMM_WORKERS env default);\n\
+         \x20              results are bit-identical for every value\n\
+         --placement P  (suite) restrict the catalogue to inter- or intra-block shapes"
     );
 }

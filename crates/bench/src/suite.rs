@@ -13,7 +13,7 @@
 use crate::Scale;
 use wmm_core::stress::Scratchpad;
 use wmm_core::suite::{run_suite, SuiteCell, SuiteConfig, SuiteStrategy};
-use wmm_gen::Shape;
+use wmm_gen::{Placement, Shape};
 use wmm_sim::chip::Chip;
 
 /// The scratchpad suite campaigns stress (after the litmus layout,
@@ -41,8 +41,14 @@ pub fn default_strategies() -> Vec<SuiteStrategy> {
 
 /// Run the suite for the requested chips (default: Titan and K20, one
 /// Kepler flagship and one compute part) and print the weak-rate
-/// matrix. Returns the cells for JSON serialisation and tests.
-pub fn run(chips: Option<Vec<String>>, scale: Scale) -> Vec<SuiteCell> {
+/// matrix. `placement` restricts the catalogue to shapes of one thread
+/// placement (`repro suite --placement intra` runs just the scoped
+/// rows). Returns the cells for JSON serialisation and tests.
+pub fn run(
+    chips: Option<Vec<String>>,
+    placement: Option<Placement>,
+    scale: Scale,
+) -> Vec<SuiteCell> {
     let chips: Vec<Chip> = match chips {
         Some(names) => names
             .iter()
@@ -53,6 +59,10 @@ pub fn run(chips: Option<Vec<String>>, scale: Scale) -> Vec<SuiteCell> {
             Chip::by_short("K20").expect("chip"),
         ],
     };
+    let shapes: Vec<Shape> = Shape::ALL
+        .into_iter()
+        .filter(|s| placement.is_none_or(|p| s.placement() == p))
+        .collect();
     let strategies = default_strategies();
     let cfg = SuiteConfig {
         distances: vec![64],
@@ -63,26 +73,42 @@ pub fn run(chips: Option<Vec<String>>, scale: Scale) -> Vec<SuiteCell> {
     };
     println!(
         "Generated litmus suite: {} shapes x {} chip(s) x {} strategies, d={:?}, {} execs/cell",
-        Shape::ALL.len(),
+        shapes.len(),
         chips.len(),
         strategies.len(),
         cfg.distances,
         cfg.execs
     );
     println!("(weak predicate of every cell derived by the SC-enumeration oracle)\n");
-    let cells = run_suite(&Shape::ALL, &chips, &strategies, &cfg);
+    let cells = run_suite(&shapes, &chips, &strategies, &cfg);
     print_matrix(&chips, &strategies, &cells);
-    println!("Expected shape: sys-str+ provokes weak outcomes on the relaxed shapes");
-    println!("(MP/LB/SB/S/R/2+2W and the 3/4-thread cycles); the coherence tests");
-    println!("CoRR/CoWW never go weak (same-line ordering is preserved); the fenced");
-    println!("variants MP+fences/SB+fences and no-str- stay at zero everywhere.");
+    // Describe only the rows actually in the table above.
+    match placement {
+        Some(Placement::IntraBlock) => {
+            println!("Expected shape: the scoped intra rows communicate through the");
+            println!("simulator's strongly-ordered shared memory, so every cell stays");
+            println!("at zero — weak outcomes here would indicate a simulator bug.");
+        }
+        _ => {
+            println!("Expected shape: sys-str+ provokes weak outcomes on the relaxed shapes");
+            println!("(MP/LB/SB/S/R/2+2W, the 3/4-thread cycles and the RMW cycles MP+CAS/");
+            println!("2+2W.exch); the coherence tests CoRR/CoWW/CoAdd never go weak (same-line");
+            println!("ordering and atomicity are preserved); the fenced variants MP+fences/");
+            if placement.is_none() {
+                println!("SB+fences, the scoped [intra] rows (strongly-ordered shared memory) and");
+            } else {
+                println!("SB+fences and");
+            }
+            println!("no-str- stay at zero everywhere.");
+        }
+    }
     cells
 }
 
-/// Print the matrix: one row per (shape, distance), one column per
-/// (chip, strategy).
+/// Print the matrix: one row per (shape, distance) with its placement,
+/// one column per (chip, strategy).
 fn print_matrix(chips: &[Chip], strategies: &[SuiteStrategy], cells: &[SuiteCell]) {
-    print!("{:>10}", "shape");
+    print!("{:>13} {:>7}", "shape", "place");
     for chip in chips {
         for s in strategies {
             print!(" {:>15}", format!("{}/{}", chip.short, s.name));
@@ -92,7 +118,11 @@ fn print_matrix(chips: &[Chip], strategies: &[SuiteStrategy], cells: &[SuiteCell
     let mut i = 0;
     while i < cells.len() {
         let row = &cells[i];
-        print!("{:>10}", format!("{}@{}", row.shape, row.distance));
+        print!(
+            "{:>13} {:>7}",
+            format!("{}@{}", row.shape, row.distance),
+            row.placement
+        );
         for _ in 0..chips.len() * strategies.len() {
             let c = &cells[i];
             print!(
@@ -128,10 +158,12 @@ pub fn to_json(cells: &[SuiteCell], execs: u32, seed: u64) -> String {
             })
             .collect();
         s.push_str(&format!(
-            "    {{\"shape\": \"{}\", \"distance\": {}, \"chip\": \"{}\", \"strategy\": \"{}\", \
+            "    {{\"shape\": \"{}\", \"distance\": {}, \"placement\": \"{}\", \
+             \"chip\": \"{}\", \"strategy\": \"{}\", \
              \"weak\": {}, \"total\": {}, \"rate\": {:.6}, \"outcomes\": [{}]}}{}\n",
             c.shape,
             c.distance,
+            c.placement,
             c.chip,
             c.strategy,
             c.hist.weak(),
@@ -155,11 +187,11 @@ mod tests {
             execs: 24,
             ..Scale::quick()
         };
-        let cells = run(Some(vec!["Titan".to_string()]), scale);
+        let cells = run(Some(vec!["Titan".to_string()]), None, scale);
         // Every shape × 1 chip × 3 strategies.
         assert_eq!(cells.len(), Shape::ALL.len() * 3);
         // Under sys-str+, the relaxed two-thread shapes show weak
-        // behaviour; the coherence tests never do.
+        // behaviour; the coherence tests and the scoped rows never do.
         let weak_of = |shape: Shape, strat: &str| {
             cells
                 .iter()
@@ -178,6 +210,29 @@ mod tests {
             0,
             "CoWW must stay coherent"
         );
+        for shape in Shape::SCOPED {
+            assert_eq!(
+                weak_of(shape, "sys-str+"),
+                0,
+                "{shape} communicates through strongly-ordered shared memory"
+            );
+        }
+        assert_eq!(weak_of(Shape::CoAdd, "sys-str+"), 0, "CoAdd must be atomic");
+    }
+
+    #[test]
+    fn placement_filter_selects_the_scoped_rows() {
+        let scale = Scale {
+            execs: 8,
+            ..Scale::quick()
+        };
+        let cells = run(
+            Some(vec!["K20".to_string()]),
+            Some(Placement::IntraBlock),
+            scale,
+        );
+        assert_eq!(cells.len(), Shape::SCOPED.len() * 3);
+        assert!(cells.iter().all(|c| c.placement == Placement::IntraBlock));
     }
 
     #[test]
@@ -204,6 +259,7 @@ mod tests {
         assert_eq!(j.matches("\"shape\"").count(), 2);
         assert!(j.contains("\"MP\""));
         assert!(j.contains("\"CoWW\""));
+        assert_eq!(j.matches("\"placement\": \"inter\"").count(), 2);
         // Balanced brackets (cheap structural sanity).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

@@ -347,6 +347,26 @@ mod tests {
     }
 
     #[test]
+    fn scoped_and_rmw_workloads_run_through_the_facade() {
+        // A scoped (intra-block, shared-memory) instance and an RMW
+        // cycle both campaign through the unified path; on the
+        // SC-forced chip neither may go weak, and the RMW instance's
+        // outcomes must all respect atomicity (CoAdd: olds {0,1}, final
+        // 2).
+        let chip = strong_chip();
+        for shape in [Shape::MpShared, Shape::CoAdd] {
+            let inst = shape.instance(LitmusLayout::standard(64, 4096));
+            let h = CampaignBuilder::new(&chip)
+                .count(60)
+                .base_seed(13)
+                .build()
+                .run_litmus(&inst);
+            assert_eq!(h.weak(), 0, "{shape}: {h}");
+            assert_eq!(h.total(), 60);
+        }
+    }
+
+    #[test]
     fn campaigns_are_deterministic_across_worker_counts() {
         let chip = Chip::by_short("Titan").unwrap();
         let inst = Shape::Mp.instance(LitmusLayout::standard(32, 4096));

@@ -16,6 +16,16 @@
 //!   strategy: stress the first location of `spread` randomly chosen
 //!   critical-patch-sized regions, with the chip's most effective access
 //!   sequence.
+//!
+//! Every strategy (and every location-table entry) targets **global**
+//! memory: stressing blocks live in their own blocks, and a block's
+//! `Space::Shared` scratch is unreachable from outside it. Scoped
+//! litmus instances (`Placement::IntraBlock`, communicating through
+//! shared memory) therefore run with the same global scratchpad stress
+//! as everything else — which can delay their global rendezvous and
+//! result stores but cannot reorder their shared-space communication,
+//! making the scoped suite rows negative controls: weak outcomes there
+//! would indicate a simulator bug, not a memory-model behaviour.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -16,7 +16,7 @@ use crate::stress::{Scratchpad, StressArtifacts, StressStrategy, SystematicParam
 use std::sync::Arc;
 use wmm_gen::Shape;
 use wmm_litmus::runner::mix_seed;
-use wmm_litmus::{Histogram, LitmusLayout};
+use wmm_litmus::{Histogram, LitmusLayout, Placement};
 use wmm_sim::chip::Chip;
 
 /// A named suite column: a stress strategy (computed per chip — the
@@ -133,6 +133,9 @@ pub struct SuiteCell {
     pub shape: Shape,
     /// The instantiation distance.
     pub distance: u32,
+    /// The shape's thread placement (`inter` — one block per thread —
+    /// or `intra` — one block, communicating through shared memory).
+    pub placement: Placement,
     /// Chip short name.
     pub chip: String,
     /// Strategy name.
@@ -196,6 +199,7 @@ pub fn run_suite(
                     cells.push(SuiteCell {
                         shape: *shape,
                         distance: d,
+                        placement: shape.placement(),
                         chip: chip.short.to_string(),
                         strategy: strat.name.clone(),
                         hist,
@@ -261,6 +265,30 @@ mod tests {
                 assert_eq!(a.hist, b.hist, "{} {}", a.shape, a.strategy);
             }
         }
+    }
+
+    #[test]
+    fn cells_carry_the_shape_placement() {
+        let cfg = SuiteConfig {
+            execs: 8,
+            ..Default::default()
+        };
+        let cells = run_suite(
+            &[Shape::Mp, Shape::MpShared, Shape::MpCas],
+            &[strong_chip()],
+            &[SuiteStrategy::native()],
+            &cfg,
+        );
+        let placement_of = |shape: Shape| {
+            cells
+                .iter()
+                .find(|c| c.shape == shape)
+                .map(|c| c.placement)
+                .unwrap()
+        };
+        assert_eq!(placement_of(Shape::Mp), Placement::InterBlock);
+        assert_eq!(placement_of(Shape::MpShared), Placement::IntraBlock);
+        assert_eq!(placement_of(Shape::MpCas), Placement::InterBlock);
     }
 
     #[test]

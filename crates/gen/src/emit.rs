@@ -10,21 +10,27 @@
 //!   the front end and can be inspected, versioned, or edited as text.
 //!
 //! Both back ends emit the same structure the paper's hand-written
-//! kernels used: every test thread is lane 0 of its own block; the
-//! threads rendezvous on an atomic counter before racing (maximising
-//! temporal overlap, as the GPU LITMUS tool does); each thread issues
-//! its test events in program order and only then writes its observed
-//! read values to the result region — keeping the test's accesses
-//! adjacent in the in-flight window exactly like the legacy trio
-//! kernels, which is what makes their reorderings observable.
+//! kernels used: under [`Placement::InterBlock`] every test thread is
+//! lane 0 of its own block; under [`Placement::IntraBlock`] all test
+//! threads share one block, test thread `t` being lane 0 of warp `t`
+//! (so scoped shapes can communicate through the block's shared
+//! memory). The threads rendezvous on a global atomic counter before
+//! racing (maximising temporal overlap, as the GPU LITMUS tool does);
+//! each thread issues its test events in program order — plain accesses
+//! and atomics in the event's space, RMW old values captured — and only
+//! then writes its observed values to the result region, keeping the
+//! test's accesses adjacent in the in-flight window exactly like the
+//! legacy trio kernels, which is what makes their reorderings
+//! observable.
 
 use crate::shape::{Event, TestEvents};
-use wmm_litmus::{LitmusLayout, MAX_OBSERVERS};
+use wmm_litmus::{LitmusLayout, Placement, MAX_OBSERVERS};
 use wmm_sim::ir::builder::KernelBuilder;
-use wmm_sim::ir::Program;
+use wmm_sim::ir::{Program, Space};
 
 /// Check the layout can host the shape (locations below the result
-/// region, reads within the observer slots).
+/// region, reads within the observer slots, every location in a single
+/// memory space).
 fn check_layout(events: &TestEvents, layout: &LitmusLayout) {
     let locs = events.num_locs();
     assert!(locs >= 1, "a shape must touch at least one location");
@@ -36,6 +42,10 @@ fn check_layout(events: &TestEvents, layout: &LitmusLayout) {
         events.num_reads() <= MAX_OBSERVERS,
         "shape has more reads than observer slots"
     );
+    for l in 0..locs {
+        // Panics on a location accessed in both spaces.
+        let _ = events.space_of(l);
+    }
 }
 
 /// Emit the shape as `wmm-sim` IR under `layout`.
@@ -48,10 +58,21 @@ pub fn build_program(events: &TestEvents, layout: &LitmusLayout) -> Program {
     check_layout(events, layout);
     let nthreads = events.threads.len() as u32;
     let mut b = KernelBuilder::new(format!("litmus-{}-d{}", events.name, layout.distance));
-    let tid = b.tid();
     let zero = b.const_(0);
-    let is_lane0 = b.eq(tid, zero);
-    b.if_(is_lane0, |b| {
+    // Under inter-block placement only lane 0 of each block runs the
+    // test (tid == 0 in its one-warp block); under intra-block
+    // placement lane 0 of every warp does.
+    let is_active = match events.placement {
+        Placement::InterBlock => {
+            let tid = b.tid();
+            b.eq(tid, zero)
+        }
+        Placement::IntraBlock => {
+            let lane = b.lane();
+            b.eq(lane, zero)
+        }
+    };
+    b.if_(is_active, |b| {
         // Start alignment: all test threads rendezvous on a counter
         // before racing (without it most runs have the threads executing
         // far apart in time and no interesting interleavings occur).
@@ -66,29 +87,59 @@ pub fn build_program(events: &TestEvents, layout: &LitmusLayout) -> Program {
             },
             |_| {},
         );
-        let bid = b.bid();
+        // Which test thread am I: the block index inter-block, the warp
+        // index intra-block.
+        let me = match events.placement {
+            Placement::InterBlock => b.bid(),
+            Placement::IntraBlock => {
+                let tid = b.tid();
+                let warp = b.const_(32);
+                b.div_u(tid, warp)
+            }
+        };
         let mut next_read = 0u32;
         for (t, evs) in events.threads.iter().enumerate() {
             let tk = b.const_(t as u32);
-            let is_t = b.eq(bid, tk);
+            let is_t = b.eq(me, tk);
             // Compute this thread's read indices before entering the
             // closure; reads are numbered thread-major across the test.
             let first_read = next_read;
-            next_read += evs.iter().filter(|e| matches!(e, Event::R { .. })).count() as u32;
+            next_read += evs.iter().filter(|e| e.is_read_like()).count() as u32;
             b.if_(is_t, |b| {
                 let mut read_regs = Vec::new();
                 for ev in evs {
                     match *ev {
-                        Event::W { loc, val } => {
+                        Event::W { loc, val, space } => {
                             let a = b.const_(layout.loc_addr(loc));
                             let v = b.const_(val);
-                            b.store_global(a, v);
+                            b.store_in(space, a, v);
                         }
-                        Event::R { loc } => {
+                        Event::R { loc, space } => {
                             let a = b.const_(layout.loc_addr(loc));
-                            read_regs.push(b.load_global(a));
+                            read_regs.push(b.load_in(space, a));
                         }
                         Event::Fence => b.fence_device(),
+                        Event::Cas {
+                            loc,
+                            cmp,
+                            val,
+                            space,
+                        } => {
+                            let a = b.const_(layout.loc_addr(loc));
+                            let c = b.const_(cmp);
+                            let v = b.const_(val);
+                            read_regs.push(b.atomic_cas_in(space, a, c, v));
+                        }
+                        Event::Exch { loc, val, space } => {
+                            let a = b.const_(layout.loc_addr(loc));
+                            let v = b.const_(val);
+                            read_regs.push(b.atomic_exch_in(space, a, v));
+                        }
+                        Event::Add { loc, val, space } => {
+                            let a = b.const_(layout.loc_addr(loc));
+                            let v = b.const_(val);
+                            read_regs.push(b.atomic_add_in(space, a, v));
+                        }
                     }
                 }
                 // Result stores last, so the test's own accesses stay
@@ -120,6 +171,14 @@ fn lang_name(name: &str) -> String {
     s
 }
 
+/// The kernel-language array name for a space.
+fn space_array(space: Space) -> &'static str {
+    match space {
+        Space::Global => "global",
+        Space::Shared => "shared",
+    }
+}
+
 /// Emit the shape as `wmm-lang` kernel source under `layout` — the
 /// textual `.litmus`-style form of the test.
 ///
@@ -136,34 +195,68 @@ pub fn to_lang_source(events: &TestEvents, layout: &LitmusLayout) -> String {
         lang_name(&events.name),
         layout.distance
     ));
-    s.push_str("    if tid() == 0 {\n");
+    let (active, me) = match events.placement {
+        Placement::InterBlock => ("tid() == 0", "bid()"),
+        Placement::IntraBlock => ("tid() % 32 == 0", "tid() / 32"),
+    };
+    s.push_str(&format!("    if {active} {{\n"));
     s.push_str(&format!("        atomic_add({sync}, 1);\n"));
     s.push_str(&format!(
         "        while global[{sync}] != {nthreads} {{ }}\n"
     ));
     let mut next_read = 0u32;
     for (t, evs) in events.threads.iter().enumerate() {
-        s.push_str(&format!("        if bid() == {t} {{\n"));
+        s.push_str(&format!("        if {me} == {t} {{\n"));
         let mut read_names = Vec::new();
+        let bind_read = |s: &mut String, rhs: String, read_names: &mut Vec<String>| {
+            let name = format!("r{}", next_read + read_names.len() as u32);
+            s.push_str(&format!("            var {name} = {rhs};\n"));
+            read_names.push(name);
+        };
         for ev in evs {
             match *ev {
-                Event::W { loc, val } => {
+                Event::W { loc, val, space } => {
                     s.push_str(&format!(
-                        "            global[{}] = {};\n",
+                        "            {}[{}] = {};\n",
+                        space_array(space),
                         layout.loc_addr(loc),
                         val
                     ));
                 }
-                Event::R { loc } => {
-                    let name = format!("r{}", next_read + read_names.len() as u32);
-                    s.push_str(&format!(
-                        "            var {} = global[{}];\n",
-                        name,
-                        layout.loc_addr(loc)
-                    ));
-                    read_names.push(name);
+                Event::R { loc, space } => {
+                    let rhs = format!("{}[{}]", space_array(space), layout.loc_addr(loc));
+                    bind_read(&mut s, rhs, &mut read_names);
                 }
                 Event::Fence => s.push_str("            fence();\n"),
+                Event::Cas {
+                    loc,
+                    cmp,
+                    val,
+                    space,
+                } => {
+                    let call = match space {
+                        Space::Global => "cas",
+                        Space::Shared => "shared_cas",
+                    };
+                    let rhs = format!("{call}({}, {cmp}, {val})", layout.loc_addr(loc));
+                    bind_read(&mut s, rhs, &mut read_names);
+                }
+                Event::Exch { loc, val, space } => {
+                    let call = match space {
+                        Space::Global => "exch",
+                        Space::Shared => "shared_exch",
+                    };
+                    let rhs = format!("{call}({}, {val})", layout.loc_addr(loc));
+                    bind_read(&mut s, rhs, &mut read_names);
+                }
+                Event::Add { loc, val, space } => {
+                    let call = match space {
+                        Space::Global => "atomic_add",
+                        Space::Shared => "shared_add",
+                    };
+                    let rhs = format!("{call}({}, {val})", layout.loc_addr(loc));
+                    bind_read(&mut s, rhs, &mut read_names);
+                }
             }
         }
         for (i, name) in read_names.iter().enumerate() {
@@ -239,12 +332,80 @@ mod tests {
     }
 
     #[test]
+    fn scoped_kernels_access_shared_space() {
+        for shape in Shape::SCOPED {
+            let p = build_program(&shape.events(), &layout(64));
+            let shared_accesses = p
+                .insts
+                .iter()
+                .filter(|i| i.is_memory_access() && !i.is_global_access())
+                .count();
+            // One per data event: the rendezvous and result stores stay
+            // global.
+            let data_events: usize = shape
+                .events()
+                .threads
+                .iter()
+                .flatten()
+                .filter(|e| e.loc().is_some())
+                .count();
+            assert_eq!(shared_accesses, data_events, "{shape}\n{p}");
+        }
+        // Non-scoped shapes touch shared memory nowhere.
+        let p = build_program(&Shape::MpCas.events(), &layout(64));
+        assert!(p
+            .insts
+            .iter()
+            .all(|i| !i.is_memory_access() || i.is_global_access()));
+    }
+
+    #[test]
+    fn rmw_kernels_carry_the_atomics() {
+        let p = build_program(&Shape::MpCas.events(), &layout(64));
+        // Two test CASes plus the rendezvous atomicAdd.
+        let cas = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::AtomicCas { .. }))
+            .count();
+        assert_eq!(cas, 2, "{p}");
+        let p = build_program(&Shape::TwoPlusTwoWExch.events(), &layout(64));
+        let exch = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::AtomicExch { .. }))
+            .count();
+        assert_eq!(exch, 4, "{p}");
+    }
+
+    #[test]
     fn lang_names_are_identifiers() {
         for shape in Shape::ALL {
             let n = lang_name(shape.short());
             assert!(n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
             assert!(!n.starts_with(|c: char| c.is_ascii_digit()), "{n}");
         }
+    }
+
+    #[test]
+    fn scoped_lang_source_gates_on_warps_and_uses_shared_arrays() {
+        let src = to_lang_source(&Shape::MpShared.events(), &layout(64));
+        assert!(src.contains("if tid() % 32 == 0 {"), "{src}");
+        assert!(src.contains("if tid() / 32 == 0 {"), "{src}");
+        assert!(src.contains("shared[0] = 1;"), "{src}");
+        assert!(src.contains("var r0 = shared[64];"), "{src}");
+        // The rendezvous stays in global memory.
+        assert!(src.contains("atomic_add(1032, 1);"), "{src}");
+    }
+
+    #[test]
+    fn rmw_lang_source_binds_old_values() {
+        let src = to_lang_source(&Shape::MpCas.events(), &layout(64));
+        assert!(src.contains("var r0 = cas(64, 0, 1);"), "{src}");
+        assert!(src.contains("var r1 = cas(64, 1, 2);"), "{src}");
+        let src = to_lang_source(&Shape::CoAdd.events(), &layout(64));
+        assert!(src.contains("var r0 = atomic_add(0, 1);"), "{src}");
+        assert!(src.contains("var r1 = atomic_add(0, 1);"), "{src}");
     }
 
     #[test]

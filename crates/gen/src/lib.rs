@@ -6,13 +6,17 @@
 //!
 //! * [`shape`] — a catalogue of classic communication-cycle litmus
 //!   shapes (MP, LB, SB, S, R, 2+2W, WRC, RWC, ISA2, IRIW, the
-//!   coherence tests CoRR and CoWW, and the fenced variants MP+fences
-//!   and SB+fences), each an abstract list of read, write and fence
-//!   events per thread;
+//!   coherence tests CoRR and CoWW, the fenced variants MP+fences and
+//!   SB+fences, the scoped variants MP.shared, SB.shared and
+//!   CoRR.shared, and the atomic-RMW cycles MP+CAS, 2+2W.exch and
+//!   CoAdd), each an abstract list of read, write, fence and
+//!   read-modify-write events per thread plus a thread [`Placement`];
 //! * [`oracle`] — a small-step sequential-consistency semantics that
 //!   exhaustively interleaves a shape's events to compute the set of
-//!   SC-reachable outcomes; an observed outcome is **weak** exactly when
-//!   it is outside that set, so every weak predicate is *derived*;
+//!   SC-reachable outcomes (RMWs as single indivisible steps,
+//!   shared-space locations as per-block state); an observed outcome is
+//!   **weak** exactly when it is outside that set, so every weak
+//!   predicate is *derived*;
 //! * [`emit`] — lowering to runnable kernels, either directly as
 //!   `wmm-sim` IR via `KernelBuilder`, or as `.litmus`-style text in the
 //!   `wmm-lang` kernel language (round-tripped through
@@ -40,6 +44,7 @@ pub mod oracle;
 pub mod shape;
 
 pub use shape::{Event, Shape, TestEvents};
+pub use wmm_litmus::Placement;
 
 use wmm_litmus::{LitmusInstance, LitmusLayout};
 
@@ -58,7 +63,7 @@ impl Shape {
         let threads = ev.threads.len() as u32;
         let observers = ev.observers();
         let allowed = oracle::sc_outcomes(&ev);
-        LitmusInstance::new(
+        LitmusInstance::with_placement(
             self.short(),
             layout,
             program,
@@ -66,6 +71,8 @@ impl Shape {
             ev.num_locs(),
             observers,
             allowed,
+            ev.placement,
+            ev.shared_words_for(&layout),
         )
     }
 
@@ -87,7 +94,7 @@ impl Shape {
         let threads = ev.threads.len() as u32;
         let observers = ev.observers();
         let allowed = oracle::sc_outcomes(&ev);
-        Ok(LitmusInstance::new(
+        Ok(LitmusInstance::with_placement(
             self.short(),
             layout,
             program,
@@ -95,6 +102,8 @@ impl Shape {
             ev.num_locs(),
             observers,
             allowed,
+            ev.placement,
+            ev.shared_words_for(&layout),
         ))
     }
 
@@ -140,6 +149,42 @@ mod tests {
             assert_eq!(a.threads, b.threads, "{s}");
             assert_eq!(a.observers, b.observers, "{s}");
             assert_eq!(a.allowed, b.allowed, "{s}");
+            assert_eq!(a.placement, b.placement, "{s}");
+            assert_eq!(a.shared_words, b.shared_words, "{s}");
         }
+    }
+
+    #[test]
+    fn scoped_instances_carry_intra_placement_and_shared_memory() {
+        let layout = LitmusLayout::standard(64, 4096);
+        for s in Shape::SCOPED {
+            let i = s.instance(layout);
+            assert_eq!(i.placement, Placement::IntraBlock, "{s}");
+            assert!(i.shared_words > 0, "{s}");
+            let spec = i.launch(Vec::new(), Vec::new(), false);
+            assert_eq!(spec.groups[0].blocks, 1, "{s}");
+            assert_eq!(spec.groups[0].threads_per_block, i.threads * 32, "{s}");
+            assert_eq!(spec.shared_words, i.shared_words, "{s}");
+        }
+        for s in [Shape::Mp, Shape::MpCas, Shape::CoAdd] {
+            let i = s.instance(layout);
+            assert_eq!(i.placement, Placement::InterBlock, "{s}");
+            assert_eq!(i.shared_words, 0, "{s}");
+        }
+    }
+
+    #[test]
+    fn rmw_instances_flag_torn_outcomes_as_weak() {
+        let layout = LitmusLayout::standard(64, 4096);
+        let co = Shape::CoAdd.instance(layout);
+        // Both adds observing 0 (a torn increment) is not SC-reachable.
+        assert!(co.is_weak(&[0, 0, 1]));
+        assert!(co.is_weak(&[0, 0, 2]));
+        assert!(!co.is_weak(&[0, 1, 2]));
+        assert!(!co.is_weak(&[1, 0, 2]));
+        let mpc = Shape::MpCas.instance(layout);
+        // CAS claimed the flag (old = 1) but the payload read missed.
+        assert!(mpc.is_weak(&[0, 1, 0, 2]));
+        assert!(!mpc.is_weak(&[0, 1, 1, 2]));
     }
 }

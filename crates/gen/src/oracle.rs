@@ -1,22 +1,69 @@
 //! The sequential-consistency enumeration oracle.
 //!
 //! Under sequential consistency every execution of a litmus test is some
-//! interleaving of its threads' events against a single memory (the
-//! small-step operational reading of SC, in the SOS tradition). The
-//! tests in the catalogue are tiny — at most four threads of one or two
-//! events — so the oracle simply *enumerates every interleaving*,
-//! collecting the set of reachable outcome vectors. An observed outcome
-//! is then **weak** exactly when it is absent from that set: the weak
-//! predicate of every generated instance is derived here, never written
-//! by hand.
+//! interleaving of its threads' events against memory (the small-step
+//! operational reading of SC, in the SOS tradition). The tests in the
+//! catalogue are tiny — at most four threads of one or two events — so
+//! the oracle simply *enumerates every interleaving*, collecting the set
+//! of reachable outcome vectors. An observed outcome is then **weak**
+//! exactly when it is absent from that set: the weak predicate of every
+//! generated instance is derived here, never written by hand.
 //!
-//! The state space is memoised on `(thread positions, memory, reads so
-//! far)`, so even the widest shape (IRIW: 2520 interleavings) explores a
-//! few hundred distinct states.
+//! The semantics models the two memory spaces of the simulated GPU:
+//! `Space::Global` is one device-wide memory; `Space::Shared` is
+//! **per-block** state — under [`Placement::InterBlock`] every thread
+//! owns a private copy (so shared-space events on different blocks never
+//! communicate), under [`Placement::IntraBlock`] all threads see one
+//! copy. Atomic read-modify-writes (`Cas`, `Exch`, `Add`) are single
+//! indivisible steps: the old value lands in the event's observer
+//! register and the new value is written in the same step, so no other
+//! event can interleave between an RMW's read and its write.
+//!
+//! The state space is memoised on `(thread positions, global memory,
+//! shared memories, reads so far)`, so even the widest shape (IRIW:
+//! 2520 interleavings) explores a few hundred distinct states.
 
 use crate::shape::{Event, TestEvents};
 use std::collections::{BTreeSet, HashSet};
-use wmm_litmus::Observer;
+use wmm_litmus::{Observer, Placement};
+use wmm_sim::ir::Space;
+
+/// A memoised oracle state: `(thread positions, global memory, shared
+/// memories, reads so far)`.
+type SeenState = (Vec<usize>, Vec<u32>, Vec<u32>, Vec<u32>);
+
+/// The oracle's memory: one global cell per location plus one shared
+/// cell per (block, location) pair.
+struct Mem {
+    global: Vec<u32>,
+    shared: Vec<u32>,
+    num_locs: usize,
+    intra: bool,
+}
+
+impl Mem {
+    fn new(num_locs: usize, threads: usize, placement: Placement) -> Self {
+        let intra = placement == Placement::IntraBlock;
+        let blocks = if intra { 1 } else { threads.max(1) };
+        Mem {
+            global: vec![0; num_locs],
+            shared: vec![0; num_locs * blocks],
+            num_locs,
+            intra,
+        }
+    }
+
+    /// The cell index for `loc` as seen by `thread` in `space`.
+    fn cell(&mut self, space: Space, thread: usize, loc: u32) -> &mut u32 {
+        match space {
+            Space::Global => &mut self.global[loc as usize],
+            Space::Shared => {
+                let block = if self.intra { 0 } else { thread };
+                &mut self.shared[block * self.num_locs + loc as usize]
+            }
+        }
+    }
+}
 
 /// Exhaustively interleave `events` under SC and return the set of
 /// reachable outcome vectors (in the order given by
@@ -26,9 +73,9 @@ pub fn sc_outcomes(events: &TestEvents) -> BTreeSet<Vec<u32>> {
     let num_locs = events.num_locs() as usize;
     let num_reads = events.num_reads() as usize;
     let mut out = BTreeSet::new();
-    let mut seen: HashSet<(Vec<usize>, Vec<u32>, Vec<u32>)> = HashSet::new();
+    let mut seen: HashSet<SeenState> = HashSet::new();
     let mut pcs = vec![0usize; events.threads.len()];
-    let mut mem = vec![0u32; num_locs];
+    let mut mem = Mem::new(num_locs, events.threads.len(), events.placement);
     let mut reads = vec![0u32; num_reads];
     dfs(
         events, &observers, &mut pcs, &mut mem, &mut reads, &mut seen, &mut out,
@@ -40,12 +87,17 @@ fn dfs(
     events: &TestEvents,
     observers: &[Observer],
     pcs: &mut Vec<usize>,
-    mem: &mut Vec<u32>,
+    mem: &mut Mem,
     reads: &mut Vec<u32>,
-    seen: &mut HashSet<(Vec<usize>, Vec<u32>, Vec<u32>)>,
+    seen: &mut HashSet<SeenState>,
     out: &mut BTreeSet<Vec<u32>>,
 ) {
-    if !seen.insert((pcs.clone(), mem.clone(), reads.clone())) {
+    if !seen.insert((
+        pcs.clone(),
+        mem.global.clone(),
+        mem.shared.clone(),
+        reads.clone(),
+    )) {
         return;
     }
     let mut done = true;
@@ -57,18 +109,47 @@ fn dfs(
         done = false;
         pcs[t] += 1;
         match events.threads[t][pc] {
-            Event::W { loc, val } => {
-                let old = mem[loc as usize];
-                mem[loc as usize] = val;
+            Event::W { loc, val, space } => {
+                let cell = mem.cell(space, t, loc);
+                let old = *cell;
+                *cell = val;
                 dfs(events, observers, pcs, mem, reads, seen, out);
-                mem[loc as usize] = old;
+                *mem.cell(space, t, loc) = old;
             }
-            Event::R { loc } => {
+            Event::R { loc, space } => {
                 let idx = read_index(events, t, pc);
                 let old = reads[idx];
-                reads[idx] = mem[loc as usize];
+                reads[idx] = *mem.cell(space, t, loc);
                 dfs(events, observers, pcs, mem, reads, seen, out);
                 reads[idx] = old;
+            }
+            // An RMW is one indivisible step: observe the old value and
+            // write the new one before any other thread may move. The
+            // three kinds share one save/step/recurse/restore protocol
+            // and differ only in the value they leave behind.
+            e @ (Event::Cas { .. } | Event::Exch { .. } | Event::Add { .. }) => {
+                let loc = e.loc().expect("RMW events carry a location");
+                let space = e.space().expect("RMW events carry a space");
+                let idx = read_index(events, t, pc);
+                let saved_read = reads[idx];
+                let cell = mem.cell(space, t, loc);
+                let old = *cell;
+                *cell = match e {
+                    Event::Cas { cmp, val, .. } => {
+                        if old == cmp {
+                            val
+                        } else {
+                            old
+                        }
+                    }
+                    Event::Exch { val, .. } => val,
+                    Event::Add { val, .. } => old.wrapping_add(val),
+                    _ => unreachable!("guarded by the match arm"),
+                };
+                reads[idx] = old;
+                dfs(events, observers, pcs, mem, reads, seen, out);
+                reads[idx] = saved_read;
+                *mem.cell(space, t, loc) = old;
             }
             // Under SC a fence orders nothing that isn't already
             // ordered: stepping over it changes no state, so fenced
@@ -82,14 +163,17 @@ fn dfs(
             .iter()
             .map(|o| match o {
                 Observer::Reg(k) => reads[*k as usize],
-                Observer::FinalMem(l) => mem[*l as usize],
+                // Only global-space locations receive FinalMem
+                // observers (see `TestEvents::observers`).
+                Observer::FinalMem(l) => mem.global[*l as usize],
             })
             .collect();
         out.insert(obs);
     }
 }
 
-/// The global (thread-major) read index of the read at `(thread, pc)`.
+/// The global (thread-major) read index of the read-like event at
+/// `(thread, pc)` — plain reads and RMWs share the register numbering.
 fn read_index(events: &TestEvents, thread: usize, pc: usize) -> usize {
     let mut idx = 0;
     for (t, evs) in events.threads.iter().enumerate() {
@@ -97,7 +181,7 @@ fn read_index(events: &TestEvents, thread: usize, pc: usize) -> usize {
             if t == thread && i == pc {
                 return idx;
             }
-            if matches!(e, Event::R { .. }) {
+            if e.is_read_like() {
                 idx += 1;
             }
         }
@@ -177,6 +261,99 @@ mod tests {
     }
 
     #[test]
+    fn scoped_variants_derive_their_base_sets() {
+        // Intra-block shared memory is one cell per location under SC,
+        // so the scoped shapes' SC sets equal their global bases'.
+        assert_eq!(
+            sc_outcomes(&Shape::MpShared.events()),
+            sc_outcomes(&Shape::Mp.events())
+        );
+        assert_eq!(
+            sc_outcomes(&Shape::SbShared.events()),
+            sc_outcomes(&Shape::Sb.events())
+        );
+        assert_eq!(
+            sc_outcomes(&Shape::CoRRShared.events()),
+            sc_outcomes(&Shape::CoRR.events())
+        );
+    }
+
+    #[test]
+    fn inter_block_shared_events_never_communicate() {
+        // A shared-space writer and reader on *different* blocks: the
+        // reader can only ever see its own block's (zeroed) copy.
+        use wmm_sim::ir::Space;
+        let ev = TestEvents {
+            name: "shared-mp-inter".into(),
+            threads: vec![
+                vec![
+                    Event::W {
+                        loc: 0,
+                        val: 1,
+                        space: Space::Shared,
+                    },
+                    Event::W {
+                        loc: 1,
+                        val: 1,
+                        space: Space::Shared,
+                    },
+                ],
+                vec![
+                    Event::R {
+                        loc: 1,
+                        space: Space::Shared,
+                    },
+                    Event::R {
+                        loc: 0,
+                        space: Space::Shared,
+                    },
+                ],
+            ],
+            placement: Placement::InterBlock,
+        };
+        assert_eq!(sc_outcomes(&ev), set(&[&[0, 0]]));
+    }
+
+    #[test]
+    fn mp_cas_set_is_the_hand_enumerated_one() {
+        // Observers: (T0 CAS old, T1 CAS old, T1 read of x, final y).
+        // T0's CAS(y,0→1) always sees 0; T1's CAS(y,1→2) succeeds only
+        // after T0's, and then the payload write to x is already
+        // visible.
+        let s = sc_outcomes(&Shape::MpCas.events());
+        assert_eq!(
+            s,
+            set(&[&[0, 0, 0, 1], &[0, 0, 1, 1], &[0, 1, 1, 2]]),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn two_plus_two_w_exch_set_is_the_hand_enumerated_one() {
+        // Observers: (r0..r3 old values, final x, final y). Six
+        // interleavings collapse to three outcomes; in particular both
+        // "old" chains must be consistent with one total order.
+        let s = sc_outcomes(&Shape::TwoPlusTwoWExch.events());
+        assert_eq!(
+            s,
+            set(&[
+                &[0, 0, 2, 1, 2, 1],
+                &[0, 1, 0, 1, 2, 2],
+                &[2, 1, 0, 0, 1, 2]
+            ]),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn co_add_increments_never_interleave() {
+        // Two atomicAdd(x,1): the olds are a permutation of {0,1} and
+        // the final value is always 2 — (0,0,…) would mean a torn RMW.
+        let s = sc_outcomes(&Shape::CoAdd.events());
+        assert_eq!(s, set(&[&[0, 1, 2], &[1, 0, 2]]));
+    }
+
+    #[test]
     fn every_shape_has_at_least_one_forbidden_outcome_in_range() {
         // The whole point of a litmus shape: the cross-product of
         // observed value ranges strictly contains the SC set.
@@ -184,20 +361,24 @@ mod tests {
             let ev = shape.events();
             let s = sc_outcomes(&ev);
             let width = ev.observers().len();
-            // Value range per observer: 0..=max value written anywhere.
-            let max_val = ev
-                .threads
-                .iter()
-                .flatten()
-                .filter_map(|e| match e {
-                    crate::shape::Event::W { val, .. } => Some(*val),
-                    _ => None,
-                })
-                .max()
-                .unwrap_or(0);
+            // Value range per observer: 0..=bound, where the bound is
+            // the largest directly written value or (for accumulating
+            // Adds) the sum of all added values.
+            let mut max_val = 0u32;
+            let mut add_sum = 0u32;
+            for e in ev.threads.iter().flatten() {
+                match e {
+                    Event::W { val, .. } | Event::Cas { val, .. } | Event::Exch { val, .. } => {
+                        max_val = max_val.max(*val);
+                    }
+                    Event::Add { val, .. } => add_sum += *val,
+                    Event::R { .. } | Event::Fence => {}
+                }
+            }
+            let bound = max_val.max(add_sum);
             let mut total = 1usize;
             for _ in 0..width {
-                total *= (max_val + 1) as usize;
+                total *= (bound + 1) as usize;
             }
             assert!(
                 s.len() < total,

@@ -1,25 +1,36 @@
 //! The communication-cycle shape catalogue.
 //!
 //! A litmus *shape* is an abstract multi-threaded program over a handful
-//! of shared locations: per thread, an ordered list of read and write
-//! [events](Event). The catalogue enumerates the classic critical-cycle
-//! families of the weak-memory literature — the Fig. 2 trio (MP, LB, SB)
-//! the paper tests by hand, the remaining two-thread two-location cycles
-//! (S, R, 2+2W), the three-thread cycles (WRC, RWC, ISA2), the
-//! four-thread independent-reads shape (IRIW), the per-location
-//! coherence sanity tests (CoRR, CoWW), and fenced variants
-//! (MP+fences, SB+fences) whose kernels carry `fence()` events and so
-//! must never exhibit their base shape's weak outcomes.
+//! of shared locations: per thread, an ordered list of read, write,
+//! fence and atomic read-modify-write [events](Event). The catalogue
+//! enumerates the classic critical-cycle families of the weak-memory
+//! literature — the Fig. 2 trio (MP, LB, SB) the paper tests by hand,
+//! the remaining two-thread two-location cycles (S, R, 2+2W), the
+//! three-thread cycles (WRC, RWC, ISA2), the four-thread
+//! independent-reads shape (IRIW), the per-location coherence sanity
+//! tests (CoRR, CoWW), fenced variants (MP+fences, SB+fences), *scoped*
+//! variants (MP.shared, SB.shared, CoRR.shared — the same cycles run
+//! with all threads in one block, communicating through
+//! `Space::Shared`), and atomic-RMW cycles (MP+CAS, 2+2W.exch, CoAdd)
+//! whose read-modify-write events observe their old value.
 //!
 //! Shapes carry *no* weak-outcome predicate: the forbidden outcomes of
 //! every shape are derived by exhaustively interleaving its events under
-//! sequential consistency ([`crate::oracle`]).
+//! sequential consistency ([`crate::oracle`]), where an RMW is a single
+//! indivisible step and shared-space locations are per-block state.
 
 use std::fmt;
 use std::str::FromStr;
-use wmm_litmus::Observer;
+use wmm_litmus::{LitmusLayout, Observer, Placement};
+use wmm_sim::ir::Space;
 
 /// One abstract memory event of a litmus shape.
+///
+/// Read/write events carry the [`Space`] they target: `Space::Global`
+/// is the device-wide weakly-ordered memory; `Space::Shared` is the
+/// per-block scratch, strongly ordered in the simulator — a shape whose
+/// threads communicate through it must run under
+/// [`Placement::IntraBlock`] to communicate at all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// Write `val` to location `loc`.
@@ -28,11 +39,15 @@ pub enum Event {
         loc: u32,
         /// The written value (non-zero; memory starts zeroed).
         val: u32,
+        /// The memory space the location lives in.
+        space: Space,
     },
     /// Read location `loc` into the next observer register.
     R {
         /// Location index.
         loc: u32,
+        /// The memory space the location lives in.
+        space: Space,
     },
     /// A device-level memory fence. Invisible to the SC oracle (under
     /// sequential consistency a fence is a no-op), but emitted as a
@@ -40,15 +55,98 @@ pub enum Event {
     /// its unfenced base while its weak outcomes become unobservable on
     /// the simulated hardware.
     Fence,
+    /// `atomicCAS(loc, cmp, val)` — an indivisible read-modify-write:
+    /// the old value lands in the next observer register; the write to
+    /// `val` happens only if the old value equals `cmp`.
+    Cas {
+        /// Location index.
+        loc: u32,
+        /// The compare value.
+        cmp: u32,
+        /// The value written on success.
+        val: u32,
+        /// The memory space the location lives in.
+        space: Space,
+    },
+    /// `atomicExch(loc, val)` — indivisible; the old value lands in the
+    /// next observer register.
+    Exch {
+        /// Location index.
+        loc: u32,
+        /// The written value.
+        val: u32,
+        /// The memory space the location lives in.
+        space: Space,
+    },
+    /// `atomicAdd(loc, val)` — indivisible; the old value lands in the
+    /// next observer register.
+    Add {
+        /// Location index.
+        loc: u32,
+        /// The added value.
+        val: u32,
+        /// The memory space the location lives in.
+        space: Space,
+    },
 }
 
-/// An abstract litmus test: named threads of events.
+impl Event {
+    /// The location this event touches, if any (`None` for fences).
+    pub fn loc(&self) -> Option<u32> {
+        match self {
+            Event::W { loc, .. }
+            | Event::R { loc, .. }
+            | Event::Cas { loc, .. }
+            | Event::Exch { loc, .. }
+            | Event::Add { loc, .. } => Some(*loc),
+            Event::Fence => None,
+        }
+    }
+
+    /// The memory space this event targets, if any.
+    pub fn space(&self) -> Option<Space> {
+        match self {
+            Event::W { space, .. }
+            | Event::R { space, .. }
+            | Event::Cas { space, .. }
+            | Event::Exch { space, .. }
+            | Event::Add { space, .. } => Some(*space),
+            Event::Fence => None,
+        }
+    }
+
+    /// True if the event produces an observer register: plain reads and
+    /// every RMW (whose old value is observed).
+    pub fn is_read_like(&self) -> bool {
+        matches!(
+            self,
+            Event::R { .. } | Event::Cas { .. } | Event::Exch { .. } | Event::Add { .. }
+        )
+    }
+
+    /// True if the event may write its location: plain writes and every
+    /// RMW (a CAS writes conditionally, but *may* write).
+    pub fn may_write(&self) -> bool {
+        matches!(
+            self,
+            Event::W { .. } | Event::Cas { .. } | Event::Exch { .. } | Event::Add { .. }
+        )
+    }
+}
+
+/// An abstract litmus test: named threads of events plus the placement
+/// of those threads (distinct blocks, or one block sharing scoped
+/// memory).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TestEvents {
     /// The shape's short name (e.g. `"MP"`).
     pub name: String,
-    /// Per-thread event lists, thread order = block order.
+    /// Per-thread event lists; under [`Placement::InterBlock`] thread
+    /// order = block order, under [`Placement::IntraBlock`] thread order
+    /// = warp order within the single block.
     pub threads: Vec<Vec<Event>>,
+    /// Where the threads sit relative to each other.
+    pub placement: Placement,
 }
 
 impl TestEvents {
@@ -57,33 +155,75 @@ impl TestEvents {
         self.threads
             .iter()
             .flatten()
-            .filter_map(|e| match e {
-                Event::W { loc, .. } | Event::R { loc } => Some(loc + 1),
-                Event::Fence => None,
-            })
+            .filter_map(|e| e.loc().map(|l| l + 1))
             .max()
             .unwrap_or(0)
     }
 
-    /// Number of read events (= observer registers), thread-major order.
+    /// Number of observer registers: one per read *or* RMW event (an
+    /// RMW's old value is observed), thread-major order.
     pub fn num_reads(&self) -> u32 {
         self.threads
             .iter()
             .flatten()
-            .filter(|e| matches!(e, Event::R { .. }))
+            .filter(|e| e.is_read_like())
             .count() as u32
     }
 
+    /// The single memory space location `loc` is accessed in, or `None`
+    /// if no event touches it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events access `loc` in *both* spaces — a location index
+    /// names one cell, so mixing spaces would make the shape ambiguous.
+    pub fn space_of(&self, loc: u32) -> Option<Space> {
+        let mut found = None;
+        for e in self.threads.iter().flatten() {
+            if e.loc() == Some(loc) {
+                let s = e.space().expect("located events carry a space");
+                match found {
+                    None => found = Some(s),
+                    Some(prev) => assert_eq!(
+                        prev, s,
+                        "{}: location {loc} is accessed in both memory spaces",
+                        self.name
+                    ),
+                }
+            }
+        }
+        found
+    }
+
+    /// Words of per-block shared memory the emitted kernel needs under
+    /// `layout` (0 if no event targets `Space::Shared`).
+    pub fn shared_words_for(&self, layout: &LitmusLayout) -> u32 {
+        self.threads
+            .iter()
+            .flatten()
+            .filter(|e| e.space() == Some(Space::Shared))
+            .filter_map(Event::loc)
+            .map(|l| layout.loc_addr(l) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The observers of this shape's outcome vector: one register per
-    /// read (thread-major order), then the final memory value of every
-    /// location written more than once — for those, *which* write lands
-    /// last is part of the outcome (S, R, 2+2W, CoWW).
+    /// read-like event (thread-major order), then the final memory value
+    /// of every **global-space** location written (or RMW'd) more than
+    /// once — for those, *which* write lands last is part of the outcome
+    /// (S, R, 2+2W, CoWW, the RMW cycles). Shared-space locations get no
+    /// final-memory observer: the per-block shared image is not part of
+    /// a run's drained result, and the scoped catalogue shapes observe
+    /// everything they need through registers.
     pub fn observers(&self) -> Vec<Observer> {
         let mut out: Vec<Observer> = (0..self.num_reads()).map(Observer::Reg).collect();
         let mut writes_per_loc = vec![0u32; self.num_locs() as usize];
         for e in self.threads.iter().flatten() {
-            if let Event::W { loc, .. } = e {
-                writes_per_loc[*loc as usize] += 1;
+            if e.may_write() {
+                if let (Some(loc), Some(Space::Global)) = (e.loc(), e.space()) {
+                    writes_per_loc[loc as usize] += 1;
+                }
             }
         }
         for (loc, &n) in writes_per_loc.iter().enumerate() {
@@ -129,13 +269,35 @@ pub enum Shape {
     /// Store buffering with a device fence between each thread's write
     /// and read: likewise never weak on hardware.
     SbFences,
+    /// Message passing scoped to one block: both threads share a block
+    /// and communicate through `Space::Shared`. The oracle derives the
+    /// same forbidden set as [`Shape::Mp`], but the simulator's shared
+    /// memory is strongly ordered, so the shape must never go weak.
+    MpShared,
+    /// Store buffering scoped to one block — likewise never weak under
+    /// the strongly-ordered shared memory.
+    SbShared,
+    /// Read-read coherence scoped to one block.
+    CoRRShared,
+    /// Message passing where the flag is a CAS chain: T0 publishes with
+    /// `CAS(y, 0→1)`, T1 claims with `CAS(y, 1→2)` (its old value is the
+    /// success/failure observer) and then reads the payload.
+    MpCas,
+    /// 2+2W with every write an `atomicExch` observing its old value —
+    /// four registers plus both final-memory observers.
+    TwoPlusTwoWExch,
+    /// Add-based coherence: two threads `atomicAdd(x, 1)`; the old-value
+    /// observers plus the final memory of `x` prove the increments never
+    /// interleave internally (final must be 2, olds a permutation of
+    /// {0, 1}).
+    CoAdd,
 }
 
 impl Shape {
     /// Every shape in the catalogue. The Fig. 2 trio stays at positions
     /// 0..3 (tuning seed formulas index into this array); new shapes are
     /// appended.
-    pub const ALL: [Shape; 14] = [
+    pub const ALL: [Shape; 20] = [
         Shape::Mp,
         Shape::Lb,
         Shape::Sb,
@@ -150,11 +312,23 @@ impl Shape {
         Shape::CoWW,
         Shape::MpFences,
         Shape::SbFences,
+        Shape::MpShared,
+        Shape::SbShared,
+        Shape::CoRRShared,
+        Shape::MpCas,
+        Shape::TwoPlusTwoWExch,
+        Shape::CoAdd,
     ];
 
     /// The paper's Fig. 2 trio — the shapes the tuning pipeline
     /// campaigns over.
     pub const TRIO: [Shape; 3] = [Shape::Mp, Shape::Lb, Shape::Sb];
+
+    /// The scoped (intra-block, shared-memory) shapes.
+    pub const SCOPED: [Shape; 3] = [Shape::MpShared, Shape::SbShared, Shape::CoRRShared];
+
+    /// The atomic-RMW cycles.
+    pub const RMW: [Shape; 3] = [Shape::MpCas, Shape::TwoPlusTwoWExch, Shape::CoAdd];
 
     /// The conventional short name.
     pub fn short(&self) -> &'static str {
@@ -173,6 +347,22 @@ impl Shape {
             Shape::CoWW => "CoWW",
             Shape::MpFences => "MP+fences",
             Shape::SbFences => "SB+fences",
+            Shape::MpShared => "MP.shared",
+            Shape::SbShared => "SB.shared",
+            Shape::CoRRShared => "CoRR.shared",
+            Shape::MpCas => "MP+CAS",
+            Shape::TwoPlusTwoWExch => "2+2W.exch",
+            Shape::CoAdd => "CoAdd",
+        }
+    }
+
+    /// Where this shape's threads sit: the scoped shapes run all threads
+    /// in one block ([`Placement::IntraBlock`]); everything else keeps
+    /// the classic one-block-per-thread layout.
+    pub fn placement(&self) -> Placement {
+        match self {
+            Shape::MpShared | Shape::SbShared | Shape::CoRRShared => Placement::IntraBlock,
+            _ => Placement::InterBlock,
         }
     }
 
@@ -180,68 +370,115 @@ impl Shape {
     /// fact about the shape — including which outcomes are forbidden — is
     /// derived from this list; nothing else is stored per shape.
     pub fn events(&self) -> TestEvents {
-        use Event::{R, W};
         let (x, y, z) = (0u32, 1u32, 2u32);
+        let g = Space::Global;
+        let sh = Space::Shared;
+        let w = |loc, val, space| Event::W { loc, val, space };
+        let r = |loc, space| Event::R { loc, space };
         let threads: Vec<Vec<Event>> = match self {
-            Shape::Mp => vec![
-                vec![W { loc: x, val: 1 }, W { loc: y, val: 1 }],
-                vec![R { loc: y }, R { loc: x }],
-            ],
-            Shape::Lb => vec![
-                vec![R { loc: x }, W { loc: y, val: 1 }],
-                vec![R { loc: y }, W { loc: x, val: 1 }],
-            ],
-            Shape::Sb => vec![
-                vec![W { loc: x, val: 1 }, R { loc: y }],
-                vec![W { loc: y, val: 1 }, R { loc: x }],
-            ],
-            Shape::S => vec![
-                vec![W { loc: x, val: 2 }, W { loc: y, val: 1 }],
-                vec![R { loc: y }, W { loc: x, val: 1 }],
-            ],
-            Shape::R => vec![
-                vec![W { loc: x, val: 1 }, W { loc: y, val: 1 }],
-                vec![W { loc: y, val: 2 }, R { loc: x }],
-            ],
-            Shape::TwoPlusTwoW => vec![
-                vec![W { loc: x, val: 1 }, W { loc: y, val: 2 }],
-                vec![W { loc: y, val: 1 }, W { loc: x, val: 2 }],
-            ],
+            Shape::Mp => vec![vec![w(x, 1, g), w(y, 1, g)], vec![r(y, g), r(x, g)]],
+            Shape::Lb => vec![vec![r(x, g), w(y, 1, g)], vec![r(y, g), w(x, 1, g)]],
+            Shape::Sb => vec![vec![w(x, 1, g), r(y, g)], vec![w(y, 1, g), r(x, g)]],
+            Shape::S => vec![vec![w(x, 2, g), w(y, 1, g)], vec![r(y, g), w(x, 1, g)]],
+            Shape::R => vec![vec![w(x, 1, g), w(y, 1, g)], vec![w(y, 2, g), r(x, g)]],
+            Shape::TwoPlusTwoW => vec![vec![w(x, 1, g), w(y, 2, g)], vec![w(y, 1, g), w(x, 2, g)]],
             Shape::Wrc => vec![
-                vec![W { loc: x, val: 1 }],
-                vec![R { loc: x }, W { loc: y, val: 1 }],
-                vec![R { loc: y }, R { loc: x }],
+                vec![w(x, 1, g)],
+                vec![r(x, g), w(y, 1, g)],
+                vec![r(y, g), r(x, g)],
             ],
             Shape::Rwc => vec![
-                vec![W { loc: x, val: 1 }],
-                vec![R { loc: x }, R { loc: y }],
-                vec![W { loc: y, val: 1 }, R { loc: x }],
+                vec![w(x, 1, g)],
+                vec![r(x, g), r(y, g)],
+                vec![w(y, 1, g), r(x, g)],
             ],
             Shape::Isa2 => vec![
-                vec![W { loc: x, val: 1 }, W { loc: y, val: 1 }],
-                vec![R { loc: y }, W { loc: z, val: 1 }],
-                vec![R { loc: z }, R { loc: x }],
+                vec![w(x, 1, g), w(y, 1, g)],
+                vec![r(y, g), w(z, 1, g)],
+                vec![r(z, g), r(x, g)],
             ],
             Shape::Iriw => vec![
-                vec![W { loc: x, val: 1 }],
-                vec![W { loc: y, val: 1 }],
-                vec![R { loc: x }, R { loc: y }],
-                vec![R { loc: y }, R { loc: x }],
+                vec![w(x, 1, g)],
+                vec![w(y, 1, g)],
+                vec![r(x, g), r(y, g)],
+                vec![r(y, g), r(x, g)],
             ],
-            Shape::CoRR => vec![vec![W { loc: x, val: 1 }], vec![R { loc: x }, R { loc: x }]],
-            Shape::CoWW => vec![vec![W { loc: x, val: 1 }, W { loc: x, val: 2 }]],
+            Shape::CoRR => vec![vec![w(x, 1, g)], vec![r(x, g), r(x, g)]],
+            Shape::CoWW => vec![vec![w(x, 1, g), w(x, 2, g)]],
             Shape::MpFences => vec![
-                vec![W { loc: x, val: 1 }, Event::Fence, W { loc: y, val: 1 }],
-                vec![R { loc: y }, Event::Fence, R { loc: x }],
+                vec![w(x, 1, g), Event::Fence, w(y, 1, g)],
+                vec![r(y, g), Event::Fence, r(x, g)],
             ],
             Shape::SbFences => vec![
-                vec![W { loc: x, val: 1 }, Event::Fence, R { loc: y }],
-                vec![W { loc: y, val: 1 }, Event::Fence, R { loc: x }],
+                vec![w(x, 1, g), Event::Fence, r(y, g)],
+                vec![w(y, 1, g), Event::Fence, r(x, g)],
+            ],
+            Shape::MpShared => vec![vec![w(x, 1, sh), w(y, 1, sh)], vec![r(y, sh), r(x, sh)]],
+            Shape::SbShared => vec![vec![w(x, 1, sh), r(y, sh)], vec![w(y, 1, sh), r(x, sh)]],
+            Shape::CoRRShared => vec![vec![w(x, 1, sh)], vec![r(x, sh), r(x, sh)]],
+            Shape::MpCas => vec![
+                vec![
+                    w(x, 1, g),
+                    Event::Cas {
+                        loc: y,
+                        cmp: 0,
+                        val: 1,
+                        space: g,
+                    },
+                ],
+                vec![
+                    Event::Cas {
+                        loc: y,
+                        cmp: 1,
+                        val: 2,
+                        space: g,
+                    },
+                    r(x, g),
+                ],
+            ],
+            Shape::TwoPlusTwoWExch => vec![
+                vec![
+                    Event::Exch {
+                        loc: x,
+                        val: 1,
+                        space: g,
+                    },
+                    Event::Exch {
+                        loc: y,
+                        val: 2,
+                        space: g,
+                    },
+                ],
+                vec![
+                    Event::Exch {
+                        loc: y,
+                        val: 1,
+                        space: g,
+                    },
+                    Event::Exch {
+                        loc: x,
+                        val: 2,
+                        space: g,
+                    },
+                ],
+            ],
+            Shape::CoAdd => vec![
+                vec![Event::Add {
+                    loc: x,
+                    val: 1,
+                    space: g,
+                }],
+                vec![Event::Add {
+                    loc: x,
+                    val: 1,
+                    space: g,
+                }],
             ],
         };
         TestEvents {
             name: self.short().to_string(),
             threads,
+            placement: self.placement(),
         }
     }
 }
@@ -280,11 +517,36 @@ mod tests {
     }
 
     #[test]
+    fn catalogue_covers_scoped_and_rmw_families() {
+        assert!(Shape::ALL.len() >= 19);
+        for s in Shape::SCOPED {
+            assert!(Shape::ALL.contains(&s));
+            assert_eq!(s.placement(), Placement::IntraBlock, "{s}");
+            for e in s.events().threads.iter().flatten() {
+                assert_eq!(e.space(), Some(Space::Shared), "{s}: {e:?}");
+            }
+        }
+        for s in Shape::RMW {
+            assert!(Shape::ALL.contains(&s));
+            assert_eq!(s.placement(), Placement::InterBlock, "{s}");
+            let has_rmw = s.events().threads.iter().flatten().any(|e| {
+                matches!(
+                    e,
+                    Event::Cas { .. } | Event::Exch { .. } | Event::Add { .. }
+                )
+            });
+            assert!(has_rmw, "{s} has no RMW event");
+        }
+    }
+
+    #[test]
     fn thread_counts() {
         assert_eq!(Shape::Mp.events().threads.len(), 2);
         assert_eq!(Shape::Wrc.events().threads.len(), 3);
         assert_eq!(Shape::Iriw.events().threads.len(), 4);
         assert_eq!(Shape::CoWW.events().threads.len(), 1);
+        assert_eq!(Shape::MpShared.events().threads.len(), 2);
+        assert_eq!(Shape::CoAdd.events().threads.len(), 2);
     }
 
     #[test]
@@ -310,10 +572,128 @@ mod tests {
     }
 
     #[test]
+    fn rmw_events_are_read_like_and_observed() {
+        use wmm_litmus::Observer;
+        // MP+CAS: both CAS olds and the payload read are registers; the
+        // twice-CAS'd flag y also gets a final-memory observer.
+        assert_eq!(
+            Shape::MpCas.events().observers(),
+            vec![
+                Observer::Reg(0),
+                Observer::Reg(1),
+                Observer::Reg(2),
+                Observer::FinalMem(1)
+            ]
+        );
+        // 2+2W.exch: four old-value registers plus both locations.
+        assert_eq!(
+            Shape::TwoPlusTwoWExch.events().observers(),
+            vec![
+                Observer::Reg(0),
+                Observer::Reg(1),
+                Observer::Reg(2),
+                Observer::Reg(3),
+                Observer::FinalMem(0),
+                Observer::FinalMem(1)
+            ]
+        );
+        // CoAdd: two olds plus the contested cell.
+        assert_eq!(
+            Shape::CoAdd.events().observers(),
+            vec![Observer::Reg(0), Observer::Reg(1), Observer::FinalMem(0)]
+        );
+    }
+
+    #[test]
+    fn shared_locations_get_no_final_memory_observer() {
+        use wmm_litmus::Observer;
+        // A shared-space 2+2W would have no drainable final memory: its
+        // observers must be registers only (here: none).
+        let ev = TestEvents {
+            name: "shared-2+2W".into(),
+            threads: vec![
+                vec![
+                    Event::W {
+                        loc: 0,
+                        val: 1,
+                        space: Space::Shared,
+                    },
+                    Event::W {
+                        loc: 1,
+                        val: 2,
+                        space: Space::Shared,
+                    },
+                ],
+                vec![
+                    Event::W {
+                        loc: 1,
+                        val: 1,
+                        space: Space::Shared,
+                    },
+                    Event::W {
+                        loc: 0,
+                        val: 2,
+                        space: Space::Shared,
+                    },
+                ],
+            ],
+            placement: Placement::IntraBlock,
+        };
+        assert!(!ev
+            .observers()
+            .iter()
+            .any(|o| matches!(o, Observer::FinalMem(_))));
+    }
+
+    #[test]
     fn locations_counted() {
         assert_eq!(Shape::Mp.events().num_locs(), 2);
         assert_eq!(Shape::Isa2.events().num_locs(), 3);
         assert_eq!(Shape::CoRR.events().num_locs(), 1);
+        assert_eq!(Shape::MpShared.events().num_locs(), 2);
+    }
+
+    #[test]
+    fn space_of_is_consistent_per_location() {
+        for s in Shape::ALL {
+            let ev = s.events();
+            for l in 0..ev.num_locs() {
+                assert!(ev.space_of(l).is_some(), "{s}: unused location {l}");
+            }
+        }
+        assert_eq!(Shape::Mp.events().space_of(0), Some(Space::Global));
+        assert_eq!(Shape::MpShared.events().space_of(0), Some(Space::Shared));
+    }
+
+    #[test]
+    #[should_panic(expected = "both memory spaces")]
+    fn mixed_space_location_rejected() {
+        let ev = TestEvents {
+            name: "bad".into(),
+            threads: vec![vec![
+                Event::W {
+                    loc: 0,
+                    val: 1,
+                    space: Space::Global,
+                },
+                Event::R {
+                    loc: 0,
+                    space: Space::Shared,
+                },
+            ]],
+            placement: Placement::InterBlock,
+        };
+        let _ = ev.space_of(0);
+    }
+
+    #[test]
+    fn shared_words_cover_the_scoped_layout() {
+        let layout = LitmusLayout::standard(64, 4096);
+        let ev = Shape::MpShared.events();
+        // Locations 0 and 64: need 65 shared words.
+        assert_eq!(ev.shared_words_for(&layout), 65);
+        // Global-only shapes need none.
+        assert_eq!(Shape::Mp.events().shared_words_for(&layout), 0);
     }
 
     #[test]
@@ -337,11 +717,37 @@ mod tests {
     }
 
     #[test]
+    fn scoped_variants_mirror_their_base_shapes_in_shared_space() {
+        for (scoped, base) in [
+            (Shape::MpShared, Shape::Mp),
+            (Shape::SbShared, Shape::Sb),
+            (Shape::CoRRShared, Shape::CoRR),
+        ] {
+            let se = scoped.events();
+            let be = base.events();
+            assert_eq!(se.num_locs(), be.num_locs(), "{scoped}");
+            assert_eq!(se.num_reads(), be.num_reads(), "{scoped}");
+            assert_eq!(se.placement, Placement::IntraBlock, "{scoped}");
+            // Event-for-event identical apart from the space.
+            for (st, bt) in se.threads.iter().zip(&be.threads) {
+                assert_eq!(st.len(), bt.len(), "{scoped}");
+                for (sev, bev) in st.iter().zip(bt) {
+                    assert_eq!(sev.loc(), bev.loc(), "{scoped}");
+                    assert_eq!(sev.is_read_like(), bev.is_read_like(), "{scoped}");
+                    assert_eq!(sev.space(), Some(Space::Shared), "{scoped}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn parse_round_trips() {
         for s in Shape::ALL {
             assert_eq!(s.short().parse::<Shape>().unwrap(), s);
         }
         assert!("XYZ".parse::<Shape>().is_err());
         assert_eq!("iriw".parse::<Shape>().unwrap(), Shape::Iriw);
+        assert_eq!("mp.shared".parse::<Shape>().unwrap(), Shape::MpShared);
+        assert_eq!("mp+cas".parse::<Shape>().unwrap(), Shape::MpCas);
     }
 }

@@ -1,6 +1,7 @@
 //! Abstract syntax of the kernel language.
 
 use crate::Pos;
+use wmm_sim::ir::Space;
 
 /// A binary operator, spelled as in the source.
 pub type BinOpName = &'static str;
@@ -18,12 +19,13 @@ pub enum Expr {
     SharedLoad(Box<Expr>),
     /// A geometry intrinsic: `tid`, `bid`, `blockdim`, `griddim`, `gtid`.
     Intrinsic(&'static str),
-    /// `cas(addr, cmp, val)` — atomicCAS on global memory.
-    Cas(Box<Expr>, Box<Expr>, Box<Expr>),
-    /// `exch(addr, val)` — atomicExch on global memory.
-    Exch(Box<Expr>, Box<Expr>),
-    /// `atomic_add(addr, val)` — atomicAdd on global memory.
-    AtomicAdd(Box<Expr>, Box<Expr>),
+    /// `cas(addr, cmp, val)` / `shared_cas(…)` — atomicCAS on the given
+    /// memory space.
+    Cas(Space, Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `exch(addr, val)` / `shared_exch(…)` — atomicExch.
+    Exch(Space, Box<Expr>, Box<Expr>),
+    /// `atomic_add(addr, val)` / `shared_add(…)` — atomicAdd.
+    AtomicAdd(Space, Box<Expr>, Box<Expr>),
     /// Binary operation.
     Bin(BinOpName, Box<Expr>, Box<Expr>),
 }

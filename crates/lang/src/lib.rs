@@ -27,9 +27,10 @@
 //! ```
 //!
 //! The language has `var` bindings, assignments, global/shared array
-//! accesses, the three atomics (`cas`, `exch`, `atomic_add`), `fence()`
-//! / `fence_block()` / `barrier()`, `if`/`else`, `while`, and the
-//! thread-geometry intrinsics `tid()`, `bid()`, `blockdim()`,
+//! accesses, the three atomics (`cas`, `exch`, `atomic_add`) plus their
+//! shared-memory forms (`shared_cas`, `shared_exch`, `shared_add`),
+//! `fence()` / `fence_block()` / `barrier()`, `if`/`else`, `while`, and
+//! the thread-geometry intrinsics `tid()`, `bid()`, `blockdim()`,
 //! `griddim()`, `gtid()`. All values are 32-bit words; arithmetic is
 //! unsigned and wrapping, exactly as in the IR.
 
@@ -183,6 +184,34 @@ mod tests {
         spec.shared_words = 8;
         let r = gpu.run(&spec, 9);
         assert_eq!(r.word(0), 99);
+    }
+
+    #[test]
+    fn shared_atomics_compile_and_run() {
+        // 32 threads bump a shared counter atomically; lane 0 publishes.
+        let p = compile(
+            r#"
+            kernel scount {
+                shared_add(0, 1);
+                barrier();
+                if tid() == 0 {
+                    global[0] = shared[0];
+                    var old = shared_exch(1, 7);
+                    global[1] = old;
+                    global[2] = shared_cas(1, 7, 9);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        let mut spec = LaunchSpec::app(p, 1, 32, 8);
+        spec.shared_words = 8;
+        let r = gpu.run(&spec, 4);
+        assert!(r.status.is_completed());
+        assert_eq!(r.word(0), 32);
+        assert_eq!(r.word(1), 0);
+        assert_eq!(r.word(2), 7);
     }
 
     #[test]

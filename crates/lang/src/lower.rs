@@ -180,21 +180,21 @@ fn lower_expr(
             "gtid" => b.global_tid(),
             other => unreachable!("unknown intrinsic {other}"),
         },
-        Expr::Cas(addr, cmp, val) => {
+        Expr::Cas(space, addr, cmp, val) => {
             let a = lower_expr(b, scope, addr)?;
             let c = lower_expr(b, scope, cmp)?;
             let v = lower_expr(b, scope, val)?;
-            b.atomic_cas_global(a, c, v)
+            b.atomic_cas_in(*space, a, c, v)
         }
-        Expr::Exch(addr, val) => {
+        Expr::Exch(space, addr, val) => {
             let a = lower_expr(b, scope, addr)?;
             let v = lower_expr(b, scope, val)?;
-            b.atomic_exch_global(a, v)
+            b.atomic_exch_in(*space, a, v)
         }
-        Expr::AtomicAdd(addr, val) => {
+        Expr::AtomicAdd(space, addr, val) => {
             let a = lower_expr(b, scope, addr)?;
             let v = lower_expr(b, scope, val)?;
-            b.atomic_add_global(a, v)
+            b.atomic_add_in(*space, a, v)
         }
         Expr::Bin(op, lhs, rhs) => {
             let l = lower_expr(b, scope, lhs)?;

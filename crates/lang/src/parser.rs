@@ -177,7 +177,7 @@ impl<'a> Parser<'a> {
                         Ok(Stmt::SharedStore(addr, value))
                     }
                 }
-                "cas" | "exch" | "atomic_add" => {
+                "cas" | "exch" | "atomic_add" | "shared_cas" | "shared_exch" | "shared_add" => {
                     // Effect-only atomic call statement.
                     let e = self.expr()?;
                     self.expect_punct(";")?;
@@ -275,7 +275,8 @@ impl<'a> Parser<'a> {
                         self.expect_punct(")")?;
                         Ok(Expr::Intrinsic(intrinsic_static(&word)))
                     }
-                    "cas" => {
+                    "cas" | "shared_cas" => {
+                        let space = space_of(&word);
                         self.expect_punct("(")?;
                         let a = self.expr()?;
                         self.expect_punct(",")?;
@@ -283,29 +284,40 @@ impl<'a> Parser<'a> {
                         self.expect_punct(",")?;
                         let c = self.expr()?;
                         self.expect_punct(")")?;
-                        Ok(Expr::Cas(Box::new(a), Box::new(b), Box::new(c)))
+                        Ok(Expr::Cas(space, Box::new(a), Box::new(b), Box::new(c)))
                     }
-                    "exch" => {
+                    "exch" | "shared_exch" => {
+                        let space = space_of(&word);
                         self.expect_punct("(")?;
                         let a = self.expr()?;
                         self.expect_punct(",")?;
                         let b = self.expr()?;
                         self.expect_punct(")")?;
-                        Ok(Expr::Exch(Box::new(a), Box::new(b)))
+                        Ok(Expr::Exch(space, Box::new(a), Box::new(b)))
                     }
-                    "atomic_add" => {
+                    "atomic_add" | "shared_add" => {
+                        let space = space_of(&word);
                         self.expect_punct("(")?;
                         let a = self.expr()?;
                         self.expect_punct(",")?;
                         let b = self.expr()?;
                         self.expect_punct(")")?;
-                        Ok(Expr::AtomicAdd(Box::new(a), Box::new(b)))
+                        Ok(Expr::AtomicAdd(space, Box::new(a), Box::new(b)))
                     }
                     _ => Ok(Expr::Var(word, pos)),
                 }
             }
             other => self.err(format!("expected an expression, found {other:?}")),
         }
+    }
+}
+
+/// The memory space an atomic keyword targets (`shared_*` → shared).
+fn space_of(keyword: &str) -> wmm_sim::ir::Space {
+    if keyword.starts_with("shared_") {
+        wmm_sim::ir::Space::Shared
+    } else {
+        wmm_sim::ir::Space::Global
     }
 }
 
@@ -367,10 +379,36 @@ mod tests {
 
     #[test]
     fn atomics_parse_as_expressions_and_statements() {
+        use wmm_sim::ir::Space;
         let k =
             parse_src("kernel k { var o = cas(0, 0, 1); exch(0, 0); atomic_add(4, 1); }").unwrap();
         assert_eq!(k.body.len(), 3);
-        assert!(matches!(&k.body[1], Stmt::Expr(Expr::Exch(_, _))));
+        assert!(matches!(
+            &k.body[1],
+            Stmt::Expr(Expr::Exch(Space::Global, _, _))
+        ));
+    }
+
+    #[test]
+    fn shared_atomics_parse_with_the_shared_space() {
+        use wmm_sim::ir::Space;
+        let k = parse_src(
+            "kernel k { var o = shared_cas(0, 0, 1); shared_exch(0, 0); shared_add(4, 1); }",
+        )
+        .unwrap();
+        assert_eq!(k.body.len(), 3);
+        assert!(matches!(
+            &k.body[0],
+            Stmt::Var(_, Expr::Cas(Space::Shared, _, _, _), _)
+        ));
+        assert!(matches!(
+            &k.body[1],
+            Stmt::Expr(Expr::Exch(Space::Shared, _, _))
+        ));
+        assert!(matches!(
+            &k.body[2],
+            Stmt::Expr(Expr::AtomicAdd(Space::Shared, _, _))
+        ));
     }
 
     #[test]

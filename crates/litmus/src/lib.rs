@@ -24,6 +24,7 @@ pub use outcome::{Histogram, LitmusOutcome};
 pub use runner::{run_instance, StressParts};
 
 use std::collections::BTreeSet;
+use std::fmt;
 use std::sync::Arc;
 use wmm_sim::exec::{KernelGroup, LaunchSpec, Role, RunResult};
 use wmm_sim::ir::Program;
@@ -31,6 +32,50 @@ use wmm_sim::ir::Program;
 /// Observer slots reserved after `result_base` (bounds the number of
 /// reads a generated test may observe; the sync counter lives past them).
 pub const MAX_OBSERVERS: u32 = 8;
+
+/// Where the test threads of an instance sit relative to each other —
+/// the paper's *scope* axis: weak behaviours depend on whether the
+/// communicating threads share a block (and hence can communicate
+/// through `Space::Shared`) or live in distinct blocks and communicate
+/// through global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Placement {
+    /// Every test thread is lane 0 of its own block — the classic
+    /// inter-block layout; all communication is through global memory.
+    InterBlock,
+    /// All test threads share one block (test thread `t` is lane 0 of
+    /// warp `t`), so the instance may communicate through the block's
+    /// shared memory.
+    IntraBlock,
+}
+
+impl Placement {
+    /// The column label used by suite output (`"inter"` / `"intra"`).
+    pub fn short(&self) -> &'static str {
+        match self {
+            Placement::InterBlock => "inter",
+            Placement::IntraBlock => "intra",
+        }
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short())
+    }
+}
+
+impl std::str::FromStr for Placement {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            _ if s.eq_ignore_ascii_case("inter") => Ok(Placement::InterBlock),
+            _ if s.eq_ignore_ascii_case("intra") => Ok(Placement::IntraBlock),
+            other => Err(format!("unknown placement {other:?} (inter|intra)")),
+        }
+    }
+}
 
 /// Where one observed value of an outcome vector comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -116,12 +161,17 @@ pub struct LitmusInstance {
     pub name: String,
     /// The memory layout.
     pub layout: LitmusLayout,
-    /// The kernel (every test thread in a distinct block).
+    /// The kernel (thread layout per [`LitmusInstance::placement`]).
     pub program: Arc<Program>,
-    /// Number of test threads (= blocks of the app kernel group).
+    /// Number of test threads.
     pub threads: u32,
     /// Number of communication locations the kernel touches.
     pub locations: u32,
+    /// Whether the test threads occupy distinct blocks or share one.
+    pub placement: Placement,
+    /// Words of per-block shared memory the launch must provide (0 for
+    /// instances that only communicate through global memory).
+    pub shared_words: u32,
     /// Where each entry of the outcome vector is observed.
     pub observers: Vec<Observer>,
     /// The set of outcome vectors reachable under sequential
@@ -147,6 +197,37 @@ impl LitmusInstance {
         locations: u32,
         observers: Vec<Observer>,
         allowed: BTreeSet<Vec<u32>>,
+    ) -> Self {
+        Self::with_placement(
+            name,
+            layout,
+            program,
+            threads,
+            locations,
+            observers,
+            allowed,
+            Placement::InterBlock,
+            0,
+        )
+    }
+
+    /// Like [`LitmusInstance::new`], with an explicit thread placement
+    /// and the per-block shared-memory budget scoped instances need.
+    ///
+    /// # Panics
+    ///
+    /// As [`LitmusInstance::new`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_placement(
+        name: impl Into<String>,
+        layout: LitmusLayout,
+        program: Program,
+        threads: u32,
+        locations: u32,
+        observers: Vec<Observer>,
+        allowed: BTreeSet<Vec<u32>>,
+        placement: Placement,
+        shared_words: u32,
     ) -> Self {
         assert!(threads >= 1, "a litmus test needs at least one thread");
         assert!(
@@ -177,6 +258,8 @@ impl LitmusInstance {
             program: Arc::new(program),
             threads,
             locations,
+            placement,
+            shared_words,
             observers,
             allowed: Arc::new(allowed),
         }
@@ -212,27 +295,33 @@ impl LitmusInstance {
 
     /// The launch spec for this instance plus any stressing groups and
     /// the memory initialisation they require (e.g. a stress-location
-    /// table). The test launches as `threads` blocks of one warp each;
-    /// only lane 0 of each block participates (the paper's tests likewise
-    /// use one active thread per block), so all communication is
-    /// inter-block, through global memory.
+    /// table). Under [`Placement::InterBlock`] the test launches as
+    /// `threads` blocks of one warp each with lane 0 active (the paper's
+    /// layout — all communication inter-block, through global memory);
+    /// under [`Placement::IntraBlock`] it launches as one block of
+    /// `threads` warps, test thread `t` being lane 0 of warp `t`, so the
+    /// threads may also communicate through the block's shared memory.
     pub fn launch(
         &self,
         stress: Vec<KernelGroup>,
         init: Vec<(u32, wmm_sim::Word)>,
         randomize_ids: bool,
     ) -> LaunchSpec {
+        let (blocks, threads_per_block) = match self.placement {
+            Placement::InterBlock => (self.threads, 32),
+            Placement::IntraBlock => (1, self.threads * 32),
+        };
         let mut groups = vec![KernelGroup {
             program: Arc::clone(&self.program),
-            blocks: self.threads,
-            threads_per_block: 32,
+            blocks,
+            threads_per_block,
             role: Role::App,
         }];
         groups.extend(stress);
         LaunchSpec {
             groups,
             global_words: self.layout.global_words,
-            shared_words: 0,
+            shared_words: self.shared_words,
             init_image: Vec::new(),
             init,
             max_turns: 400_000,
@@ -340,6 +429,32 @@ mod tests {
     fn observer_labels() {
         assert_eq!(Observer::Reg(0).label(), "r0");
         assert_eq!(Observer::FinalMem(1).label(), "m1");
+    }
+
+    #[test]
+    fn placement_parses_and_displays() {
+        assert_eq!("inter".parse::<Placement>().unwrap(), Placement::InterBlock);
+        assert_eq!("INTRA".parse::<Placement>().unwrap(), Placement::IntraBlock);
+        assert!("warp".parse::<Placement>().is_err());
+        assert_eq!(Placement::IntraBlock.to_string(), "intra");
+    }
+
+    #[test]
+    fn launch_geometry_follows_placement() {
+        let inst = testutil::mp_instance(LitmusLayout::standard(64, 4096));
+        assert_eq!(inst.placement, Placement::InterBlock);
+        let spec = inst.launch(Vec::new(), Vec::new(), false);
+        assert_eq!(spec.groups[0].blocks, 2);
+        assert_eq!(spec.groups[0].threads_per_block, 32);
+        assert_eq!(spec.shared_words, 0);
+
+        let mut intra = inst.clone();
+        intra.placement = Placement::IntraBlock;
+        intra.shared_words = 128;
+        let spec = intra.launch(Vec::new(), Vec::new(), false);
+        assert_eq!(spec.groups[0].blocks, 1);
+        assert_eq!(spec.groups[0].threads_per_block, 64);
+        assert_eq!(spec.shared_words, 128);
     }
 
     #[test]

@@ -1446,6 +1446,35 @@ mod tests {
     }
 
     #[test]
+    fn shared_atomic_add_counts_block_mates_only() {
+        // Each block's 32 threads atomically bump shared[0]; lane 0
+        // publishes the final count after a barrier. Shared memory is
+        // per-block, so every block reports 32 — not 64.
+        let mut b = KernelBuilder::new("shared-count");
+        let a0 = b.const_(0);
+        let one = b.const_(1);
+        let _ = b.atomic_add_shared(a0, one);
+        b.barrier();
+        let tid = b.tid();
+        let zero = b.const_(0);
+        let is0 = b.eq(tid, zero);
+        b.if_(is0, |b| {
+            let v = b.load_shared(a0);
+            let bid = b.bid();
+            b.store_global(bid, v);
+        });
+        let p = b.finish().unwrap();
+        let mut gpu = Gpu::new(sc_chip());
+        let mut spec = LaunchSpec::app(p, 2, 32, 8);
+        spec.shared_words = 4;
+        for seed in 0..5 {
+            let r = gpu.run(&spec, seed);
+            assert!(r.status.is_completed());
+            assert_eq!((r.word(0), r.word(1)), (32, 32), "seed {seed}");
+        }
+    }
+
+    #[test]
     fn barrier_divergence_detected() {
         // Half the block skips the barrier and exits.
         let mut b = KernelBuilder::new("diverge");

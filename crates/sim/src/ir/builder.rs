@@ -219,52 +219,44 @@ impl KernelBuilder {
 
     // ---- memory ---------------------------------------------------------
 
+    /// Load a word from the given memory space.
+    pub fn load_in(&mut self, space: Space, addr: Reg) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Load { dst, space, addr });
+        dst
+    }
+
+    /// Store a word to the given memory space.
+    pub fn store_in(&mut self, space: Space, addr: Reg, src: Reg) {
+        self.emit(Inst::Store { space, addr, src });
+    }
+
     /// Load a word from global memory.
     pub fn load_global(&mut self, addr: Reg) -> Reg {
-        let dst = self.reg();
-        self.emit(Inst::Load {
-            dst,
-            space: Space::Global,
-            addr,
-        });
-        dst
+        self.load_in(Space::Global, addr)
     }
 
     /// Store a word to global memory.
     pub fn store_global(&mut self, addr: Reg, src: Reg) {
-        self.emit(Inst::Store {
-            space: Space::Global,
-            addr,
-            src,
-        });
+        self.store_in(Space::Global, addr, src);
     }
 
     /// Load a word from shared memory.
     pub fn load_shared(&mut self, addr: Reg) -> Reg {
-        let dst = self.reg();
-        self.emit(Inst::Load {
-            dst,
-            space: Space::Shared,
-            addr,
-        });
-        dst
+        self.load_in(Space::Shared, addr)
     }
 
     /// Store a word to shared memory.
     pub fn store_shared(&mut self, addr: Reg, src: Reg) {
-        self.emit(Inst::Store {
-            space: Space::Shared,
-            addr,
-            src,
-        });
+        self.store_in(Space::Shared, addr, src);
     }
 
-    /// `atomicCAS(&global[addr], cmp, val)`, returning the old value.
-    pub fn atomic_cas_global(&mut self, addr: Reg, cmp: Reg, val: Reg) -> Reg {
+    /// `atomicCAS` in the given space, returning the old value.
+    pub fn atomic_cas_in(&mut self, space: Space, addr: Reg, cmp: Reg, val: Reg) -> Reg {
         let dst = self.reg();
         self.emit(Inst::AtomicCas {
             dst,
-            space: Space::Global,
+            space,
             addr,
             cmp,
             val,
@@ -272,28 +264,60 @@ impl KernelBuilder {
         dst
     }
 
-    /// `atomicExch(&global[addr], val)`, returning the old value.
-    pub fn atomic_exch_global(&mut self, addr: Reg, val: Reg) -> Reg {
+    /// `atomicExch` in the given space, returning the old value.
+    pub fn atomic_exch_in(&mut self, space: Space, addr: Reg, val: Reg) -> Reg {
         let dst = self.reg();
         self.emit(Inst::AtomicExch {
             dst,
-            space: Space::Global,
+            space,
             addr,
             val,
         });
         dst
     }
 
-    /// `atomicAdd(&global[addr], val)`, returning the old value.
-    pub fn atomic_add_global(&mut self, addr: Reg, val: Reg) -> Reg {
+    /// `atomicAdd` in the given space, returning the old value.
+    pub fn atomic_add_in(&mut self, space: Space, addr: Reg, val: Reg) -> Reg {
         let dst = self.reg();
         self.emit(Inst::AtomicAdd {
             dst,
-            space: Space::Global,
+            space,
             addr,
             val,
         });
         dst
+    }
+
+    /// `atomicCAS(&global[addr], cmp, val)`, returning the old value.
+    pub fn atomic_cas_global(&mut self, addr: Reg, cmp: Reg, val: Reg) -> Reg {
+        self.atomic_cas_in(Space::Global, addr, cmp, val)
+    }
+
+    /// `atomicExch(&global[addr], val)`, returning the old value.
+    pub fn atomic_exch_global(&mut self, addr: Reg, val: Reg) -> Reg {
+        self.atomic_exch_in(Space::Global, addr, val)
+    }
+
+    /// `atomicAdd(&global[addr], val)`, returning the old value.
+    pub fn atomic_add_global(&mut self, addr: Reg, val: Reg) -> Reg {
+        self.atomic_add_in(Space::Global, addr, val)
+    }
+
+    /// `atomicCAS(&shared[addr], cmp, val)`, returning the old value.
+    /// Shared memory is per-block and strongly ordered in the simulator,
+    /// so shared atomics complete immediately (no in-flight window).
+    pub fn atomic_cas_shared(&mut self, addr: Reg, cmp: Reg, val: Reg) -> Reg {
+        self.atomic_cas_in(Space::Shared, addr, cmp, val)
+    }
+
+    /// `atomicExch(&shared[addr], val)`, returning the old value.
+    pub fn atomic_exch_shared(&mut self, addr: Reg, val: Reg) -> Reg {
+        self.atomic_exch_in(Space::Shared, addr, val)
+    }
+
+    /// `atomicAdd(&shared[addr], val)`, returning the old value.
+    pub fn atomic_add_shared(&mut self, addr: Reg, val: Reg) -> Reg {
+        self.atomic_add_in(Space::Shared, addr, val)
     }
 
     /// `__threadfence()` — device-level fence.
@@ -488,6 +512,30 @@ mod tests {
         let p = b.finish().unwrap();
         assert!(p.insts.iter().any(|i| matches!(i, Inst::AtomicCas { .. })));
         assert!(p.insts.iter().any(|i| matches!(i, Inst::AtomicExch { .. })));
+    }
+
+    #[test]
+    fn shared_atomics_carry_the_shared_space() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.const_(0);
+        let z = b.const_(0);
+        let one = b.const_(1);
+        let _ = b.atomic_cas_shared(a, z, one);
+        let _ = b.atomic_exch_shared(a, one);
+        let _ = b.atomic_add_shared(a, one);
+        let p = b.finish().unwrap();
+        let spaces: Vec<Space> = p
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::AtomicCas { space, .. }
+                | Inst::AtomicExch { space, .. }
+                | Inst::AtomicAdd { space, .. } => Some(*space),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spaces, vec![Space::Shared; 3]);
+        assert!(!p.insts.iter().any(Inst::is_global_access));
     }
 
     #[test]

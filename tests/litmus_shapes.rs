@@ -5,7 +5,8 @@
 //! `CampaignBuilder` facade.
 
 use gpu_wmm::core::campaign::CampaignBuilder;
-use gpu_wmm::core::stress::{Scratchpad, StressArtifacts};
+use gpu_wmm::core::env::Environment;
+use gpu_wmm::core::stress::{Scratchpad, StressArtifacts, StressStrategy};
 use gpu_wmm::gen::Shape;
 use gpu_wmm::litmus::LitmusLayout;
 use gpu_wmm::sim::chip::Chip;
@@ -126,4 +127,108 @@ fn wider_cycles_are_observable_under_stress() {
         let weak = stressed_weak_count(&chip, test, 64, 0, 200);
         assert!(weak > 0, "{test} should show weak behaviour under stress");
     }
+}
+
+#[test]
+fn scoped_shapes_never_go_weak_under_any_environment() {
+    // The scoped shapes communicate through the block's shared memory,
+    // which the simulator keeps strongly ordered — so under *all four*
+    // of the paper's environments (including the tuned systematic
+    // stress that makes their global-memory bases go weak frequently)
+    // the oracle-forbidden outcomes must never appear.
+    let chip = Chip::by_short("Titan").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let envs = [
+        Environment::native(),
+        Environment {
+            stress: StressStrategy::Random,
+            randomize: true,
+        },
+        Environment {
+            stress: StressStrategy::CacheSized,
+            randomize: false,
+        },
+        Environment::sys_str_plus(&chip),
+    ];
+    for test in Shape::SCOPED {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+        for env in &envs {
+            let h = CampaignBuilder::new(&chip)
+                .environment(env, pad, 40)
+                .count(60)
+                .base_seed(0x5c0)
+                .build()
+                .run_litmus(&inst);
+            assert_eq!(h.total(), 60);
+            assert_eq!(
+                h.weak(),
+                0,
+                "{test} under {}: scoped shape went weak: {h}",
+                env.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn mp_cas_observers_stay_coherent_in_every_outcome() {
+    // MP+CAS observes (T0 CAS old, T1 CAS old, T1 payload read, final
+    // flag). Whatever the memory model does to the *payload* read, the
+    // CASes themselves are atomic, so in every observed outcome — under
+    // the stress that provokes weak MP behaviour — the success/failure
+    // observer must stay coherent with the flag's final value and with
+    // the payload read's weak classification:
+    //   r0 == 0 always (T0's CAS can only ever see the initial 0),
+    //   r1 == 1  ⟺  final y == 2 (T1 claimed after T0 published),
+    //   r1 == 0  ⟺  final y == 1 (T1's CAS failed, T0's landed alone),
+    //   and an outcome is weak exactly when the claim succeeded but the
+    //   payload read still missed (r1 == 1, r2 == 0).
+    let chip = Chip::by_short("Titan").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let inst = Shape::MpCas.instance(LitmusLayout::standard(64, pad.required_words()));
+    let artifacts = StressArtifacts::pinned(pad, &chip.preferred_seq, &[0], 40);
+    let h = CampaignBuilder::new(&chip)
+        .stress(artifacts)
+        .count(200)
+        .base_seed(0xcafe)
+        .build()
+        .run_litmus(&inst);
+    assert_eq!(h.total(), 200);
+    for (obs, n) in h.iter() {
+        let (r0, r1, r2, m_y) = (obs[0], obs[1], obs[2], obs[3]);
+        assert_eq!(r0, 0, "T0's CAS saw a non-initial flag: {obs:?} x{n}");
+        match r1 {
+            1 => assert_eq!(m_y, 2, "successful claim but final flag != 2: {obs:?}"),
+            0 => assert_eq!(m_y, 1, "failed claim but final flag != 1: {obs:?}"),
+            other => panic!("T1's CAS observed impossible flag {other}: {obs:?}"),
+        }
+        assert_eq!(
+            inst.is_weak(obs),
+            r1 == 1 && r2 == 0,
+            "weak flag disagrees with the CAS/read coherence rule: {obs:?}"
+        );
+    }
+}
+
+#[test]
+fn rmw_cycles_are_observable_under_stress() {
+    // The RMW communication cycles still reorder like their plain-store
+    // bases — atomics are globally atomic but do not order *other*
+    // accesses (pre-Volta behaviour) — so matched-channel stress must
+    // provoke their oracle-forbidden outcomes.
+    let chip = Chip::by_short("Titan").unwrap();
+    for test in [Shape::MpCas, Shape::TwoPlusTwoWExch] {
+        let weak = stressed_weak_count(&chip, test, 64, 0, 300);
+        assert!(weak > 0, "{test} should show weak behaviour under stress");
+    }
+}
+
+#[test]
+fn co_add_is_atomic_even_under_stress() {
+    // Two atomicAdd(x, 1) racing under matched-channel stress: the
+    // final-memory observer proves the increments never tear — every
+    // outcome has olds {0, 1} in some order and final value 2.
+    let chip = Chip::by_short("Titan").unwrap();
+    let weak = stressed_weak_count(&chip, Shape::CoAdd, 64, 0, 120);
+    assert_eq!(weak, 0, "CoAdd must stay atomic under stress");
 }

@@ -83,6 +83,40 @@ fn campaign_stressed_is_worker_count_invariant() {
     }
 }
 
+/// The new placement axis stays bit-identical across worker counts too:
+/// one scoped (intra-block, shared-memory) and one RMW workload, native
+/// and under pinned systematic stress, at 1/2/8 workers.
+#[test]
+fn campaign_scoped_and_rmw_are_worker_count_invariant() {
+    let chip = Chip::by_short("Titan").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let artifacts = StressArtifacts::pinned(pad, &chip.preferred_seq, &[0], 40);
+    for test in [Shape::MpShared, Shape::MpCas] {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+        for stressed in [false, true] {
+            let run = |parallelism: usize| {
+                let mut b = CampaignBuilder::new(&chip)
+                    .count(48)
+                    .base_seed(0x5C09ED)
+                    .parallelism(parallelism);
+                if stressed {
+                    b = b.stress(artifacts.clone()).randomize_ids(true);
+                }
+                b.build().run_litmus(&inst)
+            };
+            let reference = run(WORKER_COUNTS[0]);
+            assert_eq!(reference.total(), 48);
+            for workers in &WORKER_COUNTS[1..] {
+                assert_eq!(
+                    run(*workers),
+                    reference,
+                    "{test} (stressed={stressed}): histogram diverged at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
 /// Different seeds must not produce identical streams (sanity check that
 /// the invariance above isn't vacuous).
 #[test]
