@@ -185,10 +185,7 @@ mod tests {
     use wmm_sim::chip::Chip;
 
     fn sc_chip() -> Chip {
-        let mut c = Chip::by_short("K20").unwrap();
-        c.reorder.base = [0.0; 4];
-        c.reorder.gain = [0.0; 4];
-        c
+        Chip::by_short("K20").unwrap().sequentially_consistent()
     }
 
     #[test]

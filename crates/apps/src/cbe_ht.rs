@@ -160,11 +160,7 @@ mod tests {
     use wmm_sim::chip::Chip;
 
     fn sc_chip() -> Chip {
-        let mut c = Chip::by_short("770").unwrap();
-        c.reorder.base = [0.0; 4];
-        c.reorder.gain = [0.0; 4];
-        c.ambient_mp = 0.0;
-        c
+        Chip::by_short("770").unwrap().sequentially_consistent()
     }
 
     #[test]

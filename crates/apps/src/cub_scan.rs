@@ -224,10 +224,7 @@ mod tests {
     use wmm_sim::chip::Chip;
 
     fn sc_chip() -> Chip {
-        let mut c = Chip::by_short("K5200").unwrap();
-        c.reorder.base = [0.0; 4];
-        c.reorder.gain = [0.0; 4];
-        c
+        Chip::by_short("K5200").unwrap().sequentially_consistent()
     }
 
     #[test]

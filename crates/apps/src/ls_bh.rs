@@ -485,10 +485,7 @@ mod tests {
     use wmm_sim::chip::Chip;
 
     fn sc_chip() -> Chip {
-        let mut c = Chip::by_short("C2075").unwrap();
-        c.reorder.base = [0.0; 4];
-        c.reorder.gain = [0.0; 4];
-        c
+        Chip::by_short("C2075").unwrap().sequentially_consistent()
     }
 
     #[test]

@@ -28,14 +28,18 @@ fn suite_scratchpad(chips: &[Chip]) -> Scratchpad {
     Scratchpad::new(2048, words)
 }
 
-/// The suite's default strategy column set: native plus the paper's
-/// tuned systematic environment and the random baseline (both with
-/// thread randomisation, the paper's most effective configuration).
+/// The suite's default strategy column set: native, the paper's tuned
+/// systematic environment and the random baseline (both with thread
+/// randomisation), plus the shared-stress column `shm+sys-str+` —
+/// systematic global stress with the block's idle lanes hammering a
+/// shared scratchpad, the configuration under which the scoped
+/// (intra-block, shared-memory) rows go observably weak.
 pub fn default_strategies() -> Vec<SuiteStrategy> {
     vec![
         SuiteStrategy::native(),
         SuiteStrategy::sys_str_plus(40),
         SuiteStrategy::rand_str_plus(40),
+        SuiteStrategy::shared_sys_str_plus(40),
     ]
 }
 
@@ -85,21 +89,25 @@ pub fn run(
     // Describe only the rows actually in the table above.
     match placement {
         Some(Placement::IntraBlock) => {
-            println!("Expected shape: the scoped intra rows communicate through the");
-            println!("simulator's strongly-ordered shared memory, so every cell stays");
-            println!("at zero — weak outcomes here would indicate a simulator bug.");
+            println!("Expected shape: the scoped intra rows relax only under shm+sys-str+,");
+            println!("whose shared-scratchpad stressing lanes feed the per-block shared");
+            println!("contention factor — MP.shared/SB.shared and the mixed-scope shapes go");
+            println!("weak there, while their +fence_block twins (the cheap membar.cta rung");
+            println!("of the fence hierarchy) and the single-location CoRR.shared stay at");
+            println!("zero under every column.");
         }
         _ => {
             println!("Expected shape: sys-str+ provokes weak outcomes on the relaxed shapes");
             println!("(MP/LB/SB/S/R/2+2W, the 3/4-thread cycles and the RMW cycles MP+CAS/");
             println!("2+2W.exch); the coherence tests CoRR/CoWW/CoAdd never go weak (same-line");
-            println!("ordering and atomicity are preserved); the fenced variants MP+fences/");
+            println!("ordering and atomicity are preserved); every +fences variant stays at");
             if placement.is_none() {
-                println!("SB+fences, the scoped [intra] rows (strongly-ordered shared memory) and");
+                println!("zero, the scoped [intra] rows go weak only under shm+sys-str+ (with");
+                println!("their +fence_block twins pinned at zero), and no-str- stays at zero");
+                println!("everywhere.");
             } else {
-                println!("SB+fences and");
+                println!("zero, and no-str- stays at zero everywhere.");
             }
-            println!("no-str- stay at zero everywhere.");
         }
     }
     cells
@@ -157,13 +165,22 @@ pub fn to_json(cells: &[SuiteCell], execs: u32, seed: u64) -> String {
                 format!("{{\"obs\": [{}], \"count\": {n}}}", vals.join(", "))
             })
             .collect();
+        let spaces: Vec<String> = c
+            .spaces
+            .iter()
+            .map(|s| match s {
+                wmm_sim::ir::Space::Global => "\"global\"".to_string(),
+                wmm_sim::ir::Space::Shared => "\"shared\"".to_string(),
+            })
+            .collect();
         s.push_str(&format!(
             "    {{\"shape\": \"{}\", \"distance\": {}, \"placement\": \"{}\", \
-             \"chip\": \"{}\", \"strategy\": \"{}\", \
+             \"spaces\": [{}], \"chip\": \"{}\", \"strategy\": \"{}\", \
              \"weak\": {}, \"total\": {}, \"rate\": {:.6}, \"outcomes\": [{}]}}{}\n",
             c.shape,
             c.distance,
             c.placement,
+            spaces.join(", "),
             c.chip,
             c.strategy,
             c.hist.weak(),
@@ -188,10 +205,11 @@ mod tests {
             ..Scale::quick()
         };
         let cells = run(Some(vec!["Titan".to_string()]), None, scale);
-        // Every shape × 1 chip × 3 strategies.
-        assert_eq!(cells.len(), Shape::ALL.len() * 3);
+        // Every shape × 1 chip × the default strategy columns.
+        assert_eq!(cells.len(), Shape::ALL.len() * default_strategies().len());
         // Under sys-str+, the relaxed two-thread shapes show weak
-        // behaviour; the coherence tests and the scoped rows never do.
+        // behaviour; the coherence tests never do, and the scoped rows
+        // relax only once the shared-stress column pressures the block.
         let weak_of = |shape: Shape, strat: &str| {
             cells
                 .iter()
@@ -214,7 +232,32 @@ mod tests {
             assert_eq!(
                 weak_of(shape, "sys-str+"),
                 0,
-                "{shape} communicates through strongly-ordered shared memory"
+                "{shape}: without shared-space stress the block is quiescent"
+            );
+        }
+        // The shared-stress column flips the scoped rows...
+        assert!(
+            weak_of(Shape::MpShared, "shm+sys-str+") > 0,
+            "MP.shared should go weak under shared stress"
+        );
+        assert!(
+            weak_of(Shape::SbShared, "shm+sys-str+") > 0,
+            "SB.shared should go weak under shared stress"
+        );
+        // ...while coherence and the block-fenced twins hold at zero.
+        assert_eq!(weak_of(Shape::CoRRShared, "shm+sys-str+"), 0);
+        for shape in Shape::SCOPED_FENCED {
+            assert_eq!(
+                weak_of(shape, "shm+sys-str+"),
+                0,
+                "{shape}: fence_block must order shared space"
+            );
+        }
+        for shape in Shape::WIDE_FENCED {
+            assert_eq!(
+                weak_of(shape, "sys-str+"),
+                0,
+                "{shape}: device fences must suppress the wide cycles"
             );
         }
         assert_eq!(weak_of(Shape::CoAdd, "sys-str+"), 0, "CoAdd must be atomic");
@@ -231,7 +274,8 @@ mod tests {
             Some(Placement::IntraBlock),
             scale,
         );
-        assert_eq!(cells.len(), Shape::SCOPED.len() * 3);
+        let intra = Shape::SCOPED.len() + Shape::SCOPED_FENCED.len() + Shape::MIXED.len();
+        assert_eq!(cells.len(), intra * default_strategies().len());
         assert!(cells.iter().all(|c| c.placement == Placement::IntraBlock));
     }
 
@@ -249,17 +293,21 @@ mod tests {
             ..Default::default()
         };
         let cells = run_suite(
-            &[Shape::Mp, Shape::CoWW],
+            &[Shape::Mp, Shape::CoWW, Shape::MpShared, Shape::MpMixed],
             &[Chip::by_short("K20").unwrap()],
             &[SuiteStrategy::native()],
             &cfg,
         );
         let j = to_json(&cells, cfg.execs, cfg.base_seed);
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
-        assert_eq!(j.matches("\"shape\"").count(), 2);
+        assert_eq!(j.matches("\"shape\"").count(), 4);
         assert!(j.contains("\"MP\""));
         assert!(j.contains("\"CoWW\""));
         assert_eq!(j.matches("\"placement\": \"inter\"").count(), 2);
+        // The spaces axis lets tooling filter rows without name-parsing.
+        assert_eq!(j.matches("\"spaces\": [\"global\"]").count(), 2);
+        assert_eq!(j.matches("\"spaces\": [\"shared\"]").count(), 1);
+        assert_eq!(j.matches("\"spaces\": [\"global\", \"shared\"]").count(), 1);
         // Balanced brackets (cheap structural sanity).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

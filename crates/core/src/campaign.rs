@@ -165,16 +165,18 @@ impl<'a> CampaignBuilder<'a> {
         }
     }
 
-    /// Configure from a Tab. 5 [`Environment`]: builds the strategy's
-    /// stress artifacts once for the given scratchpad and iteration
-    /// count, and takes the environment's randomisation toggle.
+    /// Configure from an [`Environment`]: builds the strategy's stress
+    /// artifacts once for the given scratchpad and iteration count, and
+    /// takes the environment's randomisation toggle and (if any) its
+    /// intra-block shared-space stress.
     pub fn environment(
         self,
         env: &Environment,
         pad: crate::stress::Scratchpad,
         iters: u32,
     ) -> Self {
-        let stress = StressArtifacts::for_strategy(self.chip, &env.stress, pad, iters);
+        let stress = StressArtifacts::for_strategy(self.chip, &env.stress, pad, iters)
+            .with_shared_stress(env.shared);
         self.stress(stress).randomize_ids(env.randomize)
     }
 
@@ -263,10 +265,47 @@ impl<'a> Campaign<'a> {
         self.run_impl(workload, Some(progress))
     }
 
+    /// The instance this campaign actually executes for `inst`: when the
+    /// campaign's artifacts carry intra-block shared-space stress and
+    /// the instance is intra-block, the stress lanes are injected into
+    /// the kernel once per campaign (shared memory is per-block, so the
+    /// stress must ride inside the test's own block); inter-block
+    /// instances ignore the shared axis. Callers constructing a
+    /// [`LitmusWorkload`] by hand for [`Campaign::run`] /
+    /// [`Campaign::run_with_progress`] should route through this (or use
+    /// [`Campaign::run_litmus`] / [`Campaign::run_litmus_with_progress`],
+    /// which do) so the shared-stress axis is never silently dropped.
+    pub fn litmus_instance(&self, inst: &LitmusInstance) -> Option<LitmusInstance> {
+        match (self.stress.shared_stress(), inst.placement) {
+            (Some(s), wmm_litmus::Placement::IntraBlock) => {
+                Some(inst.with_shared_stress(s.words, s.iters))
+            }
+            _ => None,
+        }
+    }
+
     /// Convenience: campaign a litmus instance into its outcome
-    /// histogram.
+    /// histogram, applying any intra-block shared-space stress the
+    /// campaign's artifacts carry (see [`Campaign::litmus_instance`]).
     pub fn run_litmus(&self, inst: &LitmusInstance) -> Histogram {
-        self.run(&LitmusWorkload(inst))
+        match self.litmus_instance(inst) {
+            Some(stressed) => self.run(&LitmusWorkload(&stressed)),
+            None => self.run(&LitmusWorkload(inst)),
+        }
+    }
+
+    /// [`Campaign::run_litmus`] with a per-run progress callback — the
+    /// litmus analogue of [`Campaign::run_with_progress`], with the same
+    /// shared-stress injection as [`Campaign::run_litmus`].
+    pub fn run_litmus_with_progress(
+        &self,
+        inst: &LitmusInstance,
+        progress: &(dyn Fn(u32) + Sync),
+    ) -> Histogram {
+        match self.litmus_instance(inst) {
+            Some(stressed) => self.run_with_progress(&LitmusWorkload(&stressed), progress),
+            None => self.run_with_progress(&LitmusWorkload(inst), progress),
+        }
     }
 
     fn run_impl<W: Workload>(
@@ -311,10 +350,7 @@ mod tests {
     use wmm_litmus::LitmusLayout;
 
     fn strong_chip() -> Chip {
-        let mut c = Chip::by_short("K20").unwrap();
-        c.reorder.base = [0.0; 4];
-        c.reorder.gain = [0.0; 4];
-        c
+        Chip::by_short("K20").unwrap().sequentially_consistent()
     }
 
     #[test]
@@ -406,6 +442,32 @@ mod tests {
         );
         assert_eq!(a, run(2));
         assert_eq!(a, run(8));
+    }
+
+    #[test]
+    fn progress_route_applies_shared_stress_too() {
+        // run_litmus_with_progress must inject the shared-stress lanes
+        // exactly like run_litmus: same histogram, every run reported.
+        let chip = Chip::by_short("Titan").unwrap();
+        let pad = Scratchpad::new(2048, 2048);
+        let env = crate::env::Environment::shared_sys_str_plus(&chip);
+        let inst = Shape::MpShared.instance(LitmusLayout::standard(64, pad.required_words()));
+        let campaign = CampaignBuilder::new(&chip)
+            .environment(&env, pad, 40)
+            .count(60)
+            .base_seed(7)
+            .build();
+        let plain = campaign.run_litmus(&inst);
+        let seen = AtomicU32::new(0);
+        let with_progress = campaign.run_litmus_with_progress(&inst, &|_| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(with_progress, plain);
+        assert_eq!(seen.load(Ordering::Relaxed), 60);
+        assert!(
+            plain.weak() > 0,
+            "comparison is vacuous without weak outcomes: {plain}"
+        );
     }
 
     #[test]

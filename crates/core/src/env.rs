@@ -10,7 +10,7 @@
 use crate::app::{AppSpec, Application};
 use crate::campaign::{CampaignBuilder, RunCtx, Workload};
 use crate::stress::{
-    app_stress_blocks, Scratchpad, StressArtifacts, StressStrategy, SystematicParams,
+    app_stress_blocks, Scratchpad, SharedStress, StressArtifacts, StressStrategy, SystematicParams,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -18,23 +18,37 @@ use wmm_sim::chip::Chip;
 use wmm_sim::exec::{Gpu, KernelGroup, LaunchSpec, Role, RunStatus};
 use wmm_sim::Word;
 
-/// A testing environment: a stressing strategy plus thread randomisation.
+/// A testing environment: a stressing strategy plus thread randomisation,
+/// plus (for scoped litmus workloads) optional intra-block shared-space
+/// stress — the second axis of the scope hierarchy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Environment {
-    /// The memory stressing strategy.
+    /// The (global-memory) stressing strategy.
     pub stress: StressStrategy,
     /// Whether thread ids are randomised (the `+` suffix, Sec. 3.5).
     pub randomize: bool,
+    /// Intra-block shared-space stress: the idle lanes of an intra-block
+    /// litmus kernel hammer a shared scratchpad, feeding the per-block
+    /// shared contention factor. `None` for all of the paper's Tab. 5
+    /// environments (their names are pinned); applies only to
+    /// intra-block litmus instances.
+    pub shared: Option<SharedStress>,
 }
 
 impl Environment {
-    /// The paper's name: strategy plus `+`/`-`, e.g. `"sys-str+"`.
+    /// The paper's name: strategy plus `+`/`-`, e.g. `"sys-str+"`;
+    /// shared-stress environments carry a `shm+` prefix.
     pub fn name(&self) -> String {
-        format!(
+        let base = format!(
             "{}{}",
             self.stress.short(),
             if self.randomize { "+" } else { "-" }
-        )
+        );
+        if self.shared.is_some() {
+            format!("{}{base}", SharedStress::NAME_PREFIX)
+        } else {
+            base
+        }
     }
 
     /// The most effective environment of Sec. 4.3: tuned systematic
@@ -43,6 +57,17 @@ impl Environment {
         Environment {
             stress: StressStrategy::Systematic(SystematicParams::from_paper(chip)),
             randomize: true,
+            shared: None,
+        }
+    }
+
+    /// The scoped-suite environment `shm+sys-str+`: the tuned systematic
+    /// global stress *plus* intra-block shared-space stress, so both
+    /// levels of the hierarchy are under pressure at once.
+    pub fn shared_sys_str_plus(chip: &Chip) -> Environment {
+        Environment {
+            shared: Some(SharedStress::standard()),
+            ..Environment::sys_str_plus(chip)
         }
     }
 
@@ -51,6 +76,7 @@ impl Environment {
         Environment {
             stress: StressStrategy::None,
             randomize: false,
+            shared: None,
         }
     }
 
@@ -70,6 +96,7 @@ impl Environment {
                 out.push(Environment {
                     stress: stress.clone(),
                     randomize,
+                    shared: None,
                 });
             }
         }
@@ -217,6 +244,7 @@ impl<'a> AppHarness<'a> {
     /// harness's scratchpad and calibrated stressing-loop length.
     pub fn artifacts(&self, env: &Environment) -> StressArtifacts {
         StressArtifacts::for_strategy(self.chip, &env.stress, self.pad, self.stress_iters.max(60))
+            .with_shared_stress(env.shared)
     }
 
     /// Execute the application once under `env` with a deterministic

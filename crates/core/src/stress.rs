@@ -17,15 +17,17 @@
 //!   critical-patch-sized regions, with the chip's most effective access
 //!   sequence.
 //!
-//! Every strategy (and every location-table entry) targets **global**
-//! memory: stressing blocks live in their own blocks, and a block's
-//! `Space::Shared` scratch is unreachable from outside it. Scoped
-//! litmus instances (`Placement::IntraBlock`, communicating through
-//! shared memory) therefore run with the same global scratchpad stress
-//! as everything else — which can delay their global rendezvous and
-//! result stores but cannot reorder their shared-space communication,
-//! making the scoped suite rows negative controls: weak outcomes there
-//! would indicate a simulator bug, not a memory-model behaviour.
+//! Every strategy (and every location-table entry) above targets
+//! **global** memory: stressing blocks live in their own blocks, and a
+//! block's `Space::Shared` scratch is unreachable from outside it.
+//! *Shared-space* stress therefore takes a different route entirely —
+//! [`SharedStress`], attached to [`StressArtifacts`], turns the idle
+//! non-zero lanes of an intra-block litmus kernel into shared-scratchpad
+//! hammers (see `wmm_litmus::LitmusInstance::with_shared_stress`). That
+//! intra-block pressure feeds the per-block shared contention factor χ,
+//! which is what makes the scoped catalogue shapes (`MP.shared`,
+//! `SB.shared`, …) observably weak — while their `+fence_block` twins
+//! and the single-location `CoRR.shared` stay forbidden-outcome-free.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -95,6 +97,40 @@ impl SystematicParams {
     }
 }
 
+/// Intra-block shared-memory stressing: how hard the idle lanes of a
+/// scoped litmus block hammer a shared scratchpad. Unlike the global
+/// strategies this is not a separate kernel group — shared memory is
+/// per-block, so the stress rides inside the test kernel itself
+/// (injected by `LitmusInstance::with_shared_stress`), and it only
+/// applies to intra-block instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedStress {
+    /// Scratchpad size in shared words (placed past the test's own
+    /// shared locations).
+    pub words: u32,
+    /// Load+store sweep iterations per stressing lane.
+    pub iters: u32,
+}
+
+impl SharedStress {
+    /// The prefix shared-stress environment/column names carry (e.g.
+    /// `shm+sys-str+`) — one definition so `Environment::name()` and the
+    /// suite column labels (which CI greps match against) cannot
+    /// diverge.
+    pub const NAME_PREFIX: &'static str = "shm+";
+
+    /// The default shared-stress configuration of the suite's
+    /// shared-stress environments: enough lanes-by-iterations pressure
+    /// to saturate the per-block shared contention factor for the whole
+    /// test window.
+    pub fn standard() -> Self {
+        SharedStress {
+            words: 64,
+            iters: 60,
+        }
+    }
+}
+
 /// A memory stressing strategy.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StressStrategy {
@@ -157,6 +193,9 @@ pub struct StressArtifacts {
     pad: Scratchpad,
     iters: u32,
     kind: ArtifactKind,
+    /// Optional intra-block shared-space stress, applied by the campaign
+    /// facade to intra-block litmus instances (see [`SharedStress`]).
+    shared: Option<SharedStress>,
 }
 
 #[derive(Debug, Clone)]
@@ -191,6 +230,7 @@ impl StressArtifacts {
             pad: Scratchpad::new(64, 0),
             iters: 0,
             kind: ArtifactKind::None,
+            shared: None,
         }
     }
 
@@ -222,7 +262,12 @@ impl StressArtifacts {
                 }
             }
         };
-        StressArtifacts { pad, iters, kind }
+        StressArtifacts {
+            pad,
+            iters,
+            kind,
+            shared: None,
+        }
     }
 
     /// Artifacts for systematic stress pinned to explicit scratchpad
@@ -247,6 +292,7 @@ impl StressArtifacts {
                 init: Self::table_for(pad, rel_locations),
                 spread,
             },
+            shared: None,
         }
     }
 
@@ -283,14 +329,33 @@ impl StressArtifacts {
                 init: Self::table_for(self.pad, rel_locations),
                 spread: *spread,
             },
+            shared: self.shared,
         }
     }
 
     /// Whether this is the native environment (no stressing blocks —
     /// callers skip their per-run thread-count draw, as the legacy
-    /// native campaigns did).
+    /// native campaigns did). Intra-block shared stress is orthogonal:
+    /// it rides inside the test kernel, not in stressing blocks.
     pub fn is_native(&self) -> bool {
         matches!(self.kind, ArtifactKind::None)
+    }
+
+    /// Attach (or clear) intra-block shared-space stress: campaigns
+    /// apply it to intra-block litmus instances by injecting stressing
+    /// lanes into the test kernel (inter-block instances and application
+    /// workloads are unaffected — their blocks have no idle lanes to
+    /// repurpose). Takes an `Option` so every environment-to-artifacts
+    /// construction site forwards the axis with one unconditional call —
+    /// no site can forget the `Some` branch and silently drop it.
+    pub fn with_shared_stress(mut self, shared: Option<SharedStress>) -> Self {
+        self.shared = shared;
+        self
+    }
+
+    /// The attached intra-block shared-space stress, if any.
+    pub fn shared_stress(&self) -> Option<SharedStress> {
+        self.shared
     }
 
     /// Instantiate one run's stressing blocks. Draws from `rng` exactly

@@ -12,12 +12,13 @@
 //! and the columns are plain [`StressStrategy`] values.
 
 use crate::campaign::CampaignBuilder;
-use crate::stress::{Scratchpad, StressArtifacts, StressStrategy, SystematicParams};
+use crate::stress::{Scratchpad, SharedStress, StressArtifacts, StressStrategy, SystematicParams};
 use std::sync::Arc;
 use wmm_gen::Shape;
 use wmm_litmus::runner::mix_seed;
 use wmm_litmus::{Histogram, LitmusLayout, Placement};
 use wmm_sim::chip::Chip;
+use wmm_sim::ir::Space;
 
 /// A named suite column: a stress strategy (computed per chip — the
 /// systematic strategy's parameters are per-chip, Tab. 2) plus the
@@ -30,6 +31,9 @@ pub struct SuiteStrategy {
     pub randomize: bool,
     /// Stressing-loop iterations per stressing thread.
     pub iters: u32,
+    /// Intra-block shared-space stress applied to intra-block rows
+    /// (`None` for the paper's global-only columns).
+    pub shared: Option<SharedStress>,
     strategy_of: Arc<dyn Fn(&Chip) -> StressStrategy + Send + Sync>,
 }
 
@@ -40,6 +44,7 @@ impl SuiteStrategy {
             name: "no-str-".to_string(),
             randomize: false,
             iters: 0,
+            shared: None,
             strategy_of: Arc::new(|_| StressStrategy::None),
         }
     }
@@ -56,6 +61,7 @@ impl SuiteStrategy {
             name: format!("{short}{}", if randomize { "+" } else { "-" }),
             randomize,
             iters,
+            shared: None,
             strategy_of: Arc::new(strategy_of),
         }
     }
@@ -73,6 +79,19 @@ impl SuiteStrategy {
         SuiteStrategy::new("rand-str", true, iters, |_| StressStrategy::Random)
     }
 
+    /// The shared-stress column `shm+sys-str+`: the tuned systematic
+    /// global stress plus intra-block shared-space stress. Inter-block
+    /// rows behave exactly as under `sys-str+`; intra-block rows gain
+    /// shared-scratchpad stressing lanes — the column under which the
+    /// scoped shapes go observably weak while their `+fence_block`
+    /// twins stay at zero.
+    pub fn shared_sys_str_plus(iters: u32) -> Self {
+        let mut s = SuiteStrategy::sys_str_plus(iters);
+        s.name = format!("{}{}", SharedStress::NAME_PREFIX, s.name);
+        s.shared = Some(SharedStress::standard());
+        s
+    }
+
     /// The strategy this column applies on `chip`.
     pub fn strategy(&self, chip: &Chip) -> StressStrategy {
         (self.strategy_of)(chip)
@@ -82,6 +101,7 @@ impl SuiteStrategy {
     /// for the whole column.
     pub fn artifacts(&self, chip: &Chip, pad: Scratchpad) -> StressArtifacts {
         StressArtifacts::for_strategy(chip, &self.strategy(chip), pad, self.iters)
+            .with_shared_stress(self.shared)
     }
 }
 
@@ -136,6 +156,10 @@ pub struct SuiteCell {
     /// The shape's thread placement (`inter` — one block per thread —
     /// or `intra` — one block, communicating through shared memory).
     pub placement: Placement,
+    /// The memory spaces the shape's events exercise (global first), so
+    /// downstream tooling can select scoped/mixed rows without parsing
+    /// shape names.
+    pub spaces: Vec<Space>,
     /// Chip short name.
     pub chip: String,
     /// Strategy name.
@@ -200,6 +224,7 @@ pub fn run_suite(
                         shape: *shape,
                         distance: d,
                         placement: shape.placement(),
+                        spaces: shape.spaces(),
                         chip: chip.short.to_string(),
                         strategy: strat.name.clone(),
                         hist,
@@ -216,10 +241,7 @@ mod tests {
     use super::*;
 
     fn strong_chip() -> Chip {
-        let mut c = Chip::by_short("K20").unwrap();
-        c.reorder.base = [0.0; 4];
-        c.reorder.gain = [0.0; 4];
-        c
+        Chip::by_short("K20").unwrap().sequentially_consistent()
     }
 
     #[test]
@@ -296,5 +318,60 @@ mod tests {
         assert_eq!(SuiteStrategy::native().name, "no-str-");
         assert_eq!(SuiteStrategy::sys_str_plus(40).name, "sys-str+");
         assert_eq!(SuiteStrategy::rand_str_plus(40).name, "rand-str+");
+        assert_eq!(SuiteStrategy::shared_sys_str_plus(40).name, "shm+sys-str+");
+    }
+
+    #[test]
+    fn cells_carry_the_spaces_axis() {
+        let cfg = SuiteConfig {
+            execs: 4,
+            ..Default::default()
+        };
+        let cells = run_suite(
+            &[Shape::Mp, Shape::MpShared, Shape::MpMixed],
+            &[strong_chip()],
+            &[SuiteStrategy::native()],
+            &cfg,
+        );
+        let spaces_of = |shape: Shape| {
+            cells
+                .iter()
+                .find(|c| c.shape == shape)
+                .map(|c| c.spaces.clone())
+                .unwrap()
+        };
+        assert_eq!(spaces_of(Shape::Mp), vec![Space::Global]);
+        assert_eq!(spaces_of(Shape::MpShared), vec![Space::Shared]);
+        assert_eq!(
+            spaces_of(Shape::MpMixed),
+            vec![Space::Global, Space::Shared]
+        );
+    }
+
+    #[test]
+    fn sc_chip_stays_strong_even_under_shared_stress() {
+        // Regression for the SC guard: sequentially_consistent() zeroes
+        // the shared-space matrix too, so the scoped and mixed rows show
+        // zero weak outcomes at intra-block placement even under the
+        // shared-stress column that makes them go weak on real chips.
+        let shapes: Vec<Shape> = Shape::SCOPED
+            .into_iter()
+            .chain(Shape::SCOPED_FENCED)
+            .chain(Shape::MIXED)
+            .collect();
+        let cfg = SuiteConfig {
+            execs: 16,
+            ..Default::default()
+        };
+        let cells = run_suite(
+            &shapes,
+            &[strong_chip()],
+            &[SuiteStrategy::shared_sys_str_plus(40)],
+            &cfg,
+        );
+        for c in &cells {
+            assert_eq!(c.placement, Placement::IntraBlock, "{}", c.shape);
+            assert_eq!(c.hist.weak(), 0, "{} on SC chip: {}", c.shape, c.hist);
+        }
     }
 }

@@ -119,6 +119,7 @@ pub fn build_program(events: &TestEvents, layout: &LitmusLayout) -> Program {
                             read_regs.push(b.load_in(space, a));
                         }
                         Event::Fence => b.fence_device(),
+                        Event::FenceBlock => b.fence_block(),
                         Event::Cas {
                             loc,
                             cmp,
@@ -228,6 +229,7 @@ pub fn to_lang_source(events: &TestEvents, layout: &LitmusLayout) -> String {
                     bind_read(&mut s, rhs, &mut read_names);
                 }
                 Event::Fence => s.push_str("            fence();\n"),
+                Event::FenceBlock => s.push_str("            fence_block();\n"),
                 Event::Cas {
                     loc,
                     cmp,

@@ -6,10 +6,12 @@
 //!
 //! * [`shape`] — a catalogue of classic communication-cycle litmus
 //!   shapes (MP, LB, SB, S, R, 2+2W, WRC, RWC, ISA2, IRIW, the
-//!   coherence tests CoRR and CoWW, the fenced variants MP+fences and
-//!   SB+fences, the scoped variants MP.shared, SB.shared and
-//!   CoRR.shared, and the atomic-RMW cycles MP+CAS, 2+2W.exch and
-//!   CoAdd), each an abstract list of read, write, fence and
+//!   coherence tests CoRR and CoWW, the device-fenced variants
+//!   MP/SB/WRC/ISA2/IRIW+fences, the scoped variants MP.shared,
+//!   SB.shared and CoRR.shared with their block-fenced twins
+//!   `+fence_block`, the mixed-scope shapes MP.mixed and ISA2.scoped,
+//!   and the atomic-RMW cycles MP+CAS, 2+2W.exch and CoAdd), each an
+//!   abstract list of read, write, fence (device- or block-level) and
 //!   read-modify-write events per thread plus a thread [`Placement`];
 //! * [`oracle`] — a small-step sequential-consistency semantics that
 //!   exhaustively interleaves a shape's events to compute the set of

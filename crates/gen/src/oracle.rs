@@ -153,8 +153,10 @@ fn dfs(
             }
             // Under SC a fence orders nothing that isn't already
             // ordered: stepping over it changes no state, so fenced
-            // shapes derive exactly their base shape's SC set.
-            Event::Fence => dfs(events, observers, pcs, mem, reads, seen, out),
+            // shapes derive exactly their base shape's SC set. Both
+            // levels of the hierarchy are equally invisible — the
+            // device/block distinction only exists on the weak hardware.
+            Event::Fence | Event::FenceBlock => dfs(events, observers, pcs, mem, reads, seen, out),
         }
         pcs[t] -= 1;
     }
@@ -315,6 +317,28 @@ mod tests {
     }
 
     #[test]
+    fn block_fenced_and_mixed_variants_derive_their_base_sets() {
+        // Both fence levels are oracle-invisible, and a mixed-scope
+        // shape's SC set equals its single-space base's: intra-block
+        // shared cells and global cells are both just one copy under SC.
+        for (variant, base) in [
+            (Shape::MpSharedFence, Shape::Mp),
+            (Shape::SbSharedFence, Shape::Sb),
+            (Shape::MpMixed, Shape::Mp),
+            (Shape::Isa2Scoped, Shape::Isa2),
+            (Shape::WrcFences, Shape::Wrc),
+            (Shape::Isa2Fences, Shape::Isa2),
+            (Shape::IriwFences, Shape::Iriw),
+        ] {
+            assert_eq!(
+                sc_outcomes(&variant.events()),
+                sc_outcomes(&base.events()),
+                "{variant} vs {base}"
+            );
+        }
+    }
+
+    #[test]
     fn mp_cas_set_is_the_hand_enumerated_one() {
         // Observers: (T0 CAS old, T1 CAS old, T1 read of x, final y).
         // T0's CAS(y,0→1) always sees 0; T1's CAS(y,1→2) succeeds only
@@ -372,7 +396,7 @@ mod tests {
                         max_val = max_val.max(*val);
                     }
                     Event::Add { val, .. } => add_sum += *val,
-                    Event::R { .. } | Event::Fence => {}
+                    Event::R { .. } | Event::Fence | Event::FenceBlock => {}
                 }
             }
             let bound = max_val.max(add_sum);

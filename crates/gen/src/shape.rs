@@ -8,11 +8,15 @@
 //! the remaining two-thread two-location cycles (S, R, 2+2W), the
 //! three-thread cycles (WRC, RWC, ISA2), the four-thread
 //! independent-reads shape (IRIW), the per-location coherence sanity
-//! tests (CoRR, CoWW), fenced variants (MP+fences, SB+fences), *scoped*
-//! variants (MP.shared, SB.shared, CoRR.shared — the same cycles run
-//! with all threads in one block, communicating through
-//! `Space::Shared`), and atomic-RMW cycles (MP+CAS, 2+2W.exch, CoAdd)
-//! whose read-modify-write events observe their old value.
+//! tests (CoRR, CoWW), device-fenced variants (MP/SB/WRC/ISA2/IRIW
+//! +fences), *scoped* variants (MP.shared, SB.shared, CoRR.shared — the
+//! same cycles run with all threads in one block, communicating through
+//! `Space::Shared`) with block-fenced twins (MP.shared+fence_block,
+//! SB.shared+fence_block — the cheap `membar.cta` rung that suffices
+//! intra-block), *mixed-scope* shapes splitting one cycle across both
+//! spaces (MP.mixed, ISA2.scoped), and atomic-RMW cycles (MP+CAS,
+//! 2+2W.exch, CoAdd) whose read-modify-write events observe their old
+//! value.
 //!
 //! Shapes carry *no* weak-outcome predicate: the forbidden outcomes of
 //! every shape are derived by exhaustively interleaving its events under
@@ -28,8 +32,8 @@ use wmm_sim::ir::Space;
 ///
 /// Read/write events carry the [`Space`] they target: `Space::Global`
 /// is the device-wide weakly-ordered memory; `Space::Shared` is the
-/// per-block scratch, strongly ordered in the simulator — a shape whose
-/// threads communicate through it must run under
+/// per-block scratch with its own (stress-provoked) relaxation level —
+/// a shape whose threads communicate through it must run under
 /// [`Placement::IntraBlock`] to communicate at all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
@@ -55,6 +59,13 @@ pub enum Event {
     /// its unfenced base while its weak outcomes become unobservable on
     /// the simulated hardware.
     Fence,
+    /// A block-level memory fence (`membar.cta` / `__threadfence_block`):
+    /// the cheap lower rung of the two-level fence hierarchy. Like
+    /// [`Event::Fence`] it is invisible to the SC oracle; on the
+    /// simulated hardware it orders only the thread's *shared-space*
+    /// accesses, so it suffices for intra-block (scoped) shapes while
+    /// leaving global-space reorderings observable.
+    FenceBlock,
     /// `atomicCAS(loc, cmp, val)` — an indivisible read-modify-write:
     /// the old value lands in the next observer register; the write to
     /// `val` happens only if the old value equals `cmp`.
@@ -99,7 +110,7 @@ impl Event {
             | Event::Cas { loc, .. }
             | Event::Exch { loc, .. }
             | Event::Add { loc, .. } => Some(*loc),
-            Event::Fence => None,
+            Event::Fence | Event::FenceBlock => None,
         }
     }
 
@@ -111,7 +122,7 @@ impl Event {
             | Event::Cas { space, .. }
             | Event::Exch { space, .. }
             | Event::Add { space, .. } => Some(*space),
-            Event::Fence => None,
+            Event::Fence | Event::FenceBlock => None,
         }
     }
 
@@ -195,6 +206,24 @@ impl TestEvents {
         found
     }
 
+    /// The distinct memory spaces the events touch, global first — the
+    /// `"spaces"` axis suite output exposes so downstream tooling can
+    /// filter scoped and mixed-scope rows without parsing shape names.
+    pub fn spaces(&self) -> Vec<Space> {
+        let mut out = Vec::new();
+        for space in [Space::Global, Space::Shared] {
+            if self
+                .threads
+                .iter()
+                .flatten()
+                .any(|e| e.space() == Some(space))
+            {
+                out.push(space);
+            }
+        }
+        out
+    }
+
     /// Words of per-block shared memory the emitted kernel needs under
     /// `layout` (0 if no event targets `Space::Shared`).
     pub fn shared_words_for(&self, layout: &LitmusLayout) -> u32 {
@@ -271,11 +300,12 @@ pub enum Shape {
     SbFences,
     /// Message passing scoped to one block: both threads share a block
     /// and communicate through `Space::Shared`. The oracle derives the
-    /// same forbidden set as [`Shape::Mp`], but the simulator's shared
-    /// memory is strongly ordered, so the shape must never go weak.
+    /// same forbidden set as [`Shape::Mp`]; the shape goes observably
+    /// weak only under intra-block shared-space stress (a quiescent
+    /// block's scratchpad never reorders).
     MpShared,
-    /// Store buffering scoped to one block — likewise never weak under
-    /// the strongly-ordered shared memory.
+    /// Store buffering scoped to one block — weak only under
+    /// shared-space stress, like [`Shape::MpShared`].
     SbShared,
     /// Read-read coherence scoped to one block.
     CoRRShared,
@@ -291,13 +321,41 @@ pub enum Shape {
     /// interleave internally (final must be 2, olds a permutation of
     /// {0, 1}).
     CoAdd,
+    /// [`Shape::MpShared`] with a *block-level* fence between each
+    /// thread's two shared accesses: the cheap `membar.cta` rung is
+    /// enough to forbid the intra-block reordering, so this shape is
+    /// never weak even under shared-space stress — the fenced twin that
+    /// pins the two-level hierarchy.
+    MpSharedFence,
+    /// [`Shape::SbShared`] with a block-level fence between each
+    /// thread's shared write and read — likewise never weak.
+    SbSharedFence,
+    /// Mixed-scope message passing: the *data* lives in shared memory,
+    /// the *flag* in global memory, all threads in one block. Weak via
+    /// either level of the hierarchy — the global flag store may bypass
+    /// the older shared data store under global stress, and the younger
+    /// shared data read may bypass the global flag read under shared
+    /// stress — which is exactly the gap between `membar.cta` and
+    /// `membar.gl` the paper probes.
+    MpMixed,
+    /// The ISA2 transitive chain with its first hop scoped: x and y in
+    /// shared memory, z in global, three warps of one block.
+    Isa2Scoped,
+    /// [`Shape::Wrc`] with a device fence between each two-access
+    /// thread's events: never weak.
+    WrcFences,
+    /// [`Shape::Isa2`] with device fences: never weak.
+    Isa2Fences,
+    /// [`Shape::Iriw`] with a device fence between each reader's two
+    /// loads: never weak.
+    IriwFences,
 }
 
 impl Shape {
     /// Every shape in the catalogue. The Fig. 2 trio stays at positions
     /// 0..3 (tuning seed formulas index into this array); new shapes are
     /// appended.
-    pub const ALL: [Shape; 20] = [
+    pub const ALL: [Shape; 27] = [
         Shape::Mp,
         Shape::Lb,
         Shape::Sb,
@@ -318,14 +376,31 @@ impl Shape {
         Shape::MpCas,
         Shape::TwoPlusTwoWExch,
         Shape::CoAdd,
+        Shape::MpSharedFence,
+        Shape::SbSharedFence,
+        Shape::MpMixed,
+        Shape::Isa2Scoped,
+        Shape::WrcFences,
+        Shape::Isa2Fences,
+        Shape::IriwFences,
     ];
 
     /// The paper's Fig. 2 trio — the shapes the tuning pipeline
     /// campaigns over.
     pub const TRIO: [Shape; 3] = [Shape::Mp, Shape::Lb, Shape::Sb];
 
-    /// The scoped (intra-block, shared-memory) shapes.
+    /// The scoped (intra-block, pure shared-memory) shapes.
     pub const SCOPED: [Shape; 3] = [Shape::MpShared, Shape::SbShared, Shape::CoRRShared];
+
+    /// The scoped shapes' block-fenced twins (never weak).
+    pub const SCOPED_FENCED: [Shape; 2] = [Shape::MpSharedFence, Shape::SbSharedFence];
+
+    /// The mixed-scope shapes: communication split across both memory
+    /// spaces within one block.
+    pub const MIXED: [Shape; 2] = [Shape::MpMixed, Shape::Isa2Scoped];
+
+    /// The device-fenced variants of the wider (3/4-thread) cycles.
+    pub const WIDE_FENCED: [Shape; 3] = [Shape::WrcFences, Shape::Isa2Fences, Shape::IriwFences];
 
     /// The atomic-RMW cycles.
     pub const RMW: [Shape; 3] = [Shape::MpCas, Shape::TwoPlusTwoWExch, Shape::CoAdd];
@@ -353,17 +428,37 @@ impl Shape {
             Shape::MpCas => "MP+CAS",
             Shape::TwoPlusTwoWExch => "2+2W.exch",
             Shape::CoAdd => "CoAdd",
+            Shape::MpSharedFence => "MP.shared+fence_block",
+            Shape::SbSharedFence => "SB.shared+fence_block",
+            Shape::MpMixed => "MP.mixed",
+            Shape::Isa2Scoped => "ISA2.scoped",
+            Shape::WrcFences => "WRC+fences",
+            Shape::Isa2Fences => "ISA2+fences",
+            Shape::IriwFences => "IRIW+fences",
         }
     }
 
-    /// Where this shape's threads sit: the scoped shapes run all threads
-    /// in one block ([`Placement::IntraBlock`]); everything else keeps
-    /// the classic one-block-per-thread layout.
+    /// Where this shape's threads sit: shapes with any shared-space
+    /// communication run all threads in one block
+    /// ([`Placement::IntraBlock`]); everything else keeps the classic
+    /// one-block-per-thread layout.
     pub fn placement(&self) -> Placement {
         match self {
-            Shape::MpShared | Shape::SbShared | Shape::CoRRShared => Placement::IntraBlock,
+            Shape::MpShared
+            | Shape::SbShared
+            | Shape::CoRRShared
+            | Shape::MpSharedFence
+            | Shape::SbSharedFence
+            | Shape::MpMixed
+            | Shape::Isa2Scoped => Placement::IntraBlock,
             _ => Placement::InterBlock,
         }
+    }
+
+    /// The distinct memory spaces the shape's events touch (see
+    /// [`TestEvents::spaces`]).
+    pub fn spaces(&self) -> Vec<Space> {
+        self.events().spaces()
     }
 
     /// The abstract event structure of the shape. Every outcome-relevant
@@ -474,6 +569,36 @@ impl Shape {
                     space: g,
                 }],
             ],
+            Shape::MpSharedFence => vec![
+                vec![w(x, 1, sh), Event::FenceBlock, w(y, 1, sh)],
+                vec![r(y, sh), Event::FenceBlock, r(x, sh)],
+            ],
+            Shape::SbSharedFence => vec![
+                vec![w(x, 1, sh), Event::FenceBlock, r(y, sh)],
+                vec![w(y, 1, sh), Event::FenceBlock, r(x, sh)],
+            ],
+            Shape::MpMixed => vec![vec![w(x, 1, sh), w(y, 1, g)], vec![r(y, g), r(x, sh)]],
+            Shape::Isa2Scoped => vec![
+                vec![w(x, 1, sh), w(y, 1, sh)],
+                vec![r(y, sh), w(z, 1, g)],
+                vec![r(z, g), r(x, sh)],
+            ],
+            Shape::WrcFences => vec![
+                vec![w(x, 1, g)],
+                vec![r(x, g), Event::Fence, w(y, 1, g)],
+                vec![r(y, g), Event::Fence, r(x, g)],
+            ],
+            Shape::Isa2Fences => vec![
+                vec![w(x, 1, g), Event::Fence, w(y, 1, g)],
+                vec![r(y, g), Event::Fence, w(z, 1, g)],
+                vec![r(z, g), Event::Fence, r(x, g)],
+            ],
+            Shape::IriwFences => vec![
+                vec![w(x, 1, g)],
+                vec![w(y, 1, g)],
+                vec![r(x, g), Event::Fence, r(y, g)],
+                vec![r(y, g), Event::Fence, r(x, g)],
+            ],
         };
         TestEvents {
             name: self.short().to_string(),
@@ -536,6 +661,78 @@ mod tests {
                 )
             });
             assert!(has_rmw, "{s} has no RMW event");
+        }
+    }
+
+    #[test]
+    fn catalogue_covers_the_scoped_relaxation_families() {
+        assert!(Shape::ALL.len() >= 26);
+        for s in Shape::SCOPED_FENCED {
+            assert!(Shape::ALL.contains(&s));
+            assert_eq!(s.placement(), Placement::IntraBlock, "{s}");
+            // A block fence per thread, and every located event shared.
+            let ev = s.events();
+            for t in &ev.threads {
+                assert_eq!(
+                    t.iter().filter(|e| **e == Event::FenceBlock).count(),
+                    1,
+                    "{s}"
+                );
+            }
+            assert_eq!(ev.spaces(), vec![Space::Shared], "{s}");
+        }
+        for s in Shape::MIXED {
+            assert!(Shape::ALL.contains(&s));
+            assert_eq!(s.placement(), Placement::IntraBlock, "{s}");
+            assert_eq!(s.spaces(), vec![Space::Global, Space::Shared], "{s}");
+        }
+        for s in Shape::WIDE_FENCED {
+            assert!(Shape::ALL.contains(&s));
+            assert_eq!(s.placement(), Placement::InterBlock, "{s}");
+            assert_eq!(s.spaces(), vec![Space::Global], "{s}");
+            assert!(
+                s.events()
+                    .threads
+                    .iter()
+                    .flatten()
+                    .any(|e| *e == Event::Fence),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn spaces_are_reported_per_shape() {
+        assert_eq!(Shape::Mp.spaces(), vec![Space::Global]);
+        assert_eq!(Shape::MpShared.spaces(), vec![Space::Shared]);
+        assert_eq!(Shape::MpMixed.spaces(), vec![Space::Global, Space::Shared]);
+        // The mixed shapes keep the location/space assignment coherent.
+        assert_eq!(Shape::MpMixed.events().space_of(0), Some(Space::Shared));
+        assert_eq!(Shape::MpMixed.events().space_of(1), Some(Space::Global));
+        assert_eq!(Shape::Isa2Scoped.events().space_of(2), Some(Space::Global));
+    }
+
+    #[test]
+    fn block_fenced_scoped_variants_mirror_their_unfenced_twins() {
+        for (fenced, base) in [
+            (Shape::MpSharedFence, Shape::MpShared),
+            (Shape::SbSharedFence, Shape::SbShared),
+        ] {
+            let fe = fenced.events();
+            let be = base.events();
+            assert_eq!(fe.num_locs(), be.num_locs(), "{fenced}");
+            assert_eq!(fe.num_reads(), be.num_reads(), "{fenced}");
+            assert_eq!(fe.observers(), be.observers(), "{fenced}");
+            for (ft, bt) in fe.threads.iter().zip(&be.threads) {
+                assert_eq!(ft.len(), bt.len() + 1, "{fenced}");
+                assert_eq!(ft[1], Event::FenceBlock, "{fenced}");
+                let unfenced: Vec<Event> = ft
+                    .iter()
+                    .copied()
+                    .filter(|e| *e != Event::FenceBlock)
+                    .collect();
+                assert_eq!(&unfenced, bt, "{fenced}");
+            }
         }
     }
 

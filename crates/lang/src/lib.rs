@@ -96,10 +96,7 @@ mod tests {
     use wmm_sim::exec::{Gpu, LaunchSpec};
 
     fn sc_chip() -> Chip {
-        let mut c = Chip::by_short("K20").unwrap();
-        c.reorder.base = [0.0; 4];
-        c.reorder.gain = [0.0; 4];
-        c
+        Chip::by_short("K20").unwrap().sequentially_consistent()
     }
 
     #[test]
@@ -229,7 +226,61 @@ mod tests {
 
     #[test]
     fn fences_compile_to_ir_fences() {
+        use wmm_sim::ir::{FenceLevel, Inst};
         let p = compile("kernel f { global[0] = 1; fence(); fence_block(); }").unwrap();
         assert_eq!(p.fence_count(), 2);
+        // The two statements lower to the two rungs of the hierarchy:
+        // fence() is the device fence, fence_block() the block fence.
+        let levels: Vec<FenceLevel> = p
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Fence(l) => Some(*l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(levels, vec![FenceLevel::Device, FenceLevel::Block]);
+    }
+
+    #[test]
+    fn scoped_litmus_source_with_block_fences_compiles_and_runs() {
+        // A fence_block-hardened scoped MP in the kernel language, run
+        // end to end: warp-0 lane 0 publishes through shared memory,
+        // warp-1 lane 0 reads back; the block fences order the shared
+        // accesses, so on an SC chip the result is whatever interleaving
+        // produced — never the forbidden (1, 0).
+        let p = compile(
+            r#"
+            kernel scoped_mp {
+                if tid() % 32 == 0 {
+                    if tid() / 32 == 0 {
+                        shared[0] = 1;
+                        fence_block();
+                        shared[8] = 1;
+                    }
+                    if tid() / 32 == 1 {
+                        var r0 = shared[8];
+                        fence_block();
+                        var r1 = shared[0];
+                        global[0] = r0;
+                        global[1] = r1;
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut gpu = Gpu::new(Chip::by_short("Titan").unwrap());
+        let mut spec = LaunchSpec::app(p, 1, 64, 8);
+        spec.shared_words = 16;
+        for seed in 0..40 {
+            let r = gpu.run(&spec, seed);
+            assert!(r.status.is_completed());
+            assert_ne!(
+                (r.word(0), r.word(1)),
+                (1, 0),
+                "seed {seed}: block fences must forbid the scoped MP weak outcome"
+            );
+        }
     }
 }

@@ -283,6 +283,42 @@ impl LitmusInstance {
         !self.allowed.contains(obs)
     }
 
+    /// A copy of this instance whose kernel's idle lanes hammer a
+    /// `words`-word shared scratchpad for `iters` iterations — the
+    /// intra-block analogue of launching global stressing blocks. Shared
+    /// memory is unreachable from other blocks, so shared-space stress
+    /// must ride inside the test's own block: the emitted intra-block
+    /// kernels activate only lane 0 of each warp, and this derivation
+    /// (via [`wmm_sim::ir::transform::with_lane_shared_stress`]) turns
+    /// the remaining 31 lanes per warp into stressing threads. The
+    /// scratchpad starts past the instance's own shared locations, so
+    /// outcomes can shift only through contention, never through data
+    /// interference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inter-block instance: its non-zero lanes idle in
+    /// *separate* blocks, whose shared traffic cannot pressure anything
+    /// the test observes.
+    pub fn with_shared_stress(&self, words: u32, iters: u32) -> LitmusInstance {
+        assert_eq!(
+            self.placement,
+            Placement::IntraBlock,
+            "shared-space stress requires an intra-block instance"
+        );
+        let program = wmm_sim::ir::transform::with_lane_shared_stress(
+            &self.program,
+            self.shared_words,
+            words,
+            iters,
+        );
+        LitmusInstance {
+            program: Arc::new(program),
+            shared_words: self.shared_words + words.max(1),
+            ..self.clone()
+        }
+    }
+
     /// Labels for the outcome vector entries, observer order.
     pub fn labels(&self) -> Vec<String> {
         self.observers.iter().map(Observer::label).collect()

@@ -128,8 +128,28 @@ pub struct Chip {
     pub drain_q: f64,
 
     // -- reordering -------------------------------------------------------
-    /// Base and stress-amplified reorder probabilities.
+    /// Base and stress-amplified reorder probabilities for global-space
+    /// accesses.
     pub reorder: ReorderRates,
+    /// Base and stress-amplified reorder probabilities for *shared-space*
+    /// accesses — the second level of the scope hierarchy. Shared memory
+    /// is per-block, so its contention factor comes from the block's own
+    /// shared-memory traffic (see `exec`), not from the global channel
+    /// trackers. All-zero rates mean the chip's shared memory is strongly
+    /// ordered and shared accesses complete immediately, exactly as they
+    /// did before the scoped relaxation engine existed.
+    pub shared_reorder: ReorderRates,
+    /// Half-saturation constant of the per-block shared-memory pressure
+    /// (the shared analogue of [`Chip::pressure_half`], much smaller
+    /// because a single block's scratchpad traffic is far lighter than a
+    /// memory channel's).
+    pub shared_pressure_half: f64,
+    /// Raw per-block shared pressure below which the shared contention
+    /// factor is exactly zero. A scoped litmus test's own handful of
+    /// accesses can never reach the floor, so without dedicated
+    /// shared-space stressing the shared χ is identically zero and
+    /// (with zero shared base rates) scoped shapes cannot go weak.
+    pub shared_pressure_floor: f64,
     /// Weight of the access-sequence resonance (signature cosine) in chi.
     pub k_resonance: f64,
     /// Constant mix-gated term in chi.
@@ -222,6 +242,37 @@ impl Chip {
     pub fn paper_tuning(&self) -> (u32, AccessSeq, u32) {
         (self.patch_words, self.preferred_seq.clone(), 2)
     }
+
+    /// True if this chip's shared memory is weakly ordered: any nonzero
+    /// shared-space reorder rate routes shared accesses through the
+    /// in-flight window. When false, shared accesses complete immediately
+    /// (the pre-scoped-engine behaviour, bit for bit).
+    pub fn shared_weak(&self) -> bool {
+        self.shared_reorder
+            .base
+            .iter()
+            .chain(self.shared_reorder.gain.iter())
+            .any(|&r| r > 0.0)
+    }
+
+    /// This chip with every weak-memory knob zeroed: global *and*
+    /// shared-space reorder matrices, plus the 980's ambient-MP quirk.
+    /// Under the resulting profile the simulator is sequentially
+    /// consistent in both memory spaces — the canonical way to build an
+    /// SC control chip (hand-zeroing only `reorder` would leave the
+    /// shared-space matrix live).
+    pub fn sequentially_consistent(mut self) -> Chip {
+        self.reorder = ReorderRates {
+            base: [0.0; 4],
+            gain: [0.0; 4],
+        };
+        self.shared_reorder = ReorderRates {
+            base: [0.0; 4],
+            gain: [0.0; 4],
+        };
+        self.ambient_mp = 0.0;
+        self
+    }
 }
 
 fn seq(s: &str) -> AccessSeq {
@@ -263,6 +314,15 @@ fn base_chip(
             base: [3e-5, 2e-5, 6e-5, 1.5e-5],
             gain: [0.60, 0.48, 0.68, 0.40],
         },
+        // Shared-space relaxation: zero base rates (a quiescent block's
+        // scratchpad never reorders on its own) with stress gains below
+        // the global ones — intra-block forwarding paths are shorter.
+        shared_reorder: ReorderRates {
+            base: [0.0; 4],
+            gain: [0.50, 0.40, 0.55, 0.32],
+        },
+        shared_pressure_half: 48.0,
+        shared_pressure_floor: 24.0,
         k_resonance: 0.80,
         k_const: 0.12,
         k_read: [0.00, 0.10, 0.08, 0.03],
@@ -291,6 +351,7 @@ fn gtx_980() -> Chip {
     c.gate_exp = 2.8; // sharp spread peak (Fig. 4, left)
     c.reorder.base = [1.2e-5, 1.0e-5, 3e-5, 1.2e-5];
     c.reorder.gain = [0.40, 0.30, 0.50, 0.44];
+    c.shared_reorder.gain = [0.34, 0.28, 0.38, 0.26]; // Maxwell's tighter SMEM pipe
     c.ambient_mp = 6e-4;
     c.mp_min_dist_words = 256;
     c.lb_broadband = Some((64, 128));
@@ -346,8 +407,10 @@ fn gtx_770() -> Chip {
 
 fn c2075() -> Chip {
     let mut c = base_chip("Tesla C2075", "C2075", Arch::Fermi, 2011, 64, "ld st");
-    // Fermi: native ls-bh errors observed (Tab. 5); fences very costly.
+    // Fermi: native ls-bh errors observed (Tab. 5); fences very costly;
+    // the oldest shared-memory datapath relaxes the most under pressure.
     c.reorder.base = [2e-4, 5e-5, 2e-4, 2.5e-5];
+    c.shared_reorder.gain = [0.58, 0.46, 0.64, 0.38];
     c.fence_stall = 60;
     c.clock_ghz = 0.57;
     c.power_watts = 225.0;
@@ -358,6 +421,7 @@ fn c2075() -> Chip {
 fn c2050() -> Chip {
     let mut c = base_chip("Tesla C2050", "C2050", Arch::Fermi, 2010, 64, "ld st");
     c.reorder.base = [1.2e-4, 4e-5, 1.5e-4, 2e-5];
+    c.shared_reorder.gain = [0.58, 0.46, 0.64, 0.38];
     c.fence_stall = 60;
     c.clock_ghz = 0.57;
     c.power_watts = 238.0;
@@ -452,6 +516,40 @@ mod tests {
     #[test]
     fn by_short_unknown_is_none() {
         assert!(Chip::by_short("H100").is_none());
+    }
+
+    #[test]
+    fn every_chip_relaxes_shared_memory_under_stress_only() {
+        // Per-space matrix: every profile has zero shared base rates
+        // (quiescent shared memory is strongly ordered) but nonzero
+        // shared stress gains, so shared weakness is stress-provoked.
+        for c in Chip::all() {
+            assert!(c.shared_weak(), "{}", c.short);
+            assert_eq!(c.shared_reorder.base, [0.0; 4], "{}", c.short);
+            assert!(
+                c.shared_reorder.gain.iter().all(|&g| g > 0.0),
+                "{}",
+                c.short
+            );
+            // Intra-block forwarding is shorter than the global path.
+            for (s, g) in c.shared_reorder.gain.iter().zip(c.reorder.gain.iter()) {
+                assert!(s < g, "{}: shared gain {s} >= global gain {g}", c.short);
+            }
+            assert!(c.shared_pressure_floor > 0.0, "{}", c.short);
+        }
+    }
+
+    #[test]
+    fn sequentially_consistent_zeroes_both_spaces() {
+        for c in Chip::all() {
+            let sc = c.sequentially_consistent();
+            assert_eq!(sc.reorder.base, [0.0; 4], "{}", sc.short);
+            assert_eq!(sc.reorder.gain, [0.0; 4], "{}", sc.short);
+            assert_eq!(sc.shared_reorder.base, [0.0; 4], "{}", sc.short);
+            assert_eq!(sc.shared_reorder.gain, [0.0; 4], "{}", sc.short);
+            assert_eq!(sc.ambient_mp, 0.0, "{}", sc.short);
+            assert!(!sc.shared_weak(), "{}", sc.short);
+        }
     }
 
     #[test]

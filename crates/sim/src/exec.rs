@@ -8,15 +8,35 @@
 //! excess blocks queued in launch waves.
 //!
 //! Weak memory behaviour comes from the per-thread **in-flight window**:
-//! global-memory operations *issue* in program order but *complete* (become
-//! globally visible) possibly out of order. A younger operation may bypass
-//! older ones only if it targets a different line (critical patch) than
-//! every operation it passes and no fence intervenes; the probability of a
-//! bypass is the chip's base rate for that [`ReorderKind`] amplified by
-//! channel contention (see [`crate::mem`]). Atomics are globally atomic at
-//! completion but do **not** order other accesses — the pre-Volta NVIDIA
-//! behaviour that makes spinlock idioms without fences incorrect, which is
-//! precisely what the paper's case studies exercise.
+//! memory operations *issue* in program order but *complete* (become
+//! visible) possibly out of order. A younger operation may bypass older
+//! ones only if it targets a different line (critical patch) than every
+//! same-space operation it passes and no fence in its scope intervenes;
+//! the probability of a bypass is the chip's base rate for that
+//! [`ReorderKind`] amplified by contention. The window is **scoped**, the
+//! paper's central axis:
+//!
+//! * *Global-space* operations always enter the window; their contention
+//!   factor comes from the per-channel trackers in [`crate::mem`].
+//! * *Shared-space* operations enter the window only on chips whose
+//!   shared-space reorder matrix ([`Chip::shared_reorder`]) is nonzero;
+//!   their contention factor comes from the owning **block's** shared
+//!   traffic tracker (shared memory is per-block, so only block-mates can
+//!   pressure it). With all-zero shared rates they complete immediately —
+//!   the pre-scoped behaviour, bit for bit.
+//! * Operations in *different* spaces travel different datapaths and may
+//!   complete out of order with each other (subject to fences), which is
+//!   what makes mixed-scope litmus shapes observable.
+//!
+//! The fence hierarchy is two-level, mirroring `membar.cta`/`membar.gl`:
+//! a **device** fence ([`FenceLevel::Device`]) orders everything in the
+//! window, while a **block** fence ([`FenceLevel::Block`]) orders only the
+//! thread's shared-space operations (the simulator models global
+//! visibility device-wide, so the cheaper fence buys only intra-block
+//! ordering — exactly the gap the paper's scoped tests probe). Atomics
+//! are atomic at completion but do **not** order other accesses — the
+//! pre-Volta NVIDIA behaviour that makes spinlock idioms without fences
+//! incorrect, which is precisely what the paper's case studies exercise.
 
 use crate::chip::{Chip, ReorderKind};
 use crate::ir::{BinOp, FenceLevel, Inst, Program, Reg, Space, SpecialReg};
@@ -196,7 +216,12 @@ enum SlotKind {
     Cas,
     Exch,
     Add,
+    /// Device-level fence: nothing bypasses it.
     Fence,
+    /// Block-level fence: only shared-space operations are held by it;
+    /// global operations pass it freely (its visibility guarantee is
+    /// intra-block only).
+    FenceBlock,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -204,6 +229,9 @@ struct Slot {
     kind: SlotKind,
     /// Stores and atomics classify as "store-class" for reorder kinds.
     store_class: bool,
+    /// The memory space the operation targets; same-line ordering and
+    /// block-fence scoping apply per space.
+    space: Space,
     addr: u32,
     line: u32,
     v1: Word,
@@ -218,6 +246,7 @@ impl Default for Slot {
         Slot {
             kind: SlotKind::Fence,
             store_class: false,
+            space: Space::Global,
             addr: 0,
             line: 0,
             v1: 0,
@@ -267,6 +296,56 @@ struct BlockState {
     alive: u32,
     waiting: u32,
     retired: bool,
+    /// Decaying read/write pressure on this block's shared memory — the
+    /// per-block analogue of a channel tracker, feeding the shared-space
+    /// contention factor χ. Only updated on chips with a live shared
+    /// reorder matrix.
+    sh_r: f64,
+    sh_w: f64,
+    sh_turn: u64,
+}
+
+impl BlockState {
+    #[inline]
+    fn decay_shared(&mut self, chip: &Chip, turn: u64) {
+        if turn > self.sh_turn {
+            let f = (-((turn - self.sh_turn) as f64) / chip.pressure_tau).exp();
+            self.sh_r *= f;
+            self.sh_w *= f;
+            self.sh_turn = turn;
+        }
+    }
+
+    /// Record a shared-space access issue (atomics count as both).
+    #[inline]
+    fn note_shared(&mut self, chip: &Chip, reads: bool, writes: bool, turn: u64) {
+        self.decay_shared(chip, turn);
+        if reads {
+            self.sh_r += 1.0;
+        }
+        if writes {
+            self.sh_w += 1.0;
+        }
+    }
+
+    /// The shared-space contention factor χ ∈ [0, 1] for this block:
+    /// zero below the pressure floor (a litmus test's own few accesses
+    /// cannot self-provoke), then a saturating geometric mix of read and
+    /// write pressure — like the channel gate, both kinds must be
+    /// present for the scratchpad traffic to count as contention.
+    fn shared_chi(&mut self, chip: &Chip, turn: u64) -> f64 {
+        self.decay_shared(chip, turn);
+        if self.sh_r + self.sh_w < chip.shared_pressure_floor {
+            return 0.0;
+        }
+        let half = chip.shared_pressure_half;
+        let rhat = self.sh_r / (self.sh_r + half);
+        let what = self.sh_w / (self.sh_w + half);
+        if rhat <= 0.0 || what <= 0.0 {
+            return 0.0;
+        }
+        (rhat * what).sqrt().clamp(0.0, 1.0)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -336,6 +415,9 @@ struct Run<'a> {
     bid_maps: Vec<Vec<u32>>,
     resident_threads: u32,
     app_blocks_left: u32,
+    /// Whether this chip routes shared-space accesses through the
+    /// in-flight window (any nonzero shared reorder rate).
+    shared_weak: bool,
     rng: SmallRng,
     turn: u64,
     instructions: u64,
@@ -401,6 +483,7 @@ impl<'a> Run<'a> {
             bid_maps,
             resident_threads: 0,
             app_blocks_left,
+            shared_weak: chip.shared_weak(),
             rng,
             turn: 0,
             instructions: 0,
@@ -570,6 +653,9 @@ impl<'a> Run<'a> {
             alive: tpb,
             waiting: 0,
             retired: false,
+            sh_r: 0.0,
+            sh_w: 0.0,
+            sh_turn: 0,
         });
         let mut i = t0;
         while i < t0 + tpb {
@@ -668,20 +754,64 @@ impl<'a> Run<'a> {
     // -- window drain ------------------------------------------------------
 
     /// True if window slot `j` may complete before every older in-flight
-    /// op: no fence in the way and no same-line older op.
+    /// op: no fence of its scope in the way and no same-space same-line
+    /// older op. A device fence holds everything; a block fence holds
+    /// only shared-space operations (its visibility guarantee is
+    /// intra-block, and global completion is modelled device-wide).
     fn can_bypass(&self, t: u32, j: usize) -> bool {
         let th = &self.threads[t as usize];
         let sj = th.win[j];
-        if sj.kind == SlotKind::Fence {
+        if matches!(sj.kind, SlotKind::Fence | SlotKind::FenceBlock) {
             return false;
         }
         for i in 0..j {
             let si = th.win[i];
-            if si.kind == SlotKind::Fence || si.line == sj.line {
-                return false;
+            match si.kind {
+                SlotKind::Fence => return false,
+                SlotKind::FenceBlock => {
+                    if sj.space == Space::Shared {
+                        return false;
+                    }
+                }
+                _ => {
+                    if si.space == sj.space && si.line == sj.line {
+                        return false;
+                    }
+                }
             }
         }
         true
+    }
+
+    /// The probability that window slot `sj` (younger) completes before
+    /// `head` (older). The younger operation's space selects the reorder
+    /// matrix and contention source: global bypasses are driven by the
+    /// channel trackers, shared bypasses by the owning block's shared
+    /// traffic. When the head is in the other space — or is a fence the
+    /// candidate may legitimately pass (a global op passing a block
+    /// fence) — the two sides travel different datapaths, so only the
+    /// younger side's address feeds its contention lookup.
+    fn bypass_prob(&mut self, t: u32, head: Slot, sj: Slot) -> f64 {
+        let kind = classify(head.store_class, sj.store_class);
+        let head_is_fence = matches!(head.kind, SlotKind::Fence | SlotKind::FenceBlock);
+        match sj.space {
+            Space::Global => {
+                let addr_old = if head.space == Space::Global && !head_is_fence {
+                    head.addr
+                } else {
+                    sj.addr
+                };
+                self.mem
+                    .reorder_prob(self.chip, kind, addr_old, sj.addr, self.turn)
+            }
+            Space::Shared => {
+                let chip = self.chip;
+                let b = self.threads[t as usize].block as usize;
+                let chi = self.blocks[b].shared_chi(chip, self.turn);
+                let k = kind.idx();
+                (chip.shared_reorder.base[k] + chip.shared_reorder.gain[k] * chi).clamp(0.0, 0.95)
+            }
+        }
     }
 
     /// Drain while the thread is stalled on a register produced by the
@@ -701,10 +831,7 @@ impl<'a> Run<'a> {
             if j > 0 && self.can_bypass(t, j) {
                 let head = self.threads[t as usize].win[0];
                 let sj = self.threads[t as usize].win[j];
-                let kind = classify(head.store_class, sj.store_class);
-                let p = self
-                    .mem
-                    .reorder_prob(self.chip, kind, head.addr, sj.addr, self.turn);
+                let p = self.bypass_prob(t, head, sj);
                 if self.rng.gen::<f64>() < p {
                     for i in 0..j {
                         self.threads[t as usize].win[i].stall += BYPASS_DELAY_TURNS;
@@ -740,10 +867,7 @@ impl<'a> Run<'a> {
             if let Some(j) = (1..len.min(4)).find(|&j| self.can_bypass(t, j)) {
                 let head = self.threads[t as usize].win[0];
                 let sj = self.threads[t as usize].win[j];
-                let kind = classify(head.store_class, sj.store_class);
-                let p = self
-                    .mem
-                    .reorder_prob(self.chip, kind, head.addr, sj.addr, self.turn);
+                let p = self.bypass_prob(t, head, sj);
                 if self.rng.gen::<f64>() < p {
                     // The bypassed-over operations are the ones the
                     // congested memory system is sitting on: delay them,
@@ -771,28 +895,59 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// Complete (make globally visible) the window slot at `j`, shifting
-    /// younger entries down.
+    /// Complete (make visible in its space) the window slot at `j`,
+    /// shifting younger entries down. Shared-space slots land in the
+    /// owning block's shared array (bounds were checked at issue).
     fn complete_slot(&mut self, t: u32, j: usize) {
         let slot = self.threads[t as usize].win[j];
-        let result: Result<Option<Word>, OobError> = match slot.kind {
-            SlotKind::Fence => Ok(None),
-            SlotKind::Load => self.mem.read(slot.addr).map(Some),
-            SlotKind::Store => self.mem.write(slot.addr, slot.v1).map(|_| None),
-            SlotKind::Cas => self.mem.read(slot.addr).and_then(|old| {
-                if old == slot.v1 {
-                    self.mem.write(slot.addr, slot.v2)?;
+        let result: Result<Option<Word>, OobError> = if slot.space == Space::Shared
+            && !matches!(slot.kind, SlotKind::Fence | SlotKind::FenceBlock)
+        {
+            self.shared_index(t, slot.addr).map(|i| match slot.kind {
+                SlotKind::Load => Some(self.shared[i]),
+                SlotKind::Store => {
+                    self.shared[i] = slot.v1;
+                    None
                 }
-                Ok(Some(old))
-            }),
-            SlotKind::Exch => self.mem.read(slot.addr).and_then(|old| {
-                self.mem.write(slot.addr, slot.v1)?;
-                Ok(Some(old))
-            }),
-            SlotKind::Add => self.mem.read(slot.addr).and_then(|old| {
-                self.mem.write(slot.addr, old.wrapping_add(slot.v1))?;
-                Ok(Some(old))
-            }),
+                SlotKind::Cas => {
+                    let old = self.shared[i];
+                    if old == slot.v1 {
+                        self.shared[i] = slot.v2;
+                    }
+                    Some(old)
+                }
+                SlotKind::Exch => {
+                    let old = self.shared[i];
+                    self.shared[i] = slot.v1;
+                    Some(old)
+                }
+                SlotKind::Add => {
+                    let old = self.shared[i];
+                    self.shared[i] = old.wrapping_add(slot.v1);
+                    Some(old)
+                }
+                SlotKind::Fence | SlotKind::FenceBlock => unreachable!("guarded above"),
+            })
+        } else {
+            match slot.kind {
+                SlotKind::Fence | SlotKind::FenceBlock => Ok(None),
+                SlotKind::Load => self.mem.read(slot.addr).map(Some),
+                SlotKind::Store => self.mem.write(slot.addr, slot.v1).map(|_| None),
+                SlotKind::Cas => self.mem.read(slot.addr).and_then(|old| {
+                    if old == slot.v1 {
+                        self.mem.write(slot.addr, slot.v2)?;
+                    }
+                    Ok(Some(old))
+                }),
+                SlotKind::Exch => self.mem.read(slot.addr).and_then(|old| {
+                    self.mem.write(slot.addr, slot.v1)?;
+                    Ok(Some(old))
+                }),
+                SlotKind::Add => self.mem.read(slot.addr).and_then(|old| {
+                    self.mem.write(slot.addr, old.wrapping_add(slot.v1))?;
+                    Ok(Some(old))
+                }),
+            }
         };
         match result {
             Err(e) => {
@@ -914,6 +1069,14 @@ impl<'a> Run<'a> {
         Ok((self.blocks[b].shared_at + addr) as usize)
     }
 
+    /// Record a shared-space access issue on the owning block's traffic
+    /// tracker (the feed of the shared contention factor χ).
+    fn note_shared_issue(&mut self, t: u32, reads: bool, writes: bool) {
+        let chip = self.chip;
+        let b = self.threads[t as usize].block as usize;
+        self.blocks[b].note_shared(chip, reads, writes, self.turn);
+    }
+
     fn fresh_op_id(&mut self) -> u32 {
         let id = self.next_op_id;
         self.next_op_id += 1;
@@ -993,21 +1156,46 @@ impl<'a> Run<'a> {
                 }
                 let a = self.read_reg(t, addr);
                 match space {
-                    Space::Shared => match self.shared_index(t, a) {
-                        Ok(i) => {
+                    Space::Shared => {
+                        let i = match self.shared_index(t, a) {
+                            Ok(i) => i,
+                            Err(e) => {
+                                self.status = Some(RunStatus::OutOfBounds(e));
+                                return;
+                            }
+                        };
+                        if self.shared_weak {
+                            let id = self.fresh_op_id();
+                            let slot = Slot {
+                                kind: SlotKind::Load,
+                                store_class: false,
+                                space: Space::Shared,
+                                addr: a,
+                                line: self.chip.line_of(a),
+                                v1: 0,
+                                v2: 0,
+                                dst,
+                                id,
+                                stall: 0,
+                            };
+                            if !self.push_slot(t, slot) {
+                                return;
+                            }
+                            let th = &self.threads[t as usize];
+                            let idx = (th.regs_at + dst as u32) as usize;
+                            self.pending[idx] = id;
+                            self.note_shared_issue(t, true, false);
+                        } else {
                             let v = self.shared[i];
                             self.write_reg(t, dst, v);
                         }
-                        Err(e) => {
-                            self.status = Some(RunStatus::OutOfBounds(e));
-                            return;
-                        }
-                    },
+                    }
                     Space::Global => {
                         let id = self.fresh_op_id();
                         let slot = Slot {
                             kind: SlotKind::Load,
                             store_class: false,
+                            space: Space::Global,
                             addr: a,
                             line: self.chip.line_of(a),
                             v1: 0,
@@ -1033,18 +1221,42 @@ impl<'a> Run<'a> {
                 let a = self.read_reg(t, addr);
                 let v = self.read_reg(t, src);
                 match space {
-                    Space::Shared => match self.shared_index(t, a) {
-                        Ok(i) => self.shared[i] = v,
-                        Err(e) => {
-                            self.status = Some(RunStatus::OutOfBounds(e));
-                            return;
+                    Space::Shared => {
+                        let i = match self.shared_index(t, a) {
+                            Ok(i) => i,
+                            Err(e) => {
+                                self.status = Some(RunStatus::OutOfBounds(e));
+                                return;
+                            }
+                        };
+                        if self.shared_weak {
+                            let id = self.fresh_op_id();
+                            let slot = Slot {
+                                kind: SlotKind::Store,
+                                store_class: true,
+                                space: Space::Shared,
+                                addr: a,
+                                line: self.chip.line_of(a),
+                                v1: v,
+                                v2: 0,
+                                dst: 0,
+                                id,
+                                stall: 0,
+                            };
+                            if !self.push_slot(t, slot) {
+                                return;
+                            }
+                            self.note_shared_issue(t, false, true);
+                        } else {
+                            self.shared[i] = v;
                         }
-                    },
+                    }
                     Space::Global => {
                         let id = self.fresh_op_id();
                         let slot = Slot {
                             kind: SlotKind::Store,
                             store_class: true,
+                            space: Space::Global,
                             addr: a,
                             line: self.chip.line_of(a),
                             v1: v,
@@ -1108,14 +1320,15 @@ impl<'a> Run<'a> {
                 }
             }
             Inst::Fence(level) => {
-                let stall = match level {
-                    FenceLevel::Device => self.chip.fence_stall,
-                    FenceLevel::Block => self.chip.block_fence_stall,
+                let (kind, stall) = match level {
+                    FenceLevel::Device => (SlotKind::Fence, self.chip.fence_stall),
+                    FenceLevel::Block => (SlotKind::FenceBlock, self.chip.block_fence_stall),
                 };
                 let id = self.fresh_op_id();
                 let slot = Slot {
-                    kind: SlotKind::Fence,
+                    kind,
                     store_class: false,
+                    space: Space::Global,
                     addr: 0,
                     line: u32::MAX,
                     v1: 0,
@@ -1169,8 +1382,12 @@ impl<'a> Run<'a> {
         self.instructions += 1;
     }
 
-    /// Issue an atomic. Shared-space atomics complete immediately (shared
-    /// memory is strongly ordered here); global atomics enter the window.
+    /// Issue an atomic. Global atomics enter the window; shared-space
+    /// atomics do too on chips with a live shared reorder matrix (they
+    /// stay indivisible — the read-modify-write happens in one completion
+    /// step — but, like global atomics, do not order *other* accesses).
+    /// With all-zero shared rates they complete immediately, the legacy
+    /// strongly-ordered behaviour.
     #[allow(clippy::too_many_arguments)]
     fn issue_atomic(
         &mut self,
@@ -1191,6 +1408,29 @@ impl<'a> Run<'a> {
                         return false;
                     }
                 };
+                if self.shared_weak {
+                    let id = self.fresh_op_id();
+                    let slot = Slot {
+                        kind,
+                        store_class: true,
+                        space: Space::Shared,
+                        addr,
+                        line: self.chip.line_of(addr),
+                        v1,
+                        v2,
+                        dst,
+                        id,
+                        stall: 0,
+                    };
+                    if !self.push_slot(t, slot) {
+                        return false;
+                    }
+                    let th = &self.threads[t as usize];
+                    let idx = (th.regs_at + dst as u32) as usize;
+                    self.pending[idx] = id;
+                    self.note_shared_issue(t, true, true);
+                    return true;
+                }
                 let old = self.shared[i];
                 match kind {
                     SlotKind::Cas => {
@@ -1210,6 +1450,7 @@ impl<'a> Run<'a> {
                 let slot = Slot {
                     kind,
                     store_class: true,
+                    space: Space::Global,
                     addr,
                     line: self.chip.line_of(addr),
                     v1,
@@ -1286,14 +1527,10 @@ mod tests {
     use crate::chip::Chip;
     use crate::ir::builder::KernelBuilder;
 
-    /// A chip with all weak behaviour disabled: the simulator is
-    /// sequentially consistent under this profile.
+    /// A chip with all weak behaviour disabled — in both memory spaces —
+    /// so the simulator is sequentially consistent under this profile.
     fn sc_chip() -> Chip {
-        let mut c = Chip::by_short("K20").unwrap();
-        c.reorder.base = [0.0; 4];
-        c.reorder.gain = [0.0; 4];
-        c.ambient_mp = 0.0;
-        c
+        Chip::by_short("K20").unwrap().sequentially_consistent()
     }
 
     fn run_simple(program: Program, blocks: u32, tpb: u32, words: u32, seed: u64) -> RunResult {
@@ -1679,6 +1916,235 @@ mod tests {
         }
         fn b_stress_addr() -> u32 {
             512
+        }
+    }
+
+    /// A scoped MP kernel: lane 0 of warp 0 writes shared x then y
+    /// (optionally fenced between), lane 0 of warp 1 reads y then x into
+    /// global results, and every other lane hammers a shared scratchpad
+    /// region with loads and stores — the intra-block pressure that feeds
+    /// the shared contention factor.
+    fn scoped_mp_kernel(fence: Option<FenceLevel>) -> Program {
+        let mut b = KernelBuilder::new("scoped-mp");
+        let lane = b.lane();
+        let zero = b.const_(0);
+        let is_lane0 = b.eq(lane, zero);
+        b.if_else(
+            is_lane0,
+            |b| {
+                let tid = b.tid();
+                let warp = b.const_(32);
+                let me = b.div_u(tid, warp);
+                let zero = b.const_(0);
+                let one = b.const_(1);
+                let is_writer = b.eq(me, zero);
+                let x = b.const_(0);
+                let y = b.const_(64);
+                let emit_fence = |b: &mut KernelBuilder| match fence {
+                    Some(FenceLevel::Block) => b.fence_block(),
+                    Some(FenceLevel::Device) => b.fence_device(),
+                    None => {}
+                };
+                b.if_else(
+                    is_writer,
+                    |b| {
+                        b.store_shared(x, one);
+                        emit_fence(b);
+                        b.store_shared(y, one);
+                    },
+                    |b| {
+                        let r0 = b.load_shared(y);
+                        emit_fence(b);
+                        let r1 = b.load_shared(x);
+                        let res0 = b.const_(0);
+                        let res1 = b.const_(1);
+                        b.store_global(res0, r0);
+                        b.store_global(res1, r1);
+                    },
+                );
+            },
+            |b| {
+                let tid = b.tid();
+                let base = b.const_(128);
+                let m = b.const_(64);
+                let off = b.rem_u(tid, m);
+                let addr = b.add(base, off);
+                let i = b.reg();
+                b.assign_const(i, 0);
+                let n = b.const_(60);
+                let one = b.const_(1);
+                b.while_(
+                    |b| b.lt_u(i, n),
+                    |b| {
+                        let v = b.load_shared(addr);
+                        b.store_shared(addr, v);
+                        b.bin_into(i, BinOp::Add, i, one);
+                    },
+                );
+            },
+        );
+        b.finish().unwrap()
+    }
+
+    fn scoped_mp_weak_count(chip: Chip, fence: Option<FenceLevel>, seeds: u64) -> u32 {
+        let p = scoped_mp_kernel(fence);
+        let mut gpu = Gpu::new(chip);
+        let mut spec = LaunchSpec::app(p, 1, 64, 16);
+        spec.shared_words = 192;
+        let mut weak = 0;
+        for seed in 0..seeds {
+            let r = gpu.run(&spec, seed);
+            assert!(r.status.is_completed(), "seed {seed}: {:?}", r.status);
+            if (r.word(0), r.word(1)) == (1, 0) {
+                weak += 1;
+            }
+        }
+        weak
+    }
+
+    #[test]
+    fn shared_stores_reorder_under_intra_block_pressure() {
+        // With the block's idle lanes hammering the shared scratchpad,
+        // the scoped relaxation engine makes the writer's shared stores
+        // complete out of order often enough for the reader to observe
+        // flag-without-data.
+        let weak = scoped_mp_weak_count(Chip::by_short("Titan").unwrap(), None, 200);
+        assert!(weak > 0, "scoped MP never went weak under shared pressure");
+    }
+
+    #[test]
+    fn block_fence_orders_shared_space() {
+        // The same kernel with a __threadfence_block between each test
+        // thread's shared accesses: the cheap fence is enough to forbid
+        // the intra-block reordering entirely.
+        let weak = scoped_mp_weak_count(
+            Chip::by_short("Titan").unwrap(),
+            Some(FenceLevel::Block),
+            200,
+        );
+        assert_eq!(weak, 0, "fence_block must order shared-space accesses");
+        // ...and so is the stronger device fence.
+        let weak = scoped_mp_weak_count(
+            Chip::by_short("Titan").unwrap(),
+            Some(FenceLevel::Device),
+            200,
+        );
+        assert_eq!(weak, 0);
+    }
+
+    #[test]
+    fn sc_chip_keeps_shared_memory_strongly_ordered() {
+        // sequentially_consistent() zeroes the shared-space matrix too:
+        // the very kernel that goes weak on the Titan never does here.
+        let weak = scoped_mp_weak_count(sc_chip(), None, 200);
+        assert_eq!(weak, 0, "SC chip exhibited scoped weak behaviour");
+    }
+
+    #[test]
+    fn zeroed_shared_rates_complete_immediately() {
+        // With the shared matrix zeroed, shared accesses take the legacy
+        // immediate path: a shared store is visible to a block-mate the
+        // turn it issues, with no in-flight delay and no bypasses.
+        let mut chip = Chip::by_short("Titan").unwrap();
+        chip.shared_reorder.base = [0.0; 4];
+        chip.shared_reorder.gain = [0.0; 4];
+        assert!(!chip.shared_weak());
+        let weak = scoped_mp_weak_count(chip, None, 120);
+        assert_eq!(weak, 0);
+    }
+
+    #[test]
+    fn block_fence_is_transparent_to_global_accesses() {
+        // Two-level hierarchy: on a chip with extreme global reorder
+        // rates, a block fence between two global stores does *not*
+        // prevent the device-wide inversion — only a device fence does.
+        fn kernel(level: FenceLevel) -> Program {
+            let mut b = KernelBuilder::new("global-mp");
+            let tid = b.tid();
+            let zero = b.const_(0);
+            let is0 = b.eq(tid, zero);
+            b.if_(is0, |b| {
+                let bid = b.bid();
+                let zero = b.const_(0);
+                let one = b.const_(1);
+                let x = b.const_(0);
+                let y = b.const_(64);
+                let is_writer = b.eq(bid, zero);
+                fn emit(b: &mut KernelBuilder, level: FenceLevel) {
+                    match level {
+                        FenceLevel::Block => b.fence_block(),
+                        FenceLevel::Device => b.fence_device(),
+                    }
+                }
+                b.if_else(
+                    is_writer,
+                    |b| {
+                        b.store_global(x, one);
+                        emit(b, level);
+                        b.store_global(y, one);
+                    },
+                    |b| {
+                        let r0 = b.load_global(y);
+                        emit(b, level);
+                        let r1 = b.load_global(x);
+                        let res0 = b.const_(128);
+                        let res1 = b.const_(129);
+                        b.store_global(res0, r0);
+                        b.store_global(res1, r1);
+                    },
+                );
+            });
+            b.finish().unwrap()
+        }
+        let mut chip = Chip::by_short("Titan").unwrap();
+        chip.reorder.base = [0.9; 4];
+        let mut gpu = Gpu::new(chip);
+        let mut weak_block = 0;
+        let mut weak_device = 0;
+        for seed in 0..150 {
+            let spec = LaunchSpec::app(kernel(FenceLevel::Block), 2, 32, 256);
+            let r = gpu.run(&spec, seed);
+            if (r.word(128), r.word(129)) == (1, 0) {
+                weak_block += 1;
+            }
+            let spec = LaunchSpec::app(kernel(FenceLevel::Device), 2, 32, 256);
+            let r = gpu.run(&spec, seed);
+            if (r.word(128), r.word(129)) == (1, 0) {
+                weak_device += 1;
+            }
+        }
+        assert!(
+            weak_block > 0,
+            "a block fence must not order global accesses"
+        );
+        assert_eq!(weak_device, 0, "a device fence must order everything");
+    }
+
+    #[test]
+    fn shared_atomics_stay_indivisible_in_the_window() {
+        // 64 block-mates atomically bump shared[0] while their windows
+        // churn under self-generated pressure: the count must still be
+        // exact — RMWs complete in one indivisible step.
+        let mut b = KernelBuilder::new("shared-count-weak");
+        let a0 = b.const_(0);
+        let one = b.const_(1);
+        let _ = b.atomic_add_shared(a0, one);
+        b.barrier();
+        let tid = b.tid();
+        let zero = b.const_(0);
+        let is0 = b.eq(tid, zero);
+        b.if_(is0, |b| {
+            let v = b.load_shared(a0);
+            b.store_global(zero, v);
+        });
+        let p = b.finish().unwrap();
+        let mut gpu = Gpu::new(Chip::by_short("Titan").unwrap());
+        let mut spec = LaunchSpec::app(p, 1, 64, 8);
+        spec.shared_words = 4;
+        for seed in 0..20 {
+            let r = gpu.run(&spec, seed);
+            assert!(r.status.is_completed());
+            assert_eq!(r.word(0), 64, "seed {seed}");
         }
     }
 

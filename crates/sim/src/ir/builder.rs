@@ -304,8 +304,10 @@ impl KernelBuilder {
     }
 
     /// `atomicCAS(&shared[addr], cmp, val)`, returning the old value.
-    /// Shared memory is per-block and strongly ordered in the simulator,
-    /// so shared atomics complete immediately (no in-flight window).
+    /// Shared memory is per-block; on chips with a live shared-space
+    /// reorder matrix shared atomics enter the in-flight window like
+    /// global ones (still indivisible at completion), otherwise they
+    /// complete immediately.
     pub fn atomic_cas_shared(&mut self, addr: Reg, cmp: Reg, val: Reg) -> Reg {
         self.atomic_cas_in(Space::Shared, addr, cmp, val)
     }

@@ -25,12 +25,16 @@ pub type Reg = u16;
 /// A memory space of the simulated GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Space {
-    /// Global memory: shared by every thread in the grid, and the only
-    /// space subject to weak-memory effects.
+    /// Global memory: shared by every thread in the grid; weakly ordered
+    /// through the per-thread in-flight window, with contention tracked
+    /// per memory channel.
     Global,
-    /// Shared memory: per-block scratch, strongly ordered in the simulator
-    /// (the paper's applications only communicate through global memory
-    /// across blocks; see DESIGN.md).
+    /// Shared memory: per-block scratch with its *own* relaxation level —
+    /// on chips with a nonzero shared-space reorder matrix
+    /// (`Chip::shared_reorder`) shared accesses flow through the in-flight
+    /// window too, pressured by the block's own shared traffic; with the
+    /// matrix zeroed the space is strongly ordered and accesses complete
+    /// immediately, the pre-scoped behaviour.
     Shared,
 }
 

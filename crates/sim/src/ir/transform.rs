@@ -17,7 +17,8 @@
 //! stable set to reduce over.
 
 use super::validate::validate;
-use super::{FenceLevel, Inst, Program};
+use super::{BinOp, FenceLevel, Inst, Program, SpecialReg};
+use crate::ir::Space;
 
 /// The fence sites of a program: instruction indices (in a fence-free
 /// program) of global memory accesses, each a candidate location for a
@@ -134,11 +135,161 @@ pub fn strip_fences(p: &Program) -> Program {
     out
 }
 
+/// Turn a kernel's idle non-zero lanes into **shared-memory stressing
+/// threads**: every thread whose lane is not 0 runs a load + store sweep
+/// over the `words`-word shared scratchpad at `base` (for `iters`
+/// iterations) and halts; lane-0 threads fall through to the original
+/// program, whose branch targets are remapped past the prologue.
+///
+/// This is how scoped litmus campaigns stress a block's shared memory:
+/// unlike global-memory stress, shared memory is unreachable from other
+/// blocks, so the stressing threads must share the test's block — and the
+/// emitted intra-block litmus kernels leave exactly the non-zero lanes
+/// idle. The hammered region is disjoint from the test's shared locations
+/// (the caller passes `base` past them), so the set of possible test
+/// behaviours changes only through the contention factor, never through
+/// data interference.
+///
+/// # Panics
+///
+/// Panics if `p` contains a block barrier — the stressing lanes halt
+/// after their sweep, so a lane-0 thread waiting at a `Barrier` would
+/// report a spurious barrier divergence at run time; barrier-free
+/// litmus kernels are the intended input. Also panics if the
+/// transformed program fails validation (a bug in this pass, not in the
+/// caller).
+pub fn with_lane_shared_stress(p: &Program, base: u32, words: u32, iters: u32) -> Program {
+    assert!(
+        !p.insts.iter().any(|i| matches!(i, Inst::Barrier)),
+        "with_lane_shared_stress requires a barrier-free kernel: \
+         stressing lanes halt early and would diverge at a barrier"
+    );
+    let words = words.max(1);
+    // Fresh registers above the original program's file.
+    let r = |k: u16| p.num_regs + k;
+    let (r_lane, r_base, r_words, r_iters, r_one, r_i, r_c, r_t, r_off, r_addr, r_v) = (
+        r(0),
+        r(1),
+        r(2),
+        r(3),
+        r(4),
+        r(5),
+        r(6),
+        r(7),
+        r(8),
+        r(9),
+        r(10),
+    );
+    let mut insts = vec![
+        Inst::Special {
+            dst: r_lane,
+            sr: SpecialReg::Lane,
+        },
+        // Lane 0 → the original program (prologue length patched below).
+        Inst::BranchZ {
+            cond: r_lane,
+            target: 0,
+        },
+        Inst::Const {
+            dst: r_base,
+            value: base,
+        },
+        Inst::Const {
+            dst: r_words,
+            value: words,
+        },
+        Inst::Const {
+            dst: r_iters,
+            value: iters,
+        },
+        Inst::Const {
+            dst: r_one,
+            value: 1,
+        },
+        Inst::Const { dst: r_i, value: 0 },
+    ];
+    let loop_head = insts.len();
+    insts.extend([
+        Inst::Bin {
+            op: BinOp::CmpLtU,
+            dst: r_c,
+            a: r_i,
+            b: r_iters,
+        },
+        Inst::BranchZ {
+            cond: r_c,
+            target: 0, // patched to the halt below
+        },
+        // off = (lane + i) % words; addr = base + off — each lane walks
+        // the scratchpad from its own offset, mixing loads and stores.
+        Inst::Bin {
+            op: BinOp::Add,
+            dst: r_t,
+            a: r_lane,
+            b: r_i,
+        },
+        Inst::Bin {
+            op: BinOp::RemU,
+            dst: r_off,
+            a: r_t,
+            b: r_words,
+        },
+        Inst::Bin {
+            op: BinOp::Add,
+            dst: r_addr,
+            a: r_base,
+            b: r_off,
+        },
+        Inst::Load {
+            dst: r_v,
+            space: Space::Shared,
+            addr: r_addr,
+        },
+        Inst::Store {
+            space: Space::Shared,
+            addr: r_addr,
+            src: r_v,
+        },
+        Inst::Bin {
+            op: BinOp::Add,
+            dst: r_i,
+            a: r_i,
+            b: r_one,
+        },
+        Inst::Jump { target: loop_head },
+    ]);
+    let halt_at = insts.len();
+    insts.push(Inst::Halt);
+    let prologue = insts.len();
+    // Patch the two forward branches now that the prologue is laid out.
+    insts[1] = Inst::BranchZ {
+        cond: r_lane,
+        target: prologue,
+    };
+    insts[loop_head + 1] = Inst::BranchZ {
+        cond: r_c,
+        target: halt_at,
+    };
+    for inst in &p.insts {
+        let mut inst = *inst;
+        if let Some(t) = inst.target_mut() {
+            *t += prologue;
+        }
+        insts.push(inst);
+    }
+    let out = Program {
+        insts,
+        num_regs: p.num_regs + 11,
+        name: format!("{}+shm-str", p.name),
+    };
+    validate(&out).expect("shared-stress lane injection must preserve validity");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ir::builder::KernelBuilder;
-    use crate::ir::Space;
 
     /// A small kernel with a loop and several global accesses.
     fn sample() -> Program {
@@ -268,6 +419,77 @@ mod tests {
             name: "f".into(),
         };
         assert_eq!(strip_fences(&p).len(), 1);
+    }
+
+    #[test]
+    fn shared_stress_lanes_validate_and_preserve_the_original() {
+        let p = sample();
+        let s = with_lane_shared_stress(&p, 8, 64, 40);
+        assert!(validate(&s).is_ok());
+        // The original instruction stream survives as a suffix (branch
+        // targets shifted by the prologue length).
+        let prologue = s.insts.len() - p.insts.len();
+        for (i, inst) in p.insts.iter().enumerate() {
+            let mut expect = *inst;
+            if let Some(t) = expect.target_mut() {
+                *t += prologue;
+            }
+            assert_eq!(s.insts[prologue + i], expect, "inst {i}");
+        }
+        // The prologue contains the shared-space hammer pair.
+        let shared_loads = s.insts[..prologue]
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Load {
+                        space: Space::Shared,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let shared_stores = s.insts[..prologue]
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Store {
+                        space: Space::Shared,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!((shared_loads, shared_stores), (1, 1));
+        assert_eq!(s.num_regs, p.num_regs + 11);
+        assert!(s.name.ends_with("+shm-str"));
+    }
+
+    #[test]
+    fn shared_stress_lanes_execute() {
+        use crate::chip::Chip;
+        use crate::exec::{Gpu, LaunchSpec};
+        // Lane 0 stores a marker to global; other lanes hammer shared.
+        let mut b = KernelBuilder::new("probe");
+        let tid = b.tid();
+        let zero = b.const_(0);
+        let is0 = b.eq(tid, zero);
+        b.if_(is0, |b| {
+            let v = b.const_(7);
+            let a = b.const_(0);
+            b.store_global(a, v);
+        });
+        let p = with_lane_shared_stress(&b.finish().unwrap(), 0, 32, 20);
+        let mut gpu = Gpu::new(Chip::by_short("K20").unwrap().sequentially_consistent());
+        let mut spec = LaunchSpec::app(p, 1, 64, 8);
+        spec.shared_words = 32;
+        let r = gpu.run(&spec, 3);
+        assert!(r.status.is_completed(), "{:?}", r.status);
+        assert_eq!(r.word(0), 7);
+        // The stress lanes did real work: far more instructions than the
+        // lane-0 path alone would execute.
+        assert!(r.instructions > 1000, "{}", r.instructions);
     }
 
     #[test]

@@ -5,13 +5,10 @@ use gpu_wmm::apps::{all_apps, app_by_name};
 use gpu_wmm::core::env::{AppHarness, Environment};
 use gpu_wmm::sim::chip::Chip;
 
-/// A strongly-ordered chip: the simulator is sequentially consistent.
+/// A strongly-ordered chip: the simulator is sequentially consistent in
+/// both memory spaces.
 fn sc_chip(short: &str) -> Chip {
-    let mut c = Chip::by_short(short).unwrap();
-    c.reorder.base = [0.0; 4];
-    c.reorder.gain = [0.0; 4];
-    c.ambient_mp = 0.0;
-    c
+    Chip::by_short(short).unwrap().sequentially_consistent()
 }
 
 #[test]

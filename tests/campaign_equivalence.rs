@@ -62,10 +62,12 @@ fn litmus_campaigns_match_the_legacy_path_bit_for_bit() {
         Environment {
             stress: StressStrategy::Random,
             randomize: true,
+            shared: None,
         },
         Environment {
             stress: StressStrategy::CacheSized,
             randomize: false,
+            shared: None,
         },
     ];
     let shapes = [
@@ -73,6 +75,8 @@ fn litmus_campaigns_match_the_legacy_path_bit_for_bit() {
         Shape::Lb,
         Shape::Sb,
         Shape::MpShared,
+        Shape::MpSharedFence,
+        Shape::MpMixed,
         Shape::MpCas,
     ];
     for test in shapes {
@@ -111,6 +115,53 @@ fn litmus_campaigns_match_the_legacy_path_bit_for_bit() {
                     env.name()
                 );
             }
+        }
+    }
+}
+
+/// The shared-stress environment takes the same per-run seed stream:
+/// the facade derives the stress-lane instance once per campaign, so a
+/// legacy loop over the *same derived instance* under plain systematic
+/// stress must be bit-identical at every worker count.
+#[test]
+fn shared_stress_campaigns_match_the_legacy_path_bit_for_bit() {
+    use gpu_wmm::core::stress::SharedStress;
+    let chip = Chip::by_short("Titan").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let env = Environment::shared_sys_str_plus(&chip);
+    let SharedStress { words, iters } = env.shared.unwrap();
+    for test in [Shape::MpShared, Shape::Isa2Scoped] {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+        let derived = inst.with_shared_stress(words, iters);
+        let base_seed = 0x5ba6ed;
+        let legacy = legacy_litmus_campaign(
+            &chip,
+            &derived,
+            |rng| {
+                let threads = litmus_stress_threads(&chip, rng);
+                let s = build_stress(&chip, &env.stress, pad, threads, 40, rng);
+                (s.groups, s.init)
+            },
+            32,
+            base_seed,
+            env.randomize,
+        );
+        assert!(
+            legacy.weak() > 0 || test == Shape::Isa2Scoped,
+            "{test}: comparison is vacuous without weak outcomes: {legacy}"
+        );
+        for workers in WORKER_COUNTS {
+            let new = CampaignBuilder::new(&chip)
+                .environment(&env, pad, 40)
+                .count(32)
+                .base_seed(base_seed)
+                .parallelism(workers)
+                .build()
+                .run_litmus(&inst);
+            assert_eq!(
+                new, legacy,
+                "{test} under shm+sys-str+: facade diverged at {workers} workers"
+            );
         }
     }
 }

@@ -133,6 +133,32 @@ proptest! {
         prop_assert!(oracle::sc_outcomes(&intra).len() > 1);
     }
 
+    /// `Event::FenceBlock` is a no-op for the SC-enumeration oracle,
+    /// exactly like `Event::Fence`: inserting a block fence at *any*
+    /// position of *any* thread of *any* catalogue shape leaves the
+    /// derived SC outcome set unchanged (fences only exist on the weak
+    /// hardware; under SC nothing is unordered for them to order).
+    #[test]
+    fn fence_block_is_oracle_invisible(
+        si in 0usize..Shape::ALL.len(),
+        tsel in 0usize..64,
+        psel in 0usize..64,
+    ) {
+        let shape = shape_of(si);
+        let base = shape.events();
+        let expected = oracle::sc_outcomes(&base);
+        let mut fenced = base.clone();
+        let t = tsel % fenced.threads.len();
+        let pos = psel % (fenced.threads[t].len() + 1);
+        fenced.threads[t].insert(pos, Event::FenceBlock);
+        prop_assert_eq!(
+            oracle::sc_outcomes(&fenced),
+            expected,
+            "{} with a block fence at thread {} pos {}",
+            shape, t, pos
+        );
+    }
+
     /// Every derived outcome vector is unique, has the instance's
     /// observer width, and is accepted by the instance's own weak
     /// predicate (the validator of observed runs).

@@ -130,11 +130,13 @@ fn wider_cycles_are_observable_under_stress() {
 }
 
 #[test]
-fn scoped_shapes_never_go_weak_under_any_environment() {
+fn scoped_shapes_never_go_weak_without_shared_stress() {
     // The scoped shapes communicate through the block's shared memory,
-    // which the simulator keeps strongly ordered — so under *all four*
-    // of the paper's environments (including the tuned systematic
-    // stress that makes their global-memory bases go weak frequently)
+    // whose relaxation is provoked only by intra-block shared-space
+    // pressure: under all four of the paper's global-stress environments
+    // (including the tuned systematic stress that makes their
+    // global-memory bases go weak frequently) the block's scratchpad is
+    // quiescent, the shared contention factor stays below its floor, and
     // the oracle-forbidden outcomes must never appear.
     let chip = Chip::by_short("Titan").unwrap();
     let pad = Scratchpad::new(2048, 2048);
@@ -143,10 +145,12 @@ fn scoped_shapes_never_go_weak_under_any_environment() {
         Environment {
             stress: StressStrategy::Random,
             randomize: true,
+            shared: None,
         },
         Environment {
             stress: StressStrategy::CacheSized,
             randomize: false,
+            shared: None,
         },
         Environment::sys_str_plus(&chip),
     ];
@@ -167,6 +171,103 @@ fn scoped_shapes_never_go_weak_under_any_environment() {
                 env.name()
             );
         }
+    }
+}
+
+#[test]
+fn shared_stress_flips_the_scoped_shapes_but_not_their_fenced_twins() {
+    // The acceptance shape of the scoped relaxation engine: under
+    // `shm+sys-str+` (the block's idle lanes hammering a shared
+    // scratchpad on top of tuned global stress) the unfenced scoped
+    // shapes exhibit their oracle-forbidden outcomes, while one
+    // `fence_block` per thread — the cheap membar.cta rung of the
+    // hierarchy — pins the weak count at exactly zero, and the
+    // single-location CoRR.shared stays coherent throughout.
+    let chip = Chip::by_short("Titan").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let env = Environment::shared_sys_str_plus(&chip);
+    let campaign = |test: Shape| {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+        CampaignBuilder::new(&chip)
+            .environment(&env, pad, 40)
+            .count(80)
+            .base_seed(0x5c09)
+            .build()
+            .run_litmus(&inst)
+    };
+    for (unfenced, fenced) in [
+        (Shape::MpShared, Shape::MpSharedFence),
+        (Shape::SbShared, Shape::SbSharedFence),
+    ] {
+        let weak = campaign(unfenced).weak();
+        assert!(
+            weak > 0,
+            "{unfenced} should go weak under shared-space stress"
+        );
+        let h = campaign(fenced);
+        assert_eq!(h.total(), 80);
+        assert_eq!(h.weak(), 0, "{fenced} must never go weak: {h}");
+    }
+    assert_eq!(
+        campaign(Shape::CoRRShared).weak(),
+        0,
+        "CoRR.shared must stay coherent under shared stress"
+    );
+}
+
+#[test]
+fn mixed_scope_shapes_go_weak_under_shared_stress() {
+    // MP.mixed (shared data, global flag) and ISA2.scoped (shared first
+    // hop, global tail) straddle both levels of the hierarchy; with both
+    // kinds of stress applied they exhibit their forbidden outcomes.
+    let chip = Chip::by_short("Titan").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let env = Environment::shared_sys_str_plus(&chip);
+    for test in Shape::MIXED {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+        let h = CampaignBuilder::new(&chip)
+            .environment(&env, pad, 40)
+            .count(150)
+            .base_seed(0x31bed)
+            .build()
+            .run_litmus(&inst);
+        assert!(h.weak() > 0, "{test} should go weak under shared stress");
+    }
+}
+
+#[test]
+fn sc_chip_shows_no_scoped_weakness_even_under_shared_stress() {
+    // Regression for the SC guard: `Chip::sequentially_consistent()`
+    // zeroes the shared-space reorder matrix too, so the very
+    // environment that flips the scoped shapes on a real chip provokes
+    // nothing here.
+    let chip = Chip::by_short("Titan").unwrap().sequentially_consistent();
+    let pad = Scratchpad::new(2048, 2048);
+    let env = Environment::shared_sys_str_plus(&chip);
+    for test in Shape::SCOPED.into_iter().chain(Shape::MIXED) {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+        let h = CampaignBuilder::new(&chip)
+            .environment(&env, pad, 40)
+            .count(60)
+            .base_seed(0x5eed5)
+            .build()
+            .run_litmus(&inst);
+        assert_eq!(h.weak(), 0, "{test} on the SC chip: {h}");
+    }
+}
+
+#[test]
+fn fenced_wider_cycles_never_go_weak_under_stress() {
+    // WRC+fences, ISA2+fences and IRIW+fences carry a device fence
+    // between each multi-access thread's events: the stress that makes
+    // their bases observable must provoke nothing.
+    let chip = Chip::by_short("Titan").unwrap();
+    for test in Shape::WIDE_FENCED {
+        let weak = stressed_weak_count(&chip, test, 64, 0, 150);
+        assert_eq!(
+            weak, 0,
+            "{test} must never exhibit weak behaviour under stress"
+        );
     }
 }
 

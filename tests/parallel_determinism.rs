@@ -117,6 +117,46 @@ fn campaign_scoped_and_rmw_are_worker_count_invariant() {
     }
 }
 
+/// The scoped relaxation engine stays bit-identical across worker
+/// counts: scoped, block-fenced and mixed-scope shapes campaigned under
+/// intra-block shared-space stress (stress lanes injected into the test
+/// kernel, shared contention tracked per block) at 1/2/8 workers.
+#[test]
+fn campaign_shared_stressed_is_worker_count_invariant() {
+    use gpu_wmm::core::campaign::CampaignBuilder;
+    use gpu_wmm::core::env::Environment;
+    let chip = Chip::by_short("Titan").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let env = Environment::shared_sys_str_plus(&chip);
+    for test in [
+        Shape::MpShared,
+        Shape::SbShared,
+        Shape::MpSharedFence,
+        Shape::MpMixed,
+        Shape::Isa2Scoped,
+    ] {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+        let run = |parallelism: usize| {
+            CampaignBuilder::new(&chip)
+                .environment(&env, pad, 40)
+                .count(32)
+                .base_seed(0x5C0FED)
+                .parallelism(parallelism)
+                .build()
+                .run_litmus(&inst)
+        };
+        let reference = run(WORKER_COUNTS[0]);
+        assert_eq!(reference.total(), 32);
+        for workers in &WORKER_COUNTS[1..] {
+            assert_eq!(
+                run(*workers),
+                reference,
+                "{test}: shared-stressed histogram diverged at {workers} workers"
+            );
+        }
+    }
+}
+
 /// Different seeds must not produce identical streams (sanity check that
 /// the invariance above isn't vacuous).
 #[test]

@@ -11,10 +11,7 @@ use proptest::prelude::*;
 
 /// A strongly-ordered chip.
 fn sc_chip() -> Chip {
-    let mut c = Chip::by_short("K20").unwrap();
-    c.reorder.base = [0.0; 4];
-    c.reorder.gain = [0.0; 4];
-    c
+    Chip::by_short("K20").unwrap().sequentially_consistent()
 }
 
 /// Generate a random but well-formed straight-line-plus-loops kernel
