@@ -1,0 +1,385 @@
+//! Per-thread abstract interpretation of register dataflow.
+//!
+//! The domain is deliberately small: a register holds either a bounded
+//! set of concrete words ([`AbsVal::Vals`]) or ⊤ ([`AbsVal::Top`]).
+//! Special registers (`tid`, `bid`, `blockDim`, …) are *concrete* for a
+//! given analysis thread, so SPMD role selection (`if me == t`) prunes
+//! the CFG and each analysis thread only sees its own role's accesses.
+//! Loads and atomic result registers go straight to ⊤: the analyzer
+//! never guesses what memory holds.
+//!
+//! Binary operations are evaluated with [`wmm_sim::exec::eval_bin`] —
+//! the simulator's own operational semantics — so the abstraction can
+//! only lose precision, never diverge from execution.
+
+use std::collections::BTreeSet;
+
+use wmm_sim::exec::eval_bin;
+use wmm_sim::ir::{Inst, Program, SpecialReg};
+use wmm_sim::Word;
+
+/// Cap on the size of a concrete value set before widening to ⊤.
+pub const CONST_CAP: usize = 16;
+
+/// Abstract value: a bounded set of possible words, or ⊤ (anything).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Unknown: any word.
+    Top,
+    /// One of finitely many concrete words.
+    Vals(BTreeSet<Word>),
+}
+
+impl AbsVal {
+    /// The abstract value holding exactly `v`.
+    pub fn singleton(v: Word) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(v);
+        AbsVal::Vals(s)
+    }
+
+    /// Is this ⊤?
+    pub fn is_top(&self) -> bool {
+        matches!(self, AbsVal::Top)
+    }
+
+    /// The single concrete value, if there is exactly one.
+    pub fn as_singleton(&self) -> Option<Word> {
+        match self {
+            AbsVal::Vals(s) if s.len() == 1 => s.iter().next().copied(),
+            _ => None,
+        }
+    }
+
+    /// Least upper bound; widens to ⊤ past [`CONST_CAP`] values.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Top, _) | (_, AbsVal::Top) => AbsVal::Top,
+            (AbsVal::Vals(a), AbsVal::Vals(b)) => {
+                let u: BTreeSet<Word> = a.union(b).copied().collect();
+                if u.len() > CONST_CAP {
+                    AbsVal::Top
+                } else {
+                    AbsVal::Vals(u)
+                }
+            }
+        }
+    }
+
+    /// May the two values denote a common word? ⊤ overlaps everything.
+    pub fn overlaps(&self, other: &AbsVal) -> bool {
+        match (self, other) {
+            (AbsVal::Top, _) | (_, AbsVal::Top) => true,
+            (AbsVal::Vals(a), AbsVal::Vals(b)) => !a.is_disjoint(b),
+        }
+    }
+}
+
+/// The concrete identity of one analysis thread: its special registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCtx {
+    /// Logical thread id within the block.
+    pub tid: Word,
+    /// Logical block id.
+    pub bid: Word,
+    /// Threads per block of the launch.
+    pub block_dim: Word,
+    /// Blocks of the launch.
+    pub grid_dim: Word,
+}
+
+impl ThreadCtx {
+    fn special(&self, sr: SpecialReg) -> Word {
+        match sr {
+            SpecialReg::Tid => self.tid,
+            SpecialReg::Bid => self.bid,
+            SpecialReg::BlockDim => self.block_dim,
+            SpecialReg::GridDim => self.grid_dim,
+            SpecialReg::Lane => self.tid % 32,
+            SpecialReg::GlobalTid => self.tid + self.bid * self.block_dim,
+        }
+    }
+}
+
+/// The result of abstractly executing a [`Program`] as one thread.
+#[derive(Debug, Clone)]
+pub struct ThreadAbs {
+    /// Is instruction `i` reachable for this thread?
+    pub reachable: Vec<bool>,
+    /// For each reachable memory access: the abstract address.
+    pub addr_at: Vec<Option<AbsVal>>,
+    /// Feasible CFG successors per reachable instruction (pruned by
+    /// constant branch conditions).
+    pub succs: Vec<Vec<usize>>,
+}
+
+/// Run the worklist fixpoint for one thread. Registers start at zero,
+/// matching the simulator.
+pub fn analyze_thread(p: &Program, ctx: &ThreadCtx) -> ThreadAbs {
+    let n = p.insts.len();
+    let nregs = p.num_regs as usize;
+    let mut in_state: Vec<Option<Vec<AbsVal>>> = vec![None; n];
+    let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    if n > 0 {
+        in_state[0] = Some(vec![AbsVal::singleton(0); nregs]);
+        let mut work = vec![0usize];
+        while let Some(i) = work.pop() {
+            let st = in_state[i].clone().expect("worklist visits reached insts");
+            let (out, nexts) = transfer(p, ctx, i, &st);
+            for j in nexts {
+                succs[i].insert(j);
+                if j >= n {
+                    continue; // fell off the end: implicit halt
+                }
+                let changed = match &mut in_state[j] {
+                    slot @ None => {
+                        *slot = Some(out.clone());
+                        true
+                    }
+                    Some(cur) => join_states(cur, &out),
+                };
+                if changed {
+                    work.push(j);
+                }
+            }
+        }
+    }
+    let mut addr_at = vec![None; n];
+    for (i, inst) in p.insts.iter().enumerate() {
+        if let (Some(st), Some(r)) = (&in_state[i], inst.addr_reg()) {
+            addr_at[i] = Some(st[r as usize].clone());
+        }
+    }
+    ThreadAbs {
+        reachable: in_state.iter().map(Option::is_some).collect(),
+        addr_at,
+        succs: succs.into_iter().map(|s| s.into_iter().collect()).collect(),
+    }
+}
+
+/// Join `out` into `cur`; true if `cur` grew.
+fn join_states(cur: &mut [AbsVal], out: &[AbsVal]) -> bool {
+    let mut changed = false;
+    for (c, o) in cur.iter_mut().zip(out) {
+        let j = c.join(o);
+        if j != *c {
+            *c = j;
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn abs_bin(op: wmm_sim::ir::BinOp, a: &AbsVal, b: &AbsVal) -> AbsVal {
+    let (AbsVal::Vals(va), AbsVal::Vals(vb)) = (a, b) else {
+        return AbsVal::Top;
+    };
+    let mut out = BTreeSet::new();
+    for &x in va {
+        for &y in vb {
+            out.insert(eval_bin(op, x, y));
+            if out.len() > CONST_CAP {
+                return AbsVal::Top;
+            }
+        }
+    }
+    AbsVal::Vals(out)
+}
+
+/// Which way can a branch go, given the abstract condition?
+fn branch_ways(cond: &AbsVal) -> (bool, bool) {
+    // (may be zero, may be nonzero)
+    match cond {
+        AbsVal::Top => (true, true),
+        AbsVal::Vals(s) => (s.contains(&0), s.iter().any(|&v| v != 0)),
+    }
+}
+
+fn transfer(p: &Program, ctx: &ThreadCtx, i: usize, st: &[AbsVal]) -> (Vec<AbsVal>, Vec<usize>) {
+    let mut out = st.to_vec();
+    let fall = i + 1;
+    let nexts = match &p.insts[i] {
+        Inst::Const { dst, value } => {
+            out[*dst as usize] = AbsVal::singleton(*value);
+            vec![fall]
+        }
+        Inst::Mov { dst, src } => {
+            out[*dst as usize] = st[*src as usize].clone();
+            vec![fall]
+        }
+        Inst::Bin { op, dst, a, b } => {
+            out[*dst as usize] = abs_bin(*op, &st[*a as usize], &st[*b as usize]);
+            vec![fall]
+        }
+        Inst::Special { dst, sr } => {
+            out[*dst as usize] = AbsVal::singleton(ctx.special(*sr));
+            vec![fall]
+        }
+        Inst::Load { dst, .. }
+        | Inst::AtomicCas { dst, .. }
+        | Inst::AtomicExch { dst, .. }
+        | Inst::AtomicAdd { dst, .. } => {
+            out[*dst as usize] = AbsVal::Top;
+            vec![fall]
+        }
+        Inst::Store { .. } | Inst::Fence(_) | Inst::Barrier => vec![fall],
+        Inst::Jump { target } => vec![*target],
+        Inst::BranchZ { cond, target } => {
+            let (zero, nonzero) = branch_ways(&st[*cond as usize]);
+            let mut v = Vec::new();
+            if nonzero {
+                v.push(fall);
+            }
+            if zero {
+                v.push(*target);
+            }
+            v
+        }
+        Inst::BranchNZ { cond, target } => {
+            let (zero, nonzero) = branch_ways(&st[*cond as usize]);
+            let mut v = Vec::new();
+            if zero {
+                v.push(fall);
+            }
+            if nonzero {
+                v.push(*target);
+            }
+            v
+        }
+        Inst::Halt => Vec::new(),
+    };
+    (out, nexts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmm_sim::ir::{BinOp, Space};
+    use wmm_sim::KernelBuilder;
+
+    fn ctx(tid: Word) -> ThreadCtx {
+        ThreadCtx {
+            tid,
+            bid: 0,
+            block_dim: 64,
+            grid_dim: 1,
+        }
+    }
+
+    #[test]
+    fn constant_addresses_resolve_to_singletons() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.const_(7);
+        let v = b.const_(1);
+        b.store_global(a, v);
+        let p = b.finish().unwrap();
+        let abs = analyze_thread(&p, &ctx(0));
+        let store = p.memory_access_indices()[0];
+        assert_eq!(abs.addr_at[store].as_ref().unwrap().as_singleton(), Some(7));
+    }
+
+    #[test]
+    fn tid_derived_addresses_are_concrete_per_thread() {
+        let mut b = KernelBuilder::new("t");
+        let tid = b.tid();
+        let base = b.const_(16);
+        let addr = b.add(base, tid);
+        let v = b.const_(1);
+        b.store_shared(addr, v);
+        let p = b.finish().unwrap();
+        let store = p.memory_access_indices()[0];
+        for t in [0, 5, 63] {
+            let abs = analyze_thread(&p, &ctx(t));
+            assert_eq!(
+                abs.addr_at[store].as_ref().unwrap().as_singleton(),
+                Some(16 + t)
+            );
+        }
+    }
+
+    #[test]
+    fn constant_branches_prune_the_other_role() {
+        // if tid == 0 { store g[0] } else { store g[1] }
+        let mut b = KernelBuilder::new("t");
+        let tid = b.tid();
+        let zero = b.const_(0);
+        let is0 = b.eq(tid, zero);
+        let v = b.const_(9);
+        b.if_else(
+            is0,
+            |k| {
+                let a = k.const_(0);
+                k.store_global(a, v);
+            },
+            |k| {
+                let a = k.const_(1);
+                k.store_global(a, v);
+            },
+        );
+        let p = b.finish().unwrap();
+        let accesses = p.memory_access_indices();
+        assert_eq!(accesses.len(), 2);
+        let abs0 = analyze_thread(&p, &ctx(0));
+        let abs1 = analyze_thread(&p, &ctx(1));
+        // Each thread reaches exactly one of the two stores.
+        let reached = |abs: &ThreadAbs| {
+            accesses
+                .iter()
+                .filter(|&&i| abs.reachable[i])
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(reached(&abs0).len(), 1);
+        assert_eq!(reached(&abs1).len(), 1);
+        assert_ne!(reached(&abs0), reached(&abs1));
+    }
+
+    #[test]
+    fn loop_counters_widen_to_top() {
+        // for i in 0..40 { store g[i] } — 40 > CONST_CAP, so the address
+        // must widen to ⊤ rather than enumerate.
+        let mut b = KernelBuilder::new("t");
+        let i = b.reg();
+        let start = b.const_(0);
+        let end = b.const_(40);
+        let v = b.const_(1);
+        b.for_range(i, start, end, |k, iv| {
+            k.store_in(Space::Global, iv, v);
+        });
+        let p = b.finish().unwrap();
+        let store = p.memory_access_indices()[0];
+        let abs = analyze_thread(&p, &ctx(0));
+        assert!(abs.addr_at[store].as_ref().unwrap().is_top());
+    }
+
+    #[test]
+    fn loads_produce_top() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.const_(0);
+        let x = b.load_global(a);
+        b.store_global(x, x); // address comes from memory: ⊤
+        let p = b.finish().unwrap();
+        let store = p.memory_access_indices()[1];
+        let abs = analyze_thread(&p, &ctx(0));
+        assert!(abs.addr_at[store].as_ref().unwrap().is_top());
+    }
+
+    #[test]
+    fn small_joins_stay_finite() {
+        let a = AbsVal::singleton(1).join(&AbsVal::singleton(2));
+        assert_eq!(a, AbsVal::Vals([1, 2].into_iter().collect()));
+        assert!(a.overlaps(&AbsVal::singleton(2)));
+        assert!(!a.overlaps(&AbsVal::singleton(3)));
+        assert!(a.overlaps(&AbsVal::Top));
+    }
+
+    #[test]
+    fn eval_matches_simulator_for_branch_conditions() {
+        let x = AbsVal::singleton(5);
+        let y = AbsVal::singleton(5);
+        let eq = abs_bin(BinOp::CmpEq, &x, &y);
+        assert_eq!(eq.as_singleton(), Some(1));
+        let ne = abs_bin(BinOp::CmpNe, &x, &y);
+        assert_eq!(ne.as_singleton(), Some(0));
+    }
+}

@@ -1,0 +1,262 @@
+//! Cross-thread conflict graph and Shasha–Snir delay-set detection.
+//!
+//! Events are (analysis thread, instruction) pairs over the reachable
+//! memory accesses of each thread's pruned CFG. Two events *conflict*
+//! when they come from different threads, touch the same [`Space`],
+//! may overlap in address, and at least one may write; shared-space
+//! conflicts additionally require the two threads to share a block,
+//! because shared memory is per-block.
+//!
+//! A program-order pair (a, b) in one thread is a *delay* when a mixed
+//! path b ⇝ a exists through the union of program-order and conflict
+//! edges using at least one conflict edge — the critical-cycle
+//! condition of Shasha & Snir. Same-address pairs are exempt: the
+//! simulator, like real chips, preserves per-location coherence
+//! (`CoRR`/`CoWW`/`CoAdd` never go weak), so only cross-location
+//! reorderings can break sequential consistency.
+//!
+//! Each delay edge carries the *minimal* fence level that orders it:
+//! [`FenceLevel::Block`] when both endpoints are provably shared-space
+//! (every conflict partner then lives in the same block), otherwise
+//! [`FenceLevel::Device`]. An edge already separated by a sufficient
+//! fence — or by a [`Inst::Barrier`], which drains the whole in-flight
+//! window — on every CFG path is reported as `fenced`.
+
+use crate::absint::{analyze_thread, AbsVal, ThreadAbs, ThreadCtx};
+use wmm_sim::ir::{FenceLevel, Inst, Program, Space};
+
+/// One analysis thread: concrete identity plus its abstraction.
+#[derive(Debug, Clone)]
+pub struct ThreadModel {
+    /// The thread's concrete special registers.
+    pub ctx: ThreadCtx,
+    /// Its abstract execution.
+    pub abs: ThreadAbs,
+    /// Reachable memory-access instruction indices, in program order.
+    pub accesses: Vec<usize>,
+    /// `reach[i][j]`: a CFG path of length ≥ 1 exists from `i` to `j`.
+    reach: Vec<Vec<bool>>,
+}
+
+impl ThreadModel {
+    /// Abstractly execute `p` as the thread `ctx`.
+    pub fn build(p: &Program, ctx: ThreadCtx) -> Self {
+        let abs = analyze_thread(p, &ctx);
+        let n = p.insts.len();
+        let accesses: Vec<usize> = p
+            .memory_access_indices()
+            .into_iter()
+            .filter(|&i| abs.reachable[i])
+            .collect();
+        let mut reach = vec![vec![false; n]; n];
+        for (start, row) in reach.iter_mut().enumerate() {
+            // BFS over feasible successors; paths of length >= 1.
+            let mut stack: Vec<usize> = abs.succs[start].clone();
+            while let Some(j) = stack.pop() {
+                if j < n && !row[j] {
+                    row[j] = true;
+                    stack.extend(abs.succs[j].iter().copied());
+                }
+            }
+        }
+        ThreadModel {
+            ctx,
+            abs,
+            accesses,
+            reach,
+        }
+    }
+
+    /// Is there a program-order path (length ≥ 1) from `i` to `j`?
+    pub fn po(&self, i: usize, j: usize) -> bool {
+        self.reach[i][j]
+    }
+}
+
+/// A memory event: instruction `inst` executed by analysis thread
+/// `thread` (an index into the thread-model slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Index of the analysis thread.
+    pub thread: usize,
+    /// Instruction index in the program.
+    pub inst: usize,
+}
+
+/// A program-order pair that participates in a critical cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayEdge {
+    /// Index of the analysis thread the pair belongs to.
+    pub thread: usize,
+    /// First access of the pair (fence site: "fence after this").
+    pub from: usize,
+    /// Second access of the pair.
+    pub to: usize,
+    /// Minimal fence level that orders the pair.
+    pub level: FenceLevel,
+    /// True when every CFG path `from` → `to` already crosses a
+    /// sufficient fence or barrier.
+    pub fenced: bool,
+}
+
+fn addr_of(t: &ThreadModel, i: usize) -> &AbsVal {
+    t.abs.addr_at[i]
+        .as_ref()
+        .expect("memory accesses carry an address")
+}
+
+/// Do events `(ta, ia)` and `(tb, ib)` conflict?
+fn conflicts(p: &Program, ts: &[ThreadModel], a: Event, b: Event) -> bool {
+    if a.thread == b.thread {
+        return false;
+    }
+    let (ia, ib) = (&p.insts[a.inst], &p.insts[b.inst]);
+    let (Some(sa), Some(sb)) = (ia.space(), ib.space()) else {
+        return false;
+    };
+    if sa != sb || !(ia.may_write() || ib.may_write()) {
+        return false;
+    }
+    if sa == Space::Shared && ts[a.thread].ctx.bid != ts[b.thread].ctx.bid {
+        return false; // shared memory is per-block
+    }
+    addr_of(&ts[a.thread], a.inst).overlaps(addr_of(&ts[b.thread], b.inst))
+}
+
+/// Are the two accesses provably the same single address?
+fn provably_same_addr(ts: &[ThreadModel], t: usize, i: usize, j: usize) -> bool {
+    match (
+        addr_of(&ts[t], i).as_singleton(),
+        addr_of(&ts[t], j).as_singleton(),
+    ) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Is a fence instruction sufficient to order an edge of `level`?
+fn orders(inst: &Inst, level: FenceLevel) -> bool {
+    match inst {
+        // A barrier drains the thread's entire in-flight window before
+        // any later access issues, so it orders everything a device
+        // fence would.
+        Inst::Barrier => true,
+        Inst::Fence(FenceLevel::Device) => true,
+        Inst::Fence(FenceLevel::Block) => level == FenceLevel::Block,
+        _ => false,
+    }
+}
+
+/// True when every feasible CFG path `from` → `to` in thread `t`
+/// crosses an instruction that [`orders`] the edge.
+fn edge_fenced(p: &Program, t: &ThreadModel, from: usize, to: usize, level: FenceLevel) -> bool {
+    let n = p.insts.len();
+    let mut seen = vec![false; n];
+    let mut stack: Vec<usize> = t.abs.succs[from].clone();
+    while let Some(i) = stack.pop() {
+        if i >= n || seen[i] {
+            continue;
+        }
+        seen[i] = true;
+        if i == to {
+            return false; // found an unordered path
+        }
+        if orders(&p.insts[i], level) {
+            continue; // paths through here are ordered
+        }
+        stack.extend(t.abs.succs[i].iter().copied());
+    }
+    true
+}
+
+/// Compute all delay edges of `p` under the given thread models.
+pub fn delay_edges(p: &Program, ts: &[ThreadModel]) -> Vec<DelayEdge> {
+    // All events, and the conflict adjacency between them.
+    let events: Vec<Event> = ts
+        .iter()
+        .enumerate()
+        .flat_map(|(t, tm)| {
+            tm.accesses
+                .iter()
+                .map(move |&i| Event { thread: t, inst: i })
+        })
+        .collect();
+    let ne = events.len();
+    let mut conflict_adj: Vec<Vec<usize>> = vec![Vec::new(); ne];
+    for x in 0..ne {
+        for y in x + 1..ne {
+            if conflicts(p, ts, events[x], events[y]) {
+                conflict_adj[x].push(y);
+                conflict_adj[y].push(x);
+            }
+        }
+    }
+    // Program-order adjacency over the reachability closure.
+    let mut po_adj: Vec<Vec<usize>> = vec![Vec::new(); ne];
+    let idx_of = |t: usize, i: usize| -> usize {
+        // Events are grouped by thread in `events`, in access order.
+        let base: usize = ts[..t].iter().map(|tm| tm.accesses.len()).sum();
+        base + ts[t].accesses.iter().position(|&a| a == i).unwrap()
+    };
+    for (x, e) in events.iter().enumerate() {
+        let tm = &ts[e.thread];
+        for &j in &tm.accesses {
+            if tm.po(e.inst, j) {
+                po_adj[x].push(idx_of(e.thread, j));
+            }
+        }
+    }
+
+    // A po pair (a, b) is a delay iff a mixed path b ⇝ a uses at least
+    // one conflict edge. BFS over (event, used-conflict) states.
+    let is_delay = |a: usize, b: usize| -> bool {
+        let mut seen = vec![[false; 2]; ne];
+        let mut stack: Vec<(usize, bool)> = vec![(b, false)];
+        seen[b][0] = true;
+        while let Some((x, used)) = stack.pop() {
+            if x == a && used {
+                return true;
+            }
+            for &y in &po_adj[x] {
+                if !seen[y][usize::from(used)] {
+                    seen[y][usize::from(used)] = true;
+                    stack.push((y, used));
+                }
+            }
+            for &y in &conflict_adj[x] {
+                if !seen[y][1] {
+                    seen[y][1] = true;
+                    stack.push((y, true));
+                }
+            }
+        }
+        false
+    };
+
+    let mut out = Vec::new();
+    for (t, tm) in ts.iter().enumerate() {
+        for &i in &tm.accesses {
+            for &j in &tm.accesses {
+                if !tm.po(i, j) || provably_same_addr(ts, t, i, j) {
+                    continue;
+                }
+                let (a, b) = (idx_of(t, i), idx_of(t, j));
+                if !is_delay(a, b) {
+                    continue;
+                }
+                let level = match (p.insts[i].space(), p.insts[j].space()) {
+                    (Some(Space::Shared), Some(Space::Shared)) => FenceLevel::Block,
+                    _ => FenceLevel::Device,
+                };
+                out.push(DelayEdge {
+                    thread: t,
+                    from: i,
+                    to: j,
+                    level,
+                    fenced: edge_fenced(p, tm, i, j, level),
+                });
+            }
+        }
+    }
+    out
+}

@@ -20,6 +20,11 @@
 //! `sdk-red`, `cub-scan` and `ls-bh` ship with fences; their `-nf`
 //! variants are manufactured by stripping them (Sec. 4.1), exactly as in
 //! the paper. [`all_apps`] returns the full set of ten.
+//!
+//! Beyond Tab. 4, [`shm_pipe`] is a scoped (intra-block shared-memory)
+//! pipeline used to demonstrate the analyzer-seeded scoped fence
+//! insertion; it is reachable through [`app_by_name`] but deliberately
+//! kept out of [`all_apps`] so the paper campaigns stay faithful.
 
 pub mod cbe_dot;
 pub mod cbe_ht;
@@ -27,6 +32,7 @@ pub mod ct_octree;
 pub mod cub_scan;
 pub mod ls_bh;
 pub mod sdk_red;
+pub mod shm_pipe;
 pub mod tpo_tm;
 
 pub use cbe_dot::CbeDot;
@@ -35,6 +41,7 @@ pub use ct_octree::CtOctree;
 pub use cub_scan::CubScan;
 pub use ls_bh::LsBh;
 pub use sdk_red::SdkRed;
+pub use shm_pipe::ShmPipe;
 pub use tpo_tm::TpoTm;
 
 use wmm_core::app::Application;
@@ -56,8 +63,12 @@ pub fn all_apps() -> Vec<Box<dyn Application>> {
 }
 
 /// Look up a case study by its Tab. 4 short name (e.g. `"cbe-dot"`,
-/// `"ls-bh-nf"`).
+/// `"ls-bh-nf"`), or the extra scoped demonstration workload
+/// [`shm_pipe`] (`"shm-pipe"`), which is not part of the Tab. 4 set.
 pub fn app_by_name(name: &str) -> Option<Box<dyn Application>> {
+    if name == "shm-pipe" {
+        return Some(Box::new(ShmPipe::new()));
+    }
     all_apps().into_iter().find(|a| a.name() == name)
 }
 
@@ -90,6 +101,10 @@ mod tests {
         assert!(app_by_name("cbe-dot").is_some());
         assert!(app_by_name("ls-bh-nf").is_some());
         assert!(app_by_name("nope").is_none());
+        // The scoped demo app resolves by name but stays out of the
+        // Tab. 4 set.
+        assert!(app_by_name("shm-pipe").is_some());
+        assert!(all_apps().iter().all(|a| a.name() != "shm-pipe"));
     }
 
     #[test]

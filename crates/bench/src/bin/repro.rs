@@ -16,19 +16,23 @@
 //!   running-example cbe-dot on the K20 (Sec. 1)
 //!   speedup         parallel campaign-layer scaling measurement
 //!   suite           generated litmus suite (shapes x chips x strategies)
+//!   analyze TARGET  static delay-set analysis of a shape or app kernel
+//!                   (TARGET: shape short name, app name, shapes, apps, all)
 //!   all             everything above, in order
 //!
 //! `--seed N` sets the base seed every subcommand derives its
 //! per-campaign seeds from (default 2016) — one flag reseeds the entire
 //! reproduction. `--workers N` sets the campaign worker-thread count
 //! (0 = all cores; default from the WMM_WORKERS env var). Results are
-//! bit-identical for every worker count. `--json PATH` (suite only)
-//! writes the weak-rate matrix as JSON. `--placement inter|intra`
+//! bit-identical for every worker count. `--json PATH` (suite and
+//! analyze) writes the result as JSON. `--placement inter|intra`
 //! (suite only) restricts the catalogue to one thread placement —
 //! `intra` runs just the scoped shared-memory shapes.
 //! ```
 
-use wmm_bench::{fig3, fig4, fig5, running, speedup, suite, table2, table3, table5, table6, Scale};
+use wmm_bench::{
+    analyze, fig3, fig4, fig5, running, speedup, suite, table2, table3, table5, table6, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,7 +54,23 @@ fn main() {
     let mut chips: Option<Vec<String>> = None;
     let mut json_path: Option<String> = None;
     let mut placement: Option<wmm_gen::Placement> = None;
-    let mut it = args.iter().skip(1);
+    // `analyze` takes one positional target before the flags.
+    let mut analyze_target: Option<String> = None;
+    let mut flag_start = 1;
+    if cmd == "analyze" {
+        match args.get(1) {
+            Some(t) if !t.starts_with("--") => {
+                analyze_target = Some(t.clone());
+                flag_start = 2;
+            }
+            _ => {
+                eprintln!("analyze wants a target (shape, app, shapes, apps, or all)");
+                usage();
+                return;
+            }
+        }
+    }
+    let mut it = args.iter().skip(flag_start);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--chips" => {
@@ -137,6 +157,13 @@ fn main() {
             speedup::run(scale);
         }
         "suite" => run_suite(chips, &json_path),
+        "analyze" => {
+            let target = analyze_target.as_deref().unwrap_or_default();
+            if let Err(e) = analyze::run(target, json_path.as_deref()) {
+                eprintln!("{e}");
+                usage();
+            }
+        }
         "all" => {
             running::run(scale);
             println!("\n{}\n", "=".repeat(76));
@@ -164,13 +191,17 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|speedup|suite|all> \
+        "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|speedup|suite|\
+         analyze TARGET|all> \
          [--chips A,B] [--execs N] [--runs N] [--seed N] [--workers N] [--json PATH] \
          [--placement inter|intra] [--full]\n\
          \n\
          --seed N       base seed for every subcommand's campaigns (default 2016)\n\
          --workers N    campaign worker threads (0 = all cores; WMM_WORKERS env default);\n\
          \x20              results are bit-identical for every value\n\
-         --placement P  (suite) restrict the catalogue to inter- or intra-block shapes"
+         --placement P  (suite) restrict the catalogue to inter- or intra-block shapes\n\
+         analyze TARGET static delay-set analysis; TARGET is a shape short name\n\
+         \x20              (e.g. MP.shared), an app name (e.g. cbe-dot, shm-pipe),\n\
+         \x20              shapes, apps, or all; --json PATH writes the report"
     );
 }

@@ -14,11 +14,13 @@
 //! | [`running`] | Sec. 1 — the cbe-dot running example |
 //! | [`speedup`] | parallel campaign-layer scaling measurement |
 //! | [`suite`] | generated litmus suite: shapes × chips × strategies |
+//! | [`analyze`] | static delay-set analyzer over shapes and app kernels |
 //!
 //! Every generator takes a [`Scale`] so the half-billion-execution grids
 //! of the paper shrink to laptop scale while preserving the shapes; the
 //! `repro` binary exposes them as subcommands.
 
+pub mod analyze;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

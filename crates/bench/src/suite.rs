@@ -116,7 +116,7 @@ pub fn run(
 /// Print the matrix: one row per (shape, distance) with its placement,
 /// one column per (chip, strategy).
 fn print_matrix(chips: &[Chip], strategies: &[SuiteStrategy], cells: &[SuiteCell]) {
-    print!("{:>13} {:>7}", "shape", "place");
+    print!("{:>13} {:>7} {:>12}", "shape", "place", "static");
     for chip in chips {
         for s in strategies {
             print!(" {:>15}", format!("{}/{}", chip.short, s.name));
@@ -127,9 +127,10 @@ fn print_matrix(chips: &[Chip], strategies: &[SuiteStrategy], cells: &[SuiteCell
     while i < cells.len() {
         let row = &cells[i];
         print!(
-            "{:>13} {:>7}",
+            "{:>13} {:>7} {:>12}",
             format!("{}@{}", row.shape, row.distance),
-            row.placement
+            row.placement,
+            row.static_verdict
         );
         for _ in 0..chips.len() * strategies.len() {
             let c = &cells[i];
@@ -176,6 +177,7 @@ pub fn to_json(cells: &[SuiteCell], execs: u32, seed: u64) -> String {
         s.push_str(&format!(
             "    {{\"shape\": \"{}\", \"distance\": {}, \"placement\": \"{}\", \
              \"spaces\": [{}], \"chip\": \"{}\", \"strategy\": \"{}\", \
+             \"static\": \"{}\", \"static_warnings\": {}, \
              \"weak\": {}, \"total\": {}, \"rate\": {:.6}, \"outcomes\": [{}]}}{}\n",
             c.shape,
             c.distance,
@@ -183,6 +185,8 @@ pub fn to_json(cells: &[SuiteCell], execs: u32, seed: u64) -> String {
             spaces.join(", "),
             c.chip,
             c.strategy,
+            c.static_verdict,
+            c.static_verdict.warnings,
             c.hist.weak(),
             c.hist.total(),
             c.weak_rate(),
@@ -308,6 +312,12 @@ mod tests {
         assert_eq!(j.matches("\"spaces\": [\"global\"]").count(), 2);
         assert_eq!(j.matches("\"spaces\": [\"shared\"]").count(), 1);
         assert_eq!(j.matches("\"spaces\": [\"global\", \"shared\"]").count(), 1);
+        // The static column rides along: MP warns at device level,
+        // MP.shared at block level, and CoWW is certified quiet.
+        assert_eq!(j.matches("\"static\"").count(), 4);
+        assert!(j.contains("\"static\": \"warn(device)\""));
+        assert!(j.contains("\"static\": \"warn(block)\""));
+        assert!(j.contains("\"static\": \"quiet\""));
         // Balanced brackets (cheap structural sanity).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

@@ -12,11 +12,13 @@
 //! * [`AppSpec::strip`] — remove all fences (how the `-nf` variants were
 //!   manufactured, Sec. 4.1);
 //! * [`AppSpec::with_fences`] — insert a device fence after a chosen
-//!   subset of global accesses (`emp fences`);
-//! * [`AppSpec::with_all_fences`] — a fence after every global access
+//!   subset of memory accesses (`emp fences`);
+//! * [`AppSpec::with_leveled_fences`] — insert fences at chosen levels
+//!   (`block`/`device`), for the scoped hardening search;
+//! * [`AppSpec::with_all_fences`] — a fence after every access
 //!   (`cons fences`, Sec. 6).
 
-use wmm_sim::ir::{transform, Program};
+use wmm_sim::ir::{transform, FenceLevel, Program};
 use wmm_sim::Word;
 
 /// One kernel phase: a program plus its launch geometry.
@@ -68,7 +70,7 @@ impl AppSpec {
     }
 
     /// All candidate fence sites of the fence-free form: one after every
-    /// global memory access, across phases.
+    /// memory access (global *and* shared), across phases.
     ///
     /// # Panics
     ///
@@ -115,7 +117,36 @@ impl AppSpec {
         out
     }
 
-    /// The conservative strategy: a fence after every global access.
+    /// Insert a fence of the chosen level after each listed site —
+    /// the scoped variant of [`AppSpec::with_fences`], used by the
+    /// analyzer-seeded hardening search to place cheap block fences
+    /// where the communication is provably intra-block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this spec still contains fences, or a site is out of
+    /// range.
+    pub fn with_leveled_fences(&self, sites: &[(FenceSite, FenceLevel)]) -> AppSpec {
+        assert_eq!(
+            self.fence_count(),
+            0,
+            "fences are inserted into the fence-free program"
+        );
+        let mut out = self.clone();
+        for (pi, p) in out.phases.iter_mut().enumerate() {
+            let local: Vec<(usize, FenceLevel)> = sites
+                .iter()
+                .filter(|((sp, _), _)| *sp == pi)
+                .map(|&((_, idx), level)| (idx, level))
+                .collect();
+            if !local.is_empty() {
+                p.program = transform::with_leveled_fences(&p.program, &local);
+            }
+        }
+        out
+    }
+
+    /// The conservative strategy: a fence after every access.
     pub fn with_all_fences(&self) -> AppSpec {
         let stripped = if self.fence_count() > 0 {
             self.strip()

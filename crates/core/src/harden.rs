@@ -9,10 +9,21 @@
 //! removing any single fence exposed errors during reduction. If the
 //! final stability check fails, the whole reduction restarts with a
 //! doubled per-check iteration count, exactly as in Alg. 1.
+//!
+//! [`empirical_fence_insertion_scoped`] extends the algorithm with the
+//! static scoped-communication analyzer (`wmm-analysis`): the initial
+//! set covers **all** memory accesses (shared included) at
+//! analyzer-chosen levels, a demotion pass downgrades provably
+//! intra-block fences to the cheap `fence_block()` rung before any
+//! removal is attempted, and every tested candidate feeds a Pareto
+//! front over (residual errors, total fence cost).
 
+use crate::analyze::{analyze_spec, SpecAnalysis};
 use crate::app::{AppSpec, Application, FenceSite};
 use crate::env::{AppHarness, Environment};
+use wmm_analysis::{fence_cost, Verdict};
 use wmm_sim::chip::Chip;
+use wmm_sim::ir::FenceLevel;
 
 /// Configuration of empirical fence insertion.
 #[derive(Debug, Clone)]
@@ -190,6 +201,244 @@ pub fn empirical_fence_insertion(
     }
 }
 
+/// A fence site paired with the level to place there.
+pub type LeveledFenceSite = (FenceSite, FenceLevel);
+
+/// Total relative cost of a leveled fence set (`fence_block` is priced
+/// cheaper than a device fence, see [`wmm_analysis::fence_cost`]).
+pub fn leveled_set_cost(fences: &[LeveledFenceSite]) -> u64 {
+    fences.iter().map(|&(_, l)| fence_cost(l)).sum()
+}
+
+/// One candidate fence set the scoped search actually tested.
+#[derive(Debug, Clone)]
+pub struct ScopedCandidate {
+    /// The leveled fence set.
+    pub fences: Vec<LeveledFenceSite>,
+    /// Errors observed while checking it.
+    pub errors: u32,
+    /// Total fence cost of the set.
+    pub cost: u64,
+}
+
+/// The outcome of analyzer-seeded scoped fence insertion.
+#[derive(Debug, Clone)]
+pub struct ScopedHardenResult {
+    /// The analyzer-chosen initial set: every memory access, fenced at
+    /// its verdict's level.
+    pub initial: Vec<LeveledFenceSite>,
+    /// The surviving fence set with levels.
+    pub fences: Vec<LeveledFenceSite>,
+    /// Analyzer-sanctioned demotions (`Device` → `Block`) that stuck.
+    pub demotions: usize,
+    /// Whether the final set passed the empirical stability check.
+    pub converged: bool,
+    /// Doubling rounds used.
+    pub rounds: u32,
+    /// Total application executions spent.
+    pub executions: u64,
+    /// Total fence cost of the surviving set.
+    pub fence_cost: u64,
+    /// Cost of the same surviving sites fenced at device level — the
+    /// baseline the two-rung hierarchy is measured against.
+    pub device_baseline_cost: u64,
+    /// The Pareto front over (errors, cost) of every candidate set the
+    /// search tested, via [`crate::tuning::pareto::pareto_min_front`].
+    pub pareto: Vec<ScopedCandidate>,
+    /// Wall-clock time spent.
+    pub elapsed: std::time::Duration,
+}
+
+/// Internal driver for the scoped search: like [`Reducer`] but over
+/// leveled sites, recording every tested candidate for the Pareto
+/// front.
+struct ScopedReducer<'a> {
+    chip: &'a Chip,
+    app: &'a dyn Application,
+    base: AppSpec,
+    analysis: SpecAnalysis,
+    env: Environment,
+    cfg: &'a HardenConfig,
+    executions: u64,
+    check_counter: u64,
+    candidates: Vec<ScopedCandidate>,
+}
+
+impl<'a> ScopedReducer<'a> {
+    fn check_leveled(&mut self, fences: &[LeveledFenceSite], iters: u32) -> bool {
+        let spec = self.base.with_leveled_fences(fences);
+        let harness = AppHarness::with_spec(self.chip, self.app, spec);
+        self.check_counter += 1;
+        let seed = self
+            .cfg
+            .base_seed
+            .wrapping_mul(31)
+            .wrapping_add(self.check_counter);
+        let result = harness.campaign(&self.env, iters, seed, self.cfg.parallelism);
+        self.executions += u64::from(result.runs);
+        self.candidates.push(ScopedCandidate {
+            fences: fences.to_vec(),
+            errors: result.errors,
+            cost: leveled_set_cost(fences),
+        });
+        !result.any_error()
+    }
+
+    /// Try every analyzer-sanctioned demotion (`DemotableToBlock`
+    /// sites currently fenced at device level) before any removal.
+    fn demotion_pass(
+        &mut self,
+        mut fences: Vec<LeveledFenceSite>,
+        iters: u32,
+    ) -> (Vec<LeveledFenceSite>, usize) {
+        let mut demotions = 0;
+        for i in 0..fences.len() {
+            let (site, level) = fences[i];
+            if level != FenceLevel::Device
+                || self.analysis.verdict_of(site) != Some(Verdict::DemotableToBlock)
+            {
+                continue;
+            }
+            let mut candidate = fences.clone();
+            candidate[i].1 = FenceLevel::Block;
+            if self.check_leveled(&candidate, iters) {
+                fences = candidate;
+                demotions += 1;
+            }
+        }
+        (fences, demotions)
+    }
+
+    fn binary_reduction(
+        &mut self,
+        mut fences: Vec<LeveledFenceSite>,
+        iters: u32,
+    ) -> Vec<LeveledFenceSite> {
+        while fences.len() > 1 {
+            let mid = fences.len() / 2;
+            let without_first: Vec<LeveledFenceSite> = fences[mid..].to_vec();
+            if self.check_leveled(&without_first, iters) {
+                fences = without_first;
+                continue;
+            }
+            let without_second: Vec<LeveledFenceSite> = fences[..mid].to_vec();
+            if self.check_leveled(&without_second, iters) {
+                fences = without_second;
+                continue;
+            }
+            return fences;
+        }
+        fences
+    }
+
+    fn linear_reduction(
+        &mut self,
+        fences: Vec<LeveledFenceSite>,
+        iters: u32,
+    ) -> Vec<LeveledFenceSite> {
+        let mut kept = fences;
+        let mut i = 0;
+        while i < kept.len() {
+            let mut candidate = kept.clone();
+            candidate.remove(i);
+            if self.check_leveled(&candidate, iters) {
+                kept = candidate;
+            } else {
+                i += 1;
+            }
+        }
+        kept
+    }
+
+    fn empirically_stable(&mut self, fences: &[LeveledFenceSite]) -> bool {
+        self.check_leveled(fences, self.cfg.stable_runs)
+    }
+}
+
+/// Analyzer-seeded scoped fence insertion: Algorithm 1 extended with
+/// the static scoped-communication analyzer.
+///
+/// The initial set covers **all** memory accesses — shared included —
+/// at analyzer-chosen levels: `Required` sites keep their proven
+/// level, `DemotableToBlock` sites start at device (the demotion is
+/// tried empirically, not assumed), and `RemovalCandidate` sites start
+/// at the cheapest rung admissible for their space. Each round then
+/// runs an analyzer-sanctioned *demotion pass* (device → block where
+/// the analysis proves the communication intra-block) before the usual
+/// binary/linear removal reductions and stability check. Every tested
+/// candidate is recorded, and the result carries the Pareto front over
+/// (residual errors, total fence cost).
+///
+/// # Panics
+///
+/// Panics if `app`'s spec still contains fences.
+pub fn empirical_fence_insertion_scoped(
+    chip: &Chip,
+    app: &dyn Application,
+    cfg: &HardenConfig,
+) -> ScopedHardenResult {
+    let start = std::time::Instant::now();
+    let base = app.spec().clone();
+    assert_eq!(
+        base.fence_count(),
+        0,
+        "empirical fence insertion starts from the fence-free program"
+    );
+    let analysis = analyze_spec(&base);
+    let initial: Vec<LeveledFenceSite> = base
+        .fence_sites()
+        .into_iter()
+        .map(|site| (site, analysis.initial_level(site)))
+        .collect();
+    let mut reducer = ScopedReducer {
+        chip,
+        app,
+        base,
+        analysis,
+        env: Environment::sys_str_plus(chip),
+        cfg,
+        executions: 0,
+        check_counter: 0,
+        candidates: Vec::new(),
+    };
+    let mut iters = cfg.initial_iters;
+    let mut rounds = 0;
+    let (fences, demotions, converged) = loop {
+        rounds += 1;
+        let (fd, demotions) = reducer.demotion_pass(initial.clone(), iters);
+        let fb = reducer.binary_reduction(fd, iters);
+        let fl = reducer.linear_reduction(fb, iters);
+        if reducer.empirically_stable(&fl) {
+            break (fl, demotions, true);
+        }
+        if rounds >= cfg.max_rounds {
+            break (fl, demotions, false);
+        }
+        iters *= 2; // Alg. 1, line 5
+    };
+    let points: Vec<[u64; 2]> = reducer
+        .candidates
+        .iter()
+        .map(|c| [u64::from(c.errors), c.cost])
+        .collect();
+    let pareto = crate::tuning::pareto::pareto_min_front(&points)
+        .into_iter()
+        .map(|i| reducer.candidates[i].clone())
+        .collect();
+    ScopedHardenResult {
+        initial,
+        fence_cost: leveled_set_cost(&fences),
+        device_baseline_cost: fences.len() as u64 * fence_cost(FenceLevel::Device),
+        fences,
+        demotions,
+        converged,
+        rounds,
+        executions: reducer.executions,
+        pareto,
+        elapsed: start.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +524,38 @@ mod tests {
         let h = AppHarness::with_spec(&chip, &app, spec);
         let check = h.campaign(&Environment::sys_str_plus(&chip), 60, 99, 0);
         assert_eq!(check.errors, 0, "{check:?}");
+    }
+
+    #[test]
+    fn scoped_insertion_reduces_the_lock_counter_too() {
+        // The lock counter is all-global: the scoped search must behave
+        // like Alg. 1 there — no block fences, but the same stable
+        // reduction — while exercising the verdict-seeded initial set
+        // and the Pareto bookkeeping.
+        let chip = Chip::by_short("Titan").unwrap();
+        let app = lock_counter(8);
+        let cfg = HardenConfig {
+            initial_iters: 24,
+            stable_runs: 60,
+            max_rounds: 3,
+            base_seed: 5,
+            parallelism: 0,
+        };
+        let r = empirical_fence_insertion_scoped(&chip, &app, &cfg);
+        assert!(r.converged, "{r:?}");
+        assert!(r.fences.len() < r.initial.len());
+        assert!(
+            r.fences.iter().all(|&(_, l)| l == FenceLevel::Device),
+            "no shared accesses, so no block rung: {:?}",
+            r.fences
+        );
+        assert_eq!(
+            r.fence_cost, r.device_baseline_cost,
+            "all-device sets meet the baseline exactly"
+        );
+        // The front always contains a zero-error candidate (the search
+        // only returns converged sets it has checked).
+        assert!(r.pareto.iter().any(|c| c.errors == 0), "{:?}", r.pareto);
     }
 
     #[test]

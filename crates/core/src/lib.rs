@@ -15,9 +15,15 @@
 //! * [`mod@env`] — the Tab. 5 testing environments and the application
 //!   harness;
 //! * [`tuning`] — the per-chip tuning pipeline (Sec. 3);
-//! * [`suite`] — the generated-litmus-suite campaign runner;
-//! * [`harden`] — empirical fence insertion (Alg. 1, Sec. 5).
+//! * [`suite`] — the generated-litmus-suite campaign runner, each row
+//!   cross-checked against the static analyzer's verdict;
+//! * [`harden`] — empirical fence insertion (Alg. 1, Sec. 5), plus the
+//!   analyzer-seeded scoped variant that places the cheap block-level
+//!   rung where communication is provably intra-block;
+//! * [`analyze`] — glue binding the `wmm-analysis` static analyzer to
+//!   application specs via representative launch threads.
 
+pub mod analyze;
 pub mod app;
 pub mod campaign;
 pub mod env;
@@ -26,8 +32,13 @@ pub mod stress;
 pub mod suite;
 pub mod tuning;
 
+pub use analyze::{analyze_spec, representatives, SpecAnalysis};
 pub use app::{AppSpec, Application, Phase};
 pub use campaign::{Campaign, CampaignBuilder, LitmusWorkload, Workload};
 pub use env::{AppHarness, CampaignResult, Environment, RunVerdict};
+pub use harden::{
+    empirical_fence_insertion, empirical_fence_insertion_scoped, HardenConfig, HardenResult,
+    LeveledFenceSite, ScopedHardenResult,
+};
 pub use stress::{Scratchpad, StressArtifacts, StressStrategy, SystematicParams};
-pub use suite::{run_suite, SuiteCell, SuiteConfig, SuiteStrategy};
+pub use suite::{run_suite, StaticVerdict, SuiteCell, SuiteConfig, SuiteStrategy};

@@ -18,7 +18,7 @@ use wmm_gen::Shape;
 use wmm_litmus::runner::mix_seed;
 use wmm_litmus::{Histogram, LitmusLayout, Placement};
 use wmm_sim::chip::Chip;
-use wmm_sim::ir::Space;
+use wmm_sim::ir::{FenceLevel, Space};
 
 /// A named suite column: a stress strategy (computed per chip — the
 /// systematic strategy's parameters are per-chip, Tab. 2) plus the
@@ -145,6 +145,43 @@ impl Default for SuiteConfig {
     }
 }
 
+/// The static analyzer's verdict on one suite row's litmus instance,
+/// computed once per `(shape, distance)` from the exact per-test-thread
+/// models (see [`wmm_analysis::analyze_litmus`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticVerdict {
+    /// Unfenced delay warnings on the instance's program.
+    pub warnings: usize,
+    /// The strongest fence level any warning demands (`None` ⇒ quiet).
+    pub level: Option<FenceLevel>,
+}
+
+impl StaticVerdict {
+    /// Quiet certificate: no unfenced critical cycle.
+    pub fn quiet(&self) -> bool {
+        self.warnings == 0
+    }
+
+    /// Compute the verdict for one litmus instance.
+    pub fn of(inst: &wmm_litmus::LitmusInstance) -> StaticVerdict {
+        let a = wmm_analysis::analyze_litmus(inst);
+        StaticVerdict {
+            warnings: a.warnings.len(),
+            level: a.max_warning_level(),
+        }
+    }
+}
+
+impl std::fmt::Display for StaticVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.level {
+            None => write!(f, "quiet"),
+            Some(FenceLevel::Block) => write!(f, "warn(block)"),
+            Some(FenceLevel::Device) => write!(f, "warn(device)"),
+        }
+    }
+}
+
 /// One cell of the suite matrix: a shape at a distance, on a chip,
 /// under a strategy.
 #[derive(Debug, Clone)]
@@ -166,6 +203,9 @@ pub struct SuiteCell {
     pub strategy: String,
     /// The outcome histogram (weak = outside the derived SC set).
     pub hist: Histogram,
+    /// The static analyzer's verdict on this row's instance: quiet, or
+    /// warning with the strongest fence level the delay set demands.
+    pub static_verdict: StaticVerdict,
 }
 
 impl SuiteCell {
@@ -205,6 +245,7 @@ pub fn run_suite(
     for (si, shape) in shapes.iter().enumerate() {
         for &d in &cfg.distances {
             let inst = shape.instance(LitmusLayout::standard(d, cfg.pad.required_words()));
+            let static_verdict = StaticVerdict::of(&inst);
             for (ci, chip) in chips.iter().enumerate() {
                 for (ki, strat) in strategies.iter().enumerate() {
                     // Chain one mix per coordinate: unlike a polynomial
@@ -228,6 +269,7 @@ pub fn run_suite(
                         chip: chip.short.to_string(),
                         strategy: strat.name.clone(),
                         hist,
+                        static_verdict: static_verdict.clone(),
                     });
                 }
             }
@@ -287,6 +329,35 @@ mod tests {
                 assert_eq!(a.hist, b.hist, "{} {}", a.shape, a.strategy);
             }
         }
+    }
+
+    #[test]
+    fn static_column_matches_the_catalogue() {
+        let cfg = SuiteConfig {
+            execs: 4,
+            ..Default::default()
+        };
+        let cells = run_suite(
+            &[Shape::Mp, Shape::MpFences, Shape::MpShared, Shape::CoRR],
+            &[strong_chip()],
+            &[SuiteStrategy::native()],
+            &cfg,
+        );
+        let verdict = |shape: Shape| {
+            cells
+                .iter()
+                .find(|c| c.shape == shape)
+                .unwrap()
+                .static_verdict
+                .clone()
+        };
+        assert_eq!(verdict(Shape::Mp).level, Some(FenceLevel::Device));
+        assert!(verdict(Shape::MpFences).quiet());
+        assert_eq!(verdict(Shape::MpShared).level, Some(FenceLevel::Block));
+        assert!(verdict(Shape::CoRR).quiet(), "coherence-only shape");
+        assert_eq!(verdict(Shape::Mp).to_string(), "warn(device)");
+        assert_eq!(verdict(Shape::MpShared).to_string(), "warn(block)");
+        assert_eq!(verdict(Shape::MpFences).to_string(), "quiet");
     }
 
     #[test]

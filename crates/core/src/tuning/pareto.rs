@@ -19,6 +19,23 @@ pub fn pareto_front(scores: &[[u64; 3]]) -> Vec<usize> {
         .collect()
 }
 
+/// Indices of the Pareto-optimal points under *minimisation* with weak
+/// dominance: `a` dominates `b` when `a` is no worse on both axes and
+/// strictly better on at least one. Used by the scoped hardening
+/// search over (residual errors, fence cost) — duplicate points all
+/// stay on the front, so the caller's deterministic tie-breaks apply.
+pub fn pareto_min_front(points: &[[u64; 2]]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points.iter().any(|o| {
+                o[0] <= points[i][0]
+                    && o[1] <= points[i][1]
+                    && (o[0] < points[i][0] || o[1] < points[i][1])
+            })
+        })
+        .collect()
+}
+
 /// Select the single winner: the Pareto front filtered by the
 /// two-of-three tie-break, then by total score, then by lowest index
 /// (fully deterministic).
@@ -101,5 +118,24 @@ mod tests {
     #[should_panic(expected = "no candidates")]
     fn empty_input_panics() {
         let _ = select_winner(&[]);
+    }
+
+    #[test]
+    fn min_front_keeps_the_tradeoff_curve() {
+        // (errors, cost): the zero-error cheap point and the cheapest
+        // point survive; anything weakly dominated falls off.
+        let pts = [[0, 8], [0, 2], [1, 1], [2, 2], [0, 2]];
+        let front = pareto_min_front(&pts);
+        assert!(!front.contains(&0), "costlier than [0,2]");
+        assert!(front.contains(&1));
+        assert!(front.contains(&2), "cheapest point stays despite errors");
+        assert!(!front.contains(&3), "dominated by [1,1] and [0,2]");
+        assert!(front.contains(&4), "duplicates both stay on the front");
+    }
+
+    #[test]
+    fn min_front_of_identical_points_is_everyone() {
+        let pts = [[3, 3], [3, 3]];
+        assert_eq!(pareto_min_front(&pts), vec![0, 1]);
     }
 }

@@ -1483,7 +1483,11 @@ fn classify(older_store: bool, younger_store: bool) -> ReorderKind {
     }
 }
 
-fn eval_bin(op: BinOp, a: Word, b: Word) -> Word {
+/// Evaluate a [`BinOp`] on two words with the simulator's exact
+/// semantics (wrapping integer arithmetic, trap-free division, 5-bit
+/// shift masks, IEEE-754 bit-pattern floats). Public so static analyses
+/// can share the operational semantics instead of re-implementing them.
+pub fn eval_bin(op: BinOp, a: Word, b: Word) -> Word {
     match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),

@@ -195,6 +195,44 @@ impl Inst {
         }
     }
 
+    /// The memory space this instruction accesses, if it is a memory
+    /// access.
+    pub fn space(&self) -> Option<Space> {
+        match self {
+            Inst::Load { space, .. }
+            | Inst::Store { space, .. }
+            | Inst::AtomicCas { space, .. }
+            | Inst::AtomicExch { space, .. }
+            | Inst::AtomicAdd { space, .. } => Some(*space),
+            _ => None,
+        }
+    }
+
+    /// The address register of a memory access, if any.
+    pub fn addr_reg(&self) -> Option<Reg> {
+        match self {
+            Inst::Load { addr, .. }
+            | Inst::Store { addr, .. }
+            | Inst::AtomicCas { addr, .. }
+            | Inst::AtomicExch { addr, .. }
+            | Inst::AtomicAdd { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// True if this memory access may write its location (stores and
+    /// atomics; `AtomicCas` conservatively counts even though it only
+    /// writes on a compare hit).
+    pub fn may_write(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. }
+                | Inst::AtomicCas { .. }
+                | Inst::AtomicExch { .. }
+                | Inst::AtomicAdd { .. }
+        )
+    }
+
     /// The branch target, if this is a control-flow instruction.
     pub fn target(&self) -> Option<usize> {
         match self {
@@ -247,6 +285,19 @@ impl Program {
             .iter()
             .enumerate()
             .filter(|(_, i)| i.is_global_access())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of *all* memory accesses, global and shared — the
+    /// candidate fence sites of scope-aware fence insertion, where the
+    /// cheaper `FenceLevel::Block` rung is admissible after shared
+    /// accesses.
+    pub fn memory_access_indices(&self) -> Vec<usize> {
+        self.insts
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_memory_access())
             .map(|(i, _)| i)
             .collect()
     }

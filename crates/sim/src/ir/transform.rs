@@ -12,19 +12,23 @@
 //!   to an application that shipped with fences (how the paper
 //!   manufactured the `-nf` variants).
 //!
-//! Fence *sites* are identified by the instruction index of the global
+//! Fence *sites* are identified by the instruction index of the memory
 //! access they follow, in the fence-free program. This gives Alg. 1 a
-//! stable set to reduce over.
+//! stable set to reduce over. Since the static scoped-communication
+//! analyzer landed, sites cover *shared*-space accesses too, and
+//! [`with_leveled_fences`] can place the cheaper `FenceLevel::Block`
+//! rung at a site — the device-only entry points below delegate to it.
 
 use super::validate::validate;
 use super::{BinOp, FenceLevel, Inst, Program, SpecialReg};
 use crate::ir::Space;
 
 /// The fence sites of a program: instruction indices (in a fence-free
-/// program) of global memory accesses, each a candidate location for a
-/// trailing device fence.
+/// program) of memory accesses — global *and* shared — each a candidate
+/// location for a trailing fence. Shared-space sites admit the cheaper
+/// `FenceLevel::Block` rung via [`with_leveled_fences`].
 pub fn fence_sites(p: &Program) -> Vec<usize> {
-    p.global_access_indices()
+    p.memory_access_indices()
 }
 
 /// Insert a device fence after each instruction index in `sites`.
@@ -40,12 +44,25 @@ pub fn fence_sites(p: &Program) -> Vec<usize> {
 /// Panics if any site index is out of range, or if the transformed
 /// program fails validation (a bug in this pass, not in the caller).
 pub fn with_fences(p: &Program, sites: &[usize]) -> Program {
-    for &s in sites {
+    let leveled: Vec<(usize, FenceLevel)> =
+        sites.iter().map(|&s| (s, FenceLevel::Device)).collect();
+    with_leveled_fences(p, &leveled)
+}
+
+/// Insert a fence of the given level after each listed instruction
+/// index. Duplicate sites keep the *strongest* requested level (device
+/// beats block), so a site never carries two fences.
+///
+/// # Panics
+///
+/// As [`with_fences`].
+pub fn with_leveled_fences(p: &Program, sites: &[(usize, FenceLevel)]) -> Program {
+    for &(s, _) in sites {
         assert!(s < p.insts.len(), "fence site {s} out of range");
     }
-    let mut sorted: Vec<usize> = sites.to_vec();
-    sorted.sort_unstable();
-    sorted.dedup();
+    let mut sorted: Vec<(usize, FenceLevel)> = sites.to_vec();
+    sorted.sort_unstable_by_key(|&(s, level)| (s, level != FenceLevel::Device));
+    sorted.dedup_by_key(|&mut (s, _)| s);
 
     // new_pos[i] = index of old instruction i in the transformed program.
     let mut new_pos = Vec::with_capacity(p.insts.len() + 1);
@@ -53,7 +70,7 @@ pub fn with_fences(p: &Program, sites: &[usize]) -> Program {
     let mut site_iter = sorted.iter().peekable();
     for i in 0..p.insts.len() {
         new_pos.push(i + inserted);
-        if site_iter.peek() == Some(&&i) {
+        if site_iter.peek().map(|&&(s, _)| s) == Some(i) {
             site_iter.next();
             inserted += 1;
         }
@@ -69,9 +86,9 @@ pub fn with_fences(p: &Program, sites: &[usize]) -> Program {
             *t = new_pos[*t];
         }
         insts.push(inst);
-        if site_iter.peek() == Some(&&i) {
-            site_iter.next();
-            insts.push(Inst::Fence(FenceLevel::Device));
+        if site_iter.peek().map(|&&(s, _)| s) == Some(i) {
+            let (_, level) = *site_iter.next().unwrap();
+            insts.push(Inst::Fence(level));
         }
     }
 
@@ -84,8 +101,8 @@ pub fn with_fences(p: &Program, sites: &[usize]) -> Program {
     out
 }
 
-/// The paper's conservative strategy: a device fence after every global
-/// memory access.
+/// The paper's conservative strategy: a device fence after every memory
+/// access.
 pub fn with_all_fences(p: &Program) -> Program {
     with_fences(p, &fence_sites(p))
 }
@@ -313,12 +330,12 @@ mod tests {
     }
 
     #[test]
-    fn sites_are_global_accesses() {
+    fn sites_are_memory_accesses() {
         let p = sample();
         let sites = fence_sites(&p);
         assert_eq!(sites.len(), 4);
         for s in sites {
-            assert!(p.insts[s].is_global_access());
+            assert!(p.insts[s].is_memory_access());
         }
     }
 
@@ -493,20 +510,65 @@ mod tests {
     }
 
     #[test]
-    fn sample_accesses_in_space() {
-        // Shared accesses are never fence sites.
+    fn shared_accesses_are_fence_sites_too() {
+        // Scoped apps are hardenable: shared-space accesses are
+        // enumerated as fence sites, admitting the Block rung.
         let mut b = KernelBuilder::new("sh");
         let a = b.const_(0);
         let v = b.load_shared(a);
         b.store_shared(a, v);
         let p = b.finish().unwrap();
-        assert!(fence_sites(&p).is_empty());
-        assert!(p.insts.iter().any(|i| matches!(
-            i,
-            Inst::Load {
-                space: Space::Shared,
-                ..
-            }
-        )));
+        let sites = fence_sites(&p);
+        assert_eq!(sites.len(), 2);
+        for s in &sites {
+            assert!(p.insts[*s].is_memory_access());
+            assert!(!p.insts[*s].is_global_access());
+        }
+    }
+
+    #[test]
+    fn leveled_fences_place_the_requested_rungs() {
+        let mut b = KernelBuilder::new("lv");
+        let a = b.const_(0);
+        let g = b.const_(64);
+        let v = b.load_shared(a);
+        b.store_global(g, v);
+        let p = b.finish().unwrap();
+        let sites = fence_sites(&p);
+        assert_eq!(sites.len(), 2);
+        let f = with_leveled_fences(
+            &p,
+            &[
+                (sites[0], FenceLevel::Block),
+                (sites[1], FenceLevel::Device),
+            ],
+        );
+        assert_eq!(f.fence_count(), 2);
+        let levels: Vec<FenceLevel> = f
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Fence(l) => Some(*l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(levels, vec![FenceLevel::Block, FenceLevel::Device]);
+        assert_eq!(strip_fences(&f), p);
+    }
+
+    #[test]
+    fn duplicate_leveled_sites_keep_the_stronger_rung() {
+        let mut b = KernelBuilder::new("dup");
+        let a = b.const_(0);
+        let v = b.load_shared(a);
+        b.store_shared(a, v);
+        let p = b.finish().unwrap();
+        let s = fence_sites(&p)[0];
+        let f = with_leveled_fences(&p, &[(s, FenceLevel::Block), (s, FenceLevel::Device)]);
+        assert_eq!(f.fence_count(), 1);
+        assert!(f
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Fence(FenceLevel::Device))));
     }
 }

@@ -13,6 +13,9 @@
 //!   catalogue (MP, LB, SB, …, IRIW, CoRR, CoWW, plus fenced variants)
 //!   and the SC-enumeration oracle that derives each test's forbidden
 //!   outcomes;
+//! * [`analysis`] — the static scoped-communication analyzer: per-thread
+//!   abstract interpretation, Shasha–Snir delay-set warnings with
+//!   minimal fence levels, and per-site fence-scope verdicts;
 //! * [`core`] — the paper's contribution: the unified campaign facade
 //!   (`Workload` → `CampaignBuilder` → `Campaign`), tuned memory
 //!   stressing with per-environment stress artifacts, thread
@@ -25,6 +28,7 @@
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results. The
 //! `examples/` directory exercises the public API end to end.
 
+pub use wmm_analysis as analysis;
 pub use wmm_apps as apps;
 pub use wmm_core as core;
 pub use wmm_gen as gen;
