@@ -10,10 +10,20 @@
 //! A program-order pair (a, b) in one thread is a *delay* when a mixed
 //! path b ⇝ a exists through the union of program-order and conflict
 //! edges using at least one conflict edge — the critical-cycle
-//! condition of Shasha & Snir. Same-address pairs are exempt: the
-//! simulator, like real chips, preserves per-location coherence
-//! (`CoRR`/`CoWW`/`CoAdd` never go weak), so only cross-location
-//! reorderings can break sequential consistency.
+//! condition of Shasha & Snir. Same-address pairs are exempt from this
+//! *reordering* channel: the in-flight window, like real chips'
+//! store buffers, preserves per-location coherence, so only
+//! cross-location reorderings can break sequential consistency there.
+//!
+//! Per-location coherence is **not** a chip-independent guarantee,
+//! though. On chips whose SM-private L1 caches are incoherent, a plain
+//! global load may hit a stale line created by a remote SM's write, so
+//! a same-address load-load pair (`CoRR` and friends) can observe new
+//! then old. [`l1_read_read_edges`] computes those pairs as an extra,
+//! chip-gated edge set: callers with an incoherent-L1
+//! [`Chip`](wmm_sim::chip::Chip) union it into the delay set (see
+//! `analyze_litmus_on_chip`), while the chip-independent analysis keeps
+//! the coherence exemption.
 //!
 //! Each delay edge carries the *minimal* fence level that orders it:
 //! [`FenceLevel::Block`] when both endpoints are provably shared-space
@@ -167,6 +177,75 @@ fn edge_fenced(p: &Program, t: &ThreadModel, from: usize, to: usize, level: Fenc
         stack.extend(t.abs.succs[i].iter().copied());
     }
     true
+}
+
+/// Compute the incoherent-L1 read-read edges of `p`: program-order
+/// pairs of **plain global loads** in one thread that may read the same
+/// address, where a conflicting global write exists in a thread of
+/// another block. On a chip with incoherent SM-private L1s the second
+/// load may hit a stale line the remote write left behind, observing
+/// new-then-old — the structural violation of `CoRR` — so the pair
+/// needs a device fence (which refreshes the home SM's L1) just like a
+/// reordering delay.
+///
+/// Only plain loads participate: atomics read through to L2 (always
+/// fresh), and the emitted kernels' rendezvous counters are atomic
+/// RMWs, so synchronisation idioms produce no edges here. Same-block
+/// writers are excluded — threads of one block share a home SM, and a
+/// writer invalidates its own SM's line, so staleness needs the writer
+/// on a *different* SM (conservatively: a different block).
+///
+/// Chip-gated by the caller: these edges exist only where
+/// `Chip::l1_weak()` holds; the chip-independent [`delay_edges`] never
+/// includes them.
+pub fn l1_read_read_edges(p: &Program, ts: &[ThreadModel]) -> Vec<DelayEdge> {
+    let is_plain_global_load = |i: usize| {
+        matches!(
+            p.insts[i],
+            Inst::Load {
+                space: Space::Global,
+                ..
+            }
+        )
+    };
+    let mut out = Vec::new();
+    for (t, tm) in ts.iter().enumerate() {
+        for &i in &tm.accesses {
+            if !is_plain_global_load(i) {
+                continue;
+            }
+            for &j in &tm.accesses {
+                if i == j || !tm.po(i, j) || !is_plain_global_load(j) {
+                    continue;
+                }
+                if !addr_of(tm, i).overlaps(addr_of(tm, j)) {
+                    continue;
+                }
+                // A stale hit needs a remote-SM write to create the
+                // stale line.
+                let remote_writer = ts.iter().enumerate().any(|(u, um)| {
+                    u != t
+                        && um.ctx.bid != tm.ctx.bid
+                        && um.accesses.iter().any(|&k| {
+                            p.insts[k].may_write()
+                                && p.insts[k].space() == Some(Space::Global)
+                                && addr_of(um, k).overlaps(addr_of(tm, i))
+                        })
+                });
+                if !remote_writer {
+                    continue;
+                }
+                out.push(DelayEdge {
+                    thread: t,
+                    from: i,
+                    to: j,
+                    level: FenceLevel::Device,
+                    fenced: edge_fenced(p, tm, i, j, FenceLevel::Device),
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Compute all delay edges of `p` under the given thread models.

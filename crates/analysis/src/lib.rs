@@ -24,9 +24,14 @@
 //! over-approximates nothing it shouldn't and misses nothing — every
 //! weak behavior the dynamic suite can observe corresponds to a
 //! warning (`tests/static_dynamic_agreement.rs` enforces this over the
-//! whole shape catalogue). For applications, callers choose a bounded
-//! set of representative threads; the result is a heuristic (still
-//! conservative per modeled thread) rather than a proof.
+//! whole shape catalogue). The contract is per chip: on chips whose
+//! SM-private L1s are incoherent, same-address global load-load pairs
+//! can go weak structurally, so the chip-aware entry points
+//! ([`analyze_litmus_on_chip`], [`analyze_program_on_chip`]) add the L1
+//! read-read channel instead of coherence-exempting those pairs. For
+//! applications, callers choose a bounded set of representative
+//! threads; the result is a heuristic (still conservative per modeled
+//! thread) rather than a proof.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,10 +41,11 @@ pub mod delay;
 pub mod report;
 
 pub use absint::{AbsVal, ThreadAbs, ThreadCtx};
-pub use delay::{delay_edges, DelayEdge, Event, ThreadModel};
+pub use delay::{delay_edges, l1_read_read_edges, DelayEdge, Event, ThreadModel};
 pub use report::{summarize, DelayWarning, ProgramAnalysis, SiteReport, Verdict};
 
 use wmm_litmus::{LitmusInstance, Placement};
+use wmm_sim::chip::Chip;
 use wmm_sim::ir::FenceLevel;
 use wmm_sim::Program;
 
@@ -66,9 +72,8 @@ pub struct AnalysisInput<'a> {
     pub grid_dim: u32,
 }
 
-/// Analyze a program under a launch geometry.
-pub fn analyze_program(input: &AnalysisInput<'_>) -> ProgramAnalysis {
-    let models: Vec<ThreadModel> = input
+fn models_for(input: &AnalysisInput<'_>) -> Vec<ThreadModel> {
+    input
         .reps
         .iter()
         .map(|r| {
@@ -82,8 +87,32 @@ pub fn analyze_program(input: &AnalysisInput<'_>) -> ProgramAnalysis {
                 },
             )
         })
-        .collect();
+        .collect()
+}
+
+/// Analyze a program under a launch geometry, chip-independently: the
+/// delay set every chip's in-flight reordering can break. Same-address
+/// pairs are coherence-exempt here; for chips whose SM-private L1s are
+/// incoherent, use [`analyze_program_on_chip`], which adds the
+/// structural read-read channel.
+pub fn analyze_program(input: &AnalysisInput<'_>) -> ProgramAnalysis {
+    let models = models_for(input);
     let edges = delay_edges(input.program, &models);
+    summarize(input.program, &edges)
+}
+
+/// Analyze a program under a launch geometry **on a specific chip**:
+/// the chip-independent delay set, plus — when `chip.l1_weak()` — the
+/// incoherent-L1 read-read edges ([`l1_read_read_edges`]), so
+/// same-address global load-load pairs warn instead of being
+/// coherence-exempt. On coherent-L1 chips this is identical to
+/// [`analyze_program`].
+pub fn analyze_program_on_chip(input: &AnalysisInput<'_>, chip: &Chip) -> ProgramAnalysis {
+    let models = models_for(input);
+    let mut edges = delay_edges(input.program, &models);
+    if chip.l1_weak() {
+        edges.extend(l1_read_read_edges(input.program, &models));
+    }
     summarize(input.program, &edges)
 }
 
@@ -109,7 +138,8 @@ pub fn litmus_reps(placement: Placement, threads: u32) -> (Vec<ThreadRep>, u32, 
     }
 }
 
-/// Analyze a litmus instance with exact per-test-thread models.
+/// Analyze a litmus instance with exact per-test-thread models,
+/// chip-independently.
 pub fn analyze_litmus(li: &LitmusInstance) -> ProgramAnalysis {
     let (reps, block_dim, grid_dim) = litmus_reps(li.placement, li.threads);
     analyze_program(&AnalysisInput {
@@ -118,6 +148,22 @@ pub fn analyze_litmus(li: &LitmusInstance) -> ProgramAnalysis {
         block_dim,
         grid_dim,
     })
+}
+
+/// Analyze a litmus instance with exact per-test-thread models on a
+/// specific chip — see [`analyze_program_on_chip`] for what the chip
+/// adds.
+pub fn analyze_litmus_on_chip(li: &LitmusInstance, chip: &Chip) -> ProgramAnalysis {
+    let (reps, block_dim, grid_dim) = litmus_reps(li.placement, li.threads);
+    analyze_program_on_chip(
+        &AnalysisInput {
+            program: li.program.as_ref(),
+            reps,
+            block_dim,
+            grid_dim,
+        },
+        chip,
+    )
 }
 
 /// Relative runtime cost of one fence at the given level. A device
@@ -188,6 +234,41 @@ mod tests {
                 a.warnings
             );
         }
+    }
+
+    #[test]
+    fn corr_warns_only_on_incoherent_l1_chips() {
+        let li = instance(Shape::CoRR);
+        // Chip-independently, CoRR stays coherence-exempt...
+        assert!(analyze_litmus(&li).quiet());
+        // ...and on coherent-L1 chips the chip-aware form agrees.
+        let k20 = Chip::by_short("K20").unwrap();
+        assert!(analyze_litmus_on_chip(&li, &k20).quiet());
+        // On an incoherent-L1 Tesla the load-load pair joins the delay
+        // set, at device level (the fence that refreshes the L1).
+        let c2075 = Chip::by_short("C2075").unwrap();
+        let a = analyze_litmus_on_chip(&li, &c2075);
+        assert!(!a.quiet(), "stale L1 lines break CoRR on C2075");
+        assert_eq!(a.max_warning_level(), Some(FenceLevel::Device));
+        // Zeroing the staleness rates removes the channel again.
+        assert!(analyze_litmus_on_chip(&li, &c2075.clone().sequentially_consistent()).quiet());
+    }
+
+    #[test]
+    fn corr_fence_is_quiet_even_on_incoherent_l1_chips() {
+        let c2075 = Chip::by_short("C2075").unwrap();
+        let a = analyze_litmus_on_chip(&instance(Shape::CoRRFence), &c2075);
+        assert!(a.quiet(), "{:?}", a.warnings);
+        assert!(a.ordered_edges >= 1, "the fence orders the read-read pair");
+    }
+
+    #[test]
+    fn intra_block_shared_corr_stays_quiet_on_incoherent_l1_chips() {
+        // CoRR.shared reads shared memory — no L1 in that path — and an
+        // intra-block global pair would share a home SM anyway.
+        let c2075 = Chip::by_short("C2075").unwrap();
+        let a = analyze_litmus_on_chip(&instance(Shape::CoRRShared), &c2075);
+        assert!(a.quiet(), "{:?}", a.warnings);
     }
 
     #[test]

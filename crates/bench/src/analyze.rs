@@ -9,21 +9,30 @@
 //!   per-test-thread analysis of the generated kernel;
 //! * an application name (`cbe-dot`, `ls-bh-nf`, `shm-pipe`, ...) —
 //!   per-phase analysis under representative launch threads;
-//! * `shapes` — the whole 27-shape catalogue;
+//! * `shapes` — the whole shape catalogue;
 //! * `apps` — the Tab. 4 set plus the scoped `shm-pipe` demo;
 //! * `all` — both of the above.
 //!
+//! `--chips A,B` routes shape targets through the chip-aware analyzer
+//! (`wmm_analysis::analyze_litmus_on_chip`), one report per chip: on
+//! incoherent-L1 chips (C2075/C2050) the structural read-read channel
+//! joins the delay set, so `CoRR` warns there and stays quiet on the
+//! coherent presets. Without the flag the analysis is chip-independent,
+//! exactly as before.
+//!
 //! `--json PATH` additionally writes a machine-readable report whose
 //! verdict strings (`DemotableToBlock`, `Required(Device)`,
-//! `RemovalCandidate`) and warning counts CI greps for.
+//! `RemovalCandidate`), warning counts, and per-chip quiet flags CI
+//! greps for.
 
 use std::fmt::Write as _;
 
-use wmm_analysis::{analyze_litmus, ProgramAnalysis};
+use wmm_analysis::{analyze_litmus, analyze_litmus_on_chip, ProgramAnalysis};
 use wmm_apps::{all_apps, app_by_name};
 use wmm_core::analyze_spec;
 use wmm_gen::Shape;
 use wmm_litmus::{LitmusLayout, Placement};
+use wmm_sim::chip::Chip;
 use wmm_sim::ir::{FenceLevel, Space};
 
 /// Layout the shape targets are instantiated at. The analyzer's verdict
@@ -38,6 +47,8 @@ enum Report {
     Shape {
         shape: Shape,
         threads: u32,
+        /// Chip the analysis ran on (`None` ⇒ chip-independent).
+        chip: Option<String>,
         analysis: ProgramAnalysis,
     },
     /// An application, analyzed per phase under representative threads.
@@ -47,12 +58,25 @@ enum Report {
     },
 }
 
-fn analyze_shape(shape: Shape) -> Report {
+fn analyze_shape(shape: Shape, chip: Option<&Chip>) -> Report {
     let li = shape.instance(LitmusLayout::standard(DISTANCE, GLOBAL_WORDS));
+    let analysis = match chip {
+        Some(c) => analyze_litmus_on_chip(&li, c),
+        None => analyze_litmus(&li),
+    };
     Report::Shape {
         shape,
         threads: li.threads,
-        analysis: analyze_litmus(&li),
+        chip: chip.map(|c| c.short.to_string()),
+        analysis,
+    }
+}
+
+/// One report per requested chip, or one chip-independent report.
+fn shape_reports(shape: Shape, chips: &Option<Vec<Chip>>) -> Vec<Report> {
+    match chips {
+        None => vec![analyze_shape(shape, None)],
+        Some(cs) => cs.iter().map(|c| analyze_shape(shape, Some(c))).collect(),
     }
 }
 
@@ -71,21 +95,27 @@ fn app_targets() -> Vec<String> {
     names
 }
 
-fn resolve(target: &str) -> Result<Vec<Report>, String> {
+fn resolve(target: &str, chips: &Option<Vec<Chip>>) -> Result<Vec<Report>, String> {
     match target {
-        "shapes" => Ok(Shape::ALL.iter().copied().map(analyze_shape).collect()),
+        "shapes" => Ok(Shape::ALL
+            .iter()
+            .flat_map(|&s| shape_reports(s, chips))
+            .collect()),
         "apps" => Ok(app_targets()
             .iter()
             .filter_map(|n| analyze_app(n))
             .collect()),
         "all" => {
-            let mut out: Vec<Report> = Shape::ALL.iter().copied().map(analyze_shape).collect();
+            let mut out: Vec<Report> = Shape::ALL
+                .iter()
+                .flat_map(|&s| shape_reports(s, chips))
+                .collect();
             out.extend(app_targets().iter().filter_map(|n| analyze_app(n)));
             Ok(out)
         }
         name => {
             if let Ok(shape) = name.parse::<Shape>() {
-                return Ok(vec![analyze_shape(shape)]);
+                return Ok(shape_reports(shape, chips));
             }
             if let Some(r) = analyze_app(name) {
                 return Ok(vec![r]);
@@ -138,13 +168,20 @@ fn print_report(r: &Report) {
         Report::Shape {
             shape,
             threads,
+            chip,
             analysis,
         } => {
             let placement = match shape.placement() {
                 Placement::InterBlock => "inter-block",
                 Placement::IntraBlock => "intra-block",
             };
-            println!("== {} ({placement}, {threads} threads) ==", shape.short());
+            match chip {
+                Some(c) => println!(
+                    "== {} on {c} ({placement}, {threads} threads) ==",
+                    shape.short()
+                ),
+                None => println!("== {} ({placement}, {threads} threads) ==", shape.short()),
+            }
             print_analysis(analysis, "  ");
         }
         Report::App { name, phases } => {
@@ -212,6 +249,7 @@ fn to_json(reports: &[Report]) -> String {
             Report::Shape {
                 shape,
                 threads,
+                chip,
                 analysis,
             } => {
                 let _ = write!(
@@ -224,6 +262,9 @@ fn to_json(reports: &[Report]) -> String {
                         Placement::IntraBlock => "intra",
                     },
                 );
+                if let Some(c) = chip {
+                    let _ = write!(out, "\"chip\": \"{c}\", ");
+                }
                 json_analysis(&mut out, analysis);
                 out.push('}');
             }
@@ -252,9 +293,23 @@ fn to_json(reports: &[Report]) -> String {
     out
 }
 
-/// Analyze `target`, print the report, and optionally write JSON.
-pub fn run(target: &str, json_path: Option<&str>) -> Result<(), String> {
-    let reports = resolve(target)?;
+/// Analyze `target` — on specific chips when `chips` names any — print
+/// the report, and optionally write JSON.
+pub fn run(
+    target: &str,
+    chips: Option<Vec<String>>,
+    json_path: Option<&str>,
+) -> Result<(), String> {
+    let chips: Option<Vec<Chip>> = match chips {
+        None => None,
+        Some(names) => Some(
+            names
+                .iter()
+                .map(|n| Chip::by_short(n).ok_or_else(|| format!("unknown chip {n}")))
+                .collect::<Result<_, _>>()?,
+        ),
+    };
+    let reports = resolve(target, &chips)?;
     for (i, r) in reports.iter().enumerate() {
         if i > 0 {
             println!();
@@ -274,7 +329,12 @@ mod tests {
     use super::*;
 
     fn json_of(target: &str) -> String {
-        to_json(&resolve(target).unwrap())
+        to_json(&resolve(target, &None).unwrap())
+    }
+
+    fn json_on(target: &str, chip: &str) -> String {
+        let chips = Some(vec![Chip::by_short(chip).unwrap()]);
+        to_json(&resolve(target, &chips).unwrap())
     }
 
     #[test]
@@ -294,8 +354,40 @@ mod tests {
     }
 
     #[test]
+    fn corr_analysis_is_chip_aware() {
+        // Chip-independent: CoRR is coherence-exempt, no chip field.
+        let bare = json_of("CoRR");
+        assert!(bare.contains("\"quiet\": true"), "{bare}");
+        assert!(!bare.contains("\"chip\""), "{bare}");
+        // On an incoherent-L1 Tesla the read-read pair warns at device
+        // level; a coherent chip stays quiet.
+        let c2075 = json_on("CoRR", "C2075");
+        assert!(c2075.contains("\"chip\": \"C2075\""), "{c2075}");
+        assert!(c2075.contains("\"quiet\": false"), "{c2075}");
+        assert!(c2075.contains("\"level\": \"device\""), "{c2075}");
+        let titan = json_on("CoRR", "Titan");
+        assert!(titan.contains("\"chip\": \"Titan\""), "{titan}");
+        assert!(titan.contains("\"quiet\": true"), "{titan}");
+        // The fenced twin is quiet even on the incoherent chip.
+        let twin = json_on("CoRR+fence", "C2075");
+        assert!(twin.contains("\"quiet\": true"), "{twin}");
+    }
+
+    #[test]
+    fn chip_list_fans_out_shape_reports() {
+        let chips = Some(vec![
+            Chip::by_short("C2075").unwrap(),
+            Chip::by_short("K20").unwrap(),
+        ]);
+        let reports = resolve("CoRR", &chips).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(run("nope", Some(vec!["C2075".into()]), None).is_err());
+        assert!(run("CoRR", Some(vec!["NotAChip".into()]), None).is_err());
+    }
+
+    #[test]
     fn every_app_target_resolves() {
-        let reports = resolve("apps").unwrap();
+        let reports = resolve("apps", &None).unwrap();
         // Tab. 4's ten plus shm-pipe.
         assert_eq!(reports.len(), 11);
         let json = to_json(&reports);
@@ -307,7 +399,7 @@ mod tests {
 
     #[test]
     fn unknown_targets_error_out() {
-        assert!(resolve("nope").is_err());
-        assert!(run("nope", None).is_err());
+        assert!(resolve("nope", &None).is_err());
+        assert!(run("nope", None, None).is_err());
     }
 }

@@ -1,0 +1,210 @@
+//! `repro bench` — campaign-throughput baseline.
+//!
+//! Times the litmus campaign layer over a small shape × strategy ×
+//! worker-count grid and reports runs/sec per cell, writing the result
+//! to `BENCH_campaign.json` (override with `--json PATH`). The grid
+//! covers the three relaxation channels a campaign exercises — native
+//! (no stress), the tuned in-flight-window stress `sys-str+`, and the
+//! structural L1 stress `l1-str+` — on one coherent-L1 chip and one
+//! incoherent-L1 Tesla, so later perf work has a like-for-like baseline
+//! for every hot path (including the L1 branch of the load path).
+//!
+//! Unlike every other subcommand, the *numbers* here are wall-clock
+//! measurements and therefore machine-dependent; the campaign results
+//! themselves remain bit-identical across worker counts.
+
+use std::time::Instant;
+
+use crate::Scale;
+use wmm_core::stress::Scratchpad;
+use wmm_core::suite::{run_suite, SuiteConfig, SuiteStrategy};
+use wmm_gen::Shape;
+use wmm_sim::chip::Chip;
+
+/// Worker counts the bench sweeps — the same 1/2/8 grid the
+/// determinism tests pin, so the baseline covers serial, small-parallel
+/// and oversubscribed scheduling.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// One timed cell of the bench grid.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Shape short name.
+    pub shape: String,
+    /// Chip short name.
+    pub chip: String,
+    /// Strategy column name.
+    pub strategy: String,
+    /// Campaign worker threads.
+    pub workers: usize,
+    /// Executions performed.
+    pub execs: u32,
+    /// Wall-clock seconds for the campaign.
+    pub seconds: f64,
+    /// Throughput: executions per second.
+    pub runs_per_sec: f64,
+}
+
+/// The shapes the bench times: a relaxed inter-block cycle, the
+/// structural coherence probe, and a scoped intra-block row — one per
+/// code path the campaign layer can take.
+fn bench_shapes() -> Vec<Shape> {
+    vec![Shape::Mp, Shape::CoRR, Shape::MpShared]
+}
+
+fn bench_strategies() -> Vec<SuiteStrategy> {
+    vec![
+        SuiteStrategy::native(),
+        SuiteStrategy::sys_str_plus(40),
+        SuiteStrategy::l1_str_plus(40),
+    ]
+}
+
+/// Run the bench grid and return the timed rows.
+pub fn measure(scale: Scale) -> Vec<BenchRow> {
+    let chips = [
+        Chip::by_short("Titan").expect("chip"),
+        Chip::by_short("C2075").expect("chip"),
+    ];
+    let shapes = bench_shapes();
+    let strategies = bench_strategies();
+    let mut rows = Vec::new();
+    for chip in &chips {
+        for strat in &strategies {
+            for &shape in &shapes {
+                for workers in WORKER_COUNTS {
+                    let cfg = SuiteConfig {
+                        distances: vec![64],
+                        execs: scale.execs,
+                        pad: Scratchpad::new(2048, chip.l2_scaled_words.max(2048)),
+                        base_seed: scale.seed,
+                        workers,
+                    };
+                    let start = Instant::now();
+                    let cells = run_suite(
+                        &[shape],
+                        std::slice::from_ref(chip),
+                        std::slice::from_ref(strat),
+                        &cfg,
+                    );
+                    let seconds = start.elapsed().as_secs_f64();
+                    let execs: u64 = cells.iter().map(|c| c.hist.total()).sum();
+                    rows.push(BenchRow {
+                        shape: shape.short().to_string(),
+                        chip: chip.short.to_string(),
+                        strategy: strat.name.clone(),
+                        workers,
+                        execs: execs as u32,
+                        seconds,
+                        runs_per_sec: if seconds > 0.0 {
+                            execs as f64 / seconds
+                        } else {
+                            0.0
+                        },
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Serialise bench rows as JSON (hand-rolled, like the suite output).
+pub fn to_json(rows: &[BenchRow], scale: Scale) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"execs\": {},\n  \"seed\": {},\n  \"rows\": [\n",
+        scale.execs, scale.seed
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"chip\": \"{}\", \"strategy\": \"{}\", \
+             \"workers\": {}, \"execs\": {}, \"seconds\": {:.6}, \
+             \"runs_per_sec\": {:.1}}}{}\n",
+            r.shape,
+            r.chip,
+            r.strategy,
+            r.workers,
+            r.execs,
+            r.seconds,
+            r.runs_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Run the bench, print the throughput table, and write the JSON
+/// artifact (default `BENCH_campaign.json`).
+pub fn run(scale: Scale, json_path: Option<&str>) -> Vec<BenchRow> {
+    println!(
+        "Campaign throughput baseline: {} shapes x 2 chips x {} strategies x {:?} workers, {} execs/cell",
+        bench_shapes().len(),
+        bench_strategies().len(),
+        WORKER_COUNTS,
+        scale.execs
+    );
+    println!("(wall-clock; campaign results stay bit-identical across worker counts)\n");
+    let rows = measure(scale);
+    println!(
+        "{:>10} {:>7} {:>10} {:>8} {:>7} {:>9} {:>12}",
+        "shape", "chip", "strategy", "workers", "execs", "secs", "runs/sec"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>7} {:>10} {:>8} {:>7} {:>9.3} {:>12.1}",
+            r.shape, r.chip, r.strategy, r.workers, r.execs, r.seconds, r.runs_per_sec
+        );
+    }
+    let path = json_path.unwrap_or("BENCH_campaign.json");
+    let json = to_json(&rows, scale);
+    match std::fs::write(path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_grid_times_every_cell() {
+        let scale = Scale {
+            execs: 4,
+            ..Scale::quick()
+        };
+        let rows = measure(scale);
+        assert_eq!(
+            rows.len(),
+            bench_shapes().len() * bench_strategies().len() * WORKER_COUNTS.len() * 2
+        );
+        for r in &rows {
+            assert_eq!(r.execs, 4, "{}/{}", r.shape, r.strategy);
+            assert!(r.seconds >= 0.0);
+            assert!(r.runs_per_sec > 0.0, "{}/{}", r.shape, r.strategy);
+        }
+        // Every grid axis is represented.
+        assert!(rows.iter().any(|r| r.strategy == "l1-str+"));
+        assert!(rows.iter().any(|r| r.chip == "C2075"));
+        assert!(rows.iter().any(|r| r.workers == 8));
+    }
+
+    #[test]
+    fn bench_json_is_well_formed_enough() {
+        let scale = Scale {
+            execs: 2,
+            ..Scale::quick()
+        };
+        let rows = measure(scale);
+        let j = to_json(&rows, scale);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"shape\"").count(), rows.len());
+        assert!(j.contains("\"runs_per_sec\""));
+        assert!(j.contains("\"l1-str+\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

@@ -17,8 +17,11 @@
 //!   speedup         parallel campaign-layer scaling measurement
 //!   suite           generated litmus suite (shapes x chips x strategies)
 //!   analyze TARGET  static delay-set analysis of a shape or app kernel
-//!                   (TARGET: shape short name, app name, shapes, apps, all)
-//!   all             everything above, in order
+//!                   (TARGET: shape short name, app name, shapes, apps, all;
+//!                   --chips A,B re-runs the analysis per chip, adding the
+//!                   incoherent-L1 read-read channel where the chip has one)
+//!   bench           campaign-throughput baseline (BENCH_campaign.json)
+//!   all             everything above, in order (except bench)
 //!
 //! `--seed N` sets the base seed every subcommand derives its
 //! per-campaign seeds from (default 2016) — one flag reseeds the entire
@@ -31,7 +34,8 @@
 //! ```
 
 use wmm_bench::{
-    analyze, fig3, fig4, fig5, running, speedup, suite, table2, table3, table5, table6, Scale,
+    analyze, bench, fig3, fig4, fig5, running, speedup, suite, table2, table3, table5, table6,
+    Scale,
 };
 
 fn main() {
@@ -159,10 +163,13 @@ fn main() {
         "suite" => run_suite(chips, &json_path),
         "analyze" => {
             let target = analyze_target.as_deref().unwrap_or_default();
-            if let Err(e) = analyze::run(target, json_path.as_deref()) {
+            if let Err(e) = analyze::run(target, chips, json_path.as_deref()) {
                 eprintln!("{e}");
                 usage();
             }
+        }
+        "bench" => {
+            bench::run(scale, json_path.as_deref());
         }
         "all" => {
             running::run(scale);
@@ -192,7 +199,7 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|speedup|suite|\
-         analyze TARGET|all> \
+         analyze TARGET|bench|all> \
          [--chips A,B] [--execs N] [--runs N] [--seed N] [--workers N] [--json PATH] \
          [--placement inter|intra] [--full]\n\
          \n\
@@ -202,6 +209,10 @@ fn usage() {
          --placement P  (suite) restrict the catalogue to inter- or intra-block shapes\n\
          analyze TARGET static delay-set analysis; TARGET is a shape short name\n\
          \x20              (e.g. MP.shared), an app name (e.g. cbe-dot, shm-pipe),\n\
-         \x20              shapes, apps, or all; --json PATH writes the report"
+         \x20              shapes, apps, or all; --json PATH writes the report;\n\
+         \x20              --chips A,B analyzes per chip (adds the incoherent-L1\n\
+         \x20              read-read channel on chips that have one)\n\
+         bench          campaign-throughput baseline; writes BENCH_campaign.json\n\
+         \x20              (or --json PATH)"
     );
 }

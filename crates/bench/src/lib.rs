@@ -15,12 +15,14 @@
 //! | [`speedup`] | parallel campaign-layer scaling measurement |
 //! | [`suite`] | generated litmus suite: shapes × chips × strategies |
 //! | [`analyze`] | static delay-set analyzer over shapes and app kernels |
+//! | [`bench`](mod@bench) | campaign-throughput baseline (`BENCH_campaign.json`) |
 //!
 //! Every generator takes a [`Scale`] so the half-billion-execution grids
 //! of the paper shrink to laptop scale while preserving the shapes; the
 //! `repro` binary exposes them as subcommands.
 
 pub mod analyze;
+pub mod bench;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -30,16 +30,20 @@ fn suite_scratchpad(chips: &[Chip]) -> Scratchpad {
 
 /// The suite's default strategy column set: native, the paper's tuned
 /// systematic environment and the random baseline (both with thread
-/// randomisation), plus the shared-stress column `shm+sys-str+` —
+/// randomisation), the shared-stress column `shm+sys-str+` —
 /// systematic global stress with the block's idle lanes hammering a
 /// shared scratchpad, the configuration under which the scoped
-/// (intra-block, shared-memory) rows go observably weak.
+/// (intra-block, shared-memory) rows go observably weak — and the
+/// structural column `l1-str+`, whose write-only cross-SM traffic
+/// pressures incoherent SM-private L1s so the same-address read pairs
+/// (`CoRR`) go weak on the Tesla-class chips.
 pub fn default_strategies() -> Vec<SuiteStrategy> {
     vec![
         SuiteStrategy::native(),
         SuiteStrategy::sys_str_plus(40),
         SuiteStrategy::rand_str_plus(40),
         SuiteStrategy::shared_sys_str_plus(40),
+        SuiteStrategy::l1_str_plus(40),
     ]
 }
 
@@ -99,8 +103,11 @@ pub fn run(
         _ => {
             println!("Expected shape: sys-str+ provokes weak outcomes on the relaxed shapes");
             println!("(MP/LB/SB/S/R/2+2W, the 3/4-thread cycles and the RMW cycles MP+CAS/");
-            println!("2+2W.exch); the coherence tests CoRR/CoWW/CoAdd never go weak (same-line");
-            println!("ordering and atomicity are preserved); every +fences variant stays at");
+            println!("2+2W.exch); CoWW/CoAdd never go weak (same-line write ordering and");
+            println!("atomicity are preserved), and CoRR holds on coherent-L1 chips — but on");
+            println!("the incoherent-L1 Teslas (C2075/C2050) the l1-str+ column's cross-SM");
+            println!("write pressure makes CoRR read stale L1 lines, with CoRR+fence pinned");
+            println!("at zero; every +fences variant stays at");
             if placement.is_none() {
                 println!("zero, the scoped [intra] rows go weak only under shm+sys-str+ (with");
                 println!("their +fence_block twins pinned at zero), and no-str- stays at zero");

@@ -71,6 +71,21 @@ impl Environment {
         }
     }
 
+    /// The structural-channel environment `l1-str+`: write-only
+    /// cross-SM stress (feeding incoherent-L1 write pressure rather than
+    /// in-flight-window contention) with thread randomisation. Not one
+    /// of the paper's Tab. 5 columns — [`Environment::all_eight`] stays
+    /// the paper's eight — but a suite column of its own, because the
+    /// staleness channel it provokes is invisible to every load/store-mix
+    /// strategy.
+    pub fn l1_str_plus() -> Environment {
+        Environment {
+            stress: StressStrategy::L1,
+            randomize: true,
+            shared: None,
+        }
+    }
+
     /// Native execution, no randomisation (`no-str-`).
     pub fn native() -> Environment {
         Environment {
@@ -83,6 +98,11 @@ impl Environment {
     /// The eight environments of Tab. 5, in the paper's column order:
     /// `no-str-`, `no-str+`, `sys-str-`, `sys-str+`, `rand-str-`,
     /// `rand-str+`, `cache-str-`, `cache-str+`.
+    ///
+    /// Exactly eight, by design: extensions beyond the paper (the
+    /// `shm+…` scoped environments, the structural
+    /// [`Environment::l1_str_plus`]) are separate suite columns and do
+    /// not grow this pinned list.
     pub fn all_eight(chip: &Chip) -> Vec<Environment> {
         let sys = StressStrategy::Systematic(SystematicParams::from_paper(chip));
         let mut out = Vec::new();
@@ -501,6 +521,9 @@ mod tests {
                 "cache-str+"
             ]
         );
+        // Extensions stay out of the paper's pinned eight.
+        assert_eq!(Environment::l1_str_plus().name(), "l1-str+");
+        assert!(!names.contains(&"l1-str+".to_string()));
     }
 
     #[test]

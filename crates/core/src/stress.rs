@@ -17,6 +17,18 @@
 //!   critical-patch-sized regions, with the chip's most effective access
 //!   sequence.
 //!
+//! One further strategy targets the *structural* relaxation channel the
+//! chip topology adds:
+//!
+//! * [`StressStrategy::L1`] (`l1-str`) — write-only scratchpad traffic.
+//!   Pure stores are gated out of the channel contention factor (χ needs
+//!   a load/store mix), so this strategy provokes almost no in-flight
+//!   reordering; what it does do is complete a torrent of global writes
+//!   from stressing blocks homed on *other* SMs, driving the cross-SM
+//!   write pressure that makes incoherent L1s serve stale lines
+//!   (`CoRR` & friends on the Tesla-class chips). A clean single-channel
+//!   probe: coherent-L1 chips are essentially blind to it.
+//!
 //! Every strategy (and every location-table entry) above targets
 //! **global** memory: stressing blocks live in their own blocks, and a
 //! block's `Space::Shared` scratch is unreachable from outside it.
@@ -143,17 +155,23 @@ pub enum StressStrategy {
     CacheSized,
     /// `sys-str`: the tuned strategy of Sec. 3.
     Systematic(SystematicParams),
+    /// `l1-str`: write-only scratchpad traffic driving cross-SM L1 write
+    /// pressure — the structural (incoherent-L1) relaxation channel's
+    /// stress. See the module docs.
+    L1,
 }
 
 impl StressStrategy {
     /// The paper's name for the strategy (`no-str`, `rand-str`,
-    /// `cache-str`, `sys-str`).
+    /// `cache-str`, `sys-str`), or `l1-str` for the structural L1
+    /// channel's write-only stress.
     pub fn short(&self) -> &'static str {
         match self {
             StressStrategy::None => "no-str",
             StressStrategy::Random => "rand-str",
             StressStrategy::CacheSized => "cache-str",
             StressStrategy::Systematic(_) => "sys-str",
+            StressStrategy::L1 => "l1-str",
         }
     }
 }
@@ -261,6 +279,12 @@ impl StressArtifacts {
                     patch_words: p.patch_words,
                 }
             }
+            // Like `cache-str`, the L1 stress kernel depends only on
+            // environment-level constants: compiled once, nothing drawn
+            // per run.
+            StressStrategy::L1 => ArtifactKind::Fixed {
+                program: Arc::new(l1_stress_kernel(pad, iters)),
+            },
         };
         StressArtifacts {
             pad,
@@ -589,6 +613,33 @@ fn cache_stress_kernel(pad: Scratchpad, words: u32, iters: u32) -> Program {
     b.finish().expect("stress kernel is valid by construction")
 }
 
+/// The `l1-str` kernel: each thread hammers **stores** at a fixed
+/// thread-spread location. Write-only on purpose — pure-store traffic
+/// does not feed the load/store channel contention factor, so the only
+/// thing this kernel moves is the per-SM write-pressure meter of
+/// incoherent L1s (the structural staleness channel).
+fn l1_stress_kernel(pad: Scratchpad, iters: u32) -> Program {
+    let mut b = KernelBuilder::new("l1-str");
+    let gtid = b.global_tid();
+    let words = b.const_(pad.words.max(1));
+    let off = b.rem_u(gtid, words);
+    let base = b.const_(pad.base);
+    let addr = b.add(base, off);
+    let val = b.const_(0x11c4);
+    let i = b.reg();
+    b.assign_const(i, 0);
+    let n = b.const_(iters);
+    let one = b.const_(1);
+    b.while_(
+        |b| b.lt_u(i, n),
+        |b| {
+            b.store_global(addr, val);
+            b.bin_into(i, BinOp::Add, i, one);
+        },
+    );
+    b.finish().expect("stress kernel is valid by construction")
+}
+
 /// The paper's per-run stressing-thread count for litmus tuning: a random
 /// total in [50%, 100%] of the chip's concurrent capacity, minus the test
 /// threads (Sec. 3.2).
@@ -671,6 +722,7 @@ mod tests {
             StressStrategy::Random,
             StressStrategy::CacheSized,
             StressStrategy::Systematic(SystematicParams::from_paper(&c)),
+            StressStrategy::L1,
         ] {
             let s = build_stress(&c, &strat, pad, 128, 20, &mut rng());
             assert_eq!(s.groups.len(), 1, "{}", strat.short());
@@ -725,6 +777,7 @@ mod tests {
             StressStrategy::Random,
             StressStrategy::CacheSized,
             StressStrategy::Systematic(SystematicParams::from_paper(&c)),
+            StressStrategy::L1,
         ] {
             let cached = StressArtifacts::for_strategy(&c, &strat, pad, 30);
             for run in 0..4u64 {
@@ -798,5 +851,6 @@ mod tests {
         assert_eq!(StressStrategy::CacheSized.short(), "cache-str");
         let p = SystematicParams::from_paper(&chip());
         assert_eq!(StressStrategy::Systematic(p).short(), "sys-str");
+        assert_eq!(StressStrategy::L1.short(), "l1-str");
     }
 }

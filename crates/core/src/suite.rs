@@ -92,6 +92,16 @@ impl SuiteStrategy {
         s
     }
 
+    /// The structural-channel column `l1-str+`: write-only cross-SM
+    /// stress feeding incoherent-L1 write pressure (see
+    /// [`StressStrategy::L1`]). The column under which `CoRR`-style
+    /// same-address read pairs go observably weak on Tesla-class
+    /// (incoherent-L1) chips while their `+fence` twins and the
+    /// coherent-L1 chips stay at zero.
+    pub fn l1_str_plus(iters: u32) -> Self {
+        SuiteStrategy::new("l1-str", true, iters, |_| StressStrategy::L1)
+    }
+
     /// The strategy this column applies on `chip`.
     pub fn strategy(&self, chip: &Chip) -> StressStrategy {
         (self.strategy_of)(chip)
@@ -162,9 +172,22 @@ impl StaticVerdict {
         self.warnings == 0
     }
 
-    /// Compute the verdict for one litmus instance.
+    /// Compute the chip-independent verdict for one litmus instance.
     pub fn of(inst: &wmm_litmus::LitmusInstance) -> StaticVerdict {
         let a = wmm_analysis::analyze_litmus(inst);
+        StaticVerdict {
+            warnings: a.warnings.len(),
+            level: a.max_warning_level(),
+        }
+    }
+
+    /// Compute the verdict for one litmus instance on a specific chip:
+    /// on incoherent-L1 chips the analyzer adds the structural
+    /// read-read channel, so `CoRR`-style rows warn there while staying
+    /// quiet on coherent chips (see
+    /// [`wmm_analysis::analyze_litmus_on_chip`]).
+    pub fn of_chip(inst: &wmm_litmus::LitmusInstance, chip: &Chip) -> StaticVerdict {
+        let a = wmm_analysis::analyze_litmus_on_chip(inst, chip);
         StaticVerdict {
             warnings: a.warnings.len(),
             level: a.max_warning_level(),
@@ -203,8 +226,10 @@ pub struct SuiteCell {
     pub strategy: String,
     /// The outcome histogram (weak = outside the derived SC set).
     pub hist: Histogram,
-    /// The static analyzer's verdict on this row's instance: quiet, or
-    /// warning with the strongest fence level the delay set demands.
+    /// The static analyzer's verdict on this row's instance **on this
+    /// row's chip** (incoherent-L1 chips add the structural read-read
+    /// channel): quiet, or warning with the strongest fence level the
+    /// delay set demands.
     pub static_verdict: StaticVerdict,
 }
 
@@ -245,8 +270,9 @@ pub fn run_suite(
     for (si, shape) in shapes.iter().enumerate() {
         for &d in &cfg.distances {
             let inst = shape.instance(LitmusLayout::standard(d, cfg.pad.required_words()));
-            let static_verdict = StaticVerdict::of(&inst);
             for (ci, chip) in chips.iter().enumerate() {
+                // Per-chip: incoherent-L1 chips grow the delay set.
+                let static_verdict = StaticVerdict::of_chip(&inst, chip);
                 for (ki, strat) in strategies.iter().enumerate() {
                     // Chain one mix per coordinate: unlike a polynomial
                     // pack, this cannot collide for any in-range values.
@@ -390,6 +416,42 @@ mod tests {
         assert_eq!(SuiteStrategy::sys_str_plus(40).name, "sys-str+");
         assert_eq!(SuiteStrategy::rand_str_plus(40).name, "rand-str+");
         assert_eq!(SuiteStrategy::shared_sys_str_plus(40).name, "shm+sys-str+");
+        assert_eq!(SuiteStrategy::l1_str_plus(40).name, "l1-str+");
+    }
+
+    #[test]
+    fn l1_column_flips_corr_on_incoherent_l1_chips_only() {
+        let shapes = [Shape::CoRR, Shape::CoRRFence];
+        let chips = [
+            Chip::by_short("C2075").unwrap(),
+            Chip::by_short("K20").unwrap(),
+        ];
+        let cfg = SuiteConfig {
+            execs: 24,
+            ..Default::default()
+        };
+        let cells = run_suite(&shapes, &chips, &[SuiteStrategy::l1_str_plus(40)], &cfg);
+        let cell = |shape, chip: &str| {
+            cells
+                .iter()
+                .find(|c| c.shape == shape && c.chip == chip)
+                .unwrap()
+        };
+        // The structural channel: weak CoRR on the incoherent-L1 Tesla,
+        // and the static column warns there (at device level).
+        let corr = cell(Shape::CoRR, "C2075");
+        assert!(corr.hist.weak() > 0, "CoRR under l1-str+: {}", corr.hist);
+        assert_eq!(corr.static_verdict.level, Some(FenceLevel::Device));
+        // The device fence refreshes the reader's L1: twin at zero, and
+        // certified quiet.
+        let twin = cell(Shape::CoRRFence, "C2075");
+        assert_eq!(twin.hist.weak(), 0, "{}", twin.hist);
+        assert!(twin.static_verdict.quiet());
+        // Coherent-L1 chips are blind to the column, dynamically and
+        // statically.
+        let k20 = cell(Shape::CoRR, "K20");
+        assert_eq!(k20.hist.weak(), 0, "{}", k20.hist);
+        assert!(k20.static_verdict.quiet());
     }
 
     #[test]

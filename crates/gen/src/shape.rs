@@ -349,13 +349,20 @@ pub enum Shape {
     /// [`Shape::Iriw`] with a device fence between each reader's two
     /// loads: never weak.
     IriwFences,
+    /// [`Shape::CoRR`] with a device fence between the reader's two
+    /// loads. On coherent-L1 chips this twins an already-never-weak
+    /// shape; on chips with incoherent SM-private L1s — where bare
+    /// `CoRR` goes observably weak via stale cached lines — the device
+    /// fence refreshes the reader's L1, so this twin pins the structural
+    /// channel's fence story at zero.
+    CoRRFence,
 }
 
 impl Shape {
     /// Every shape in the catalogue. The Fig. 2 trio stays at positions
     /// 0..3 (tuning seed formulas index into this array); new shapes are
     /// appended.
-    pub const ALL: [Shape; 27] = [
+    pub const ALL: [Shape; 28] = [
         Shape::Mp,
         Shape::Lb,
         Shape::Sb,
@@ -383,6 +390,7 @@ impl Shape {
         Shape::WrcFences,
         Shape::Isa2Fences,
         Shape::IriwFences,
+        Shape::CoRRFence,
     ];
 
     /// The paper's Fig. 2 trio — the shapes the tuning pipeline
@@ -435,6 +443,7 @@ impl Shape {
             Shape::WrcFences => "WRC+fences",
             Shape::Isa2Fences => "ISA2+fences",
             Shape::IriwFences => "IRIW+fences",
+            Shape::CoRRFence => "CoRR+fence",
         }
     }
 
@@ -599,6 +608,7 @@ impl Shape {
                 vec![r(x, g), Event::Fence, r(y, g)],
                 vec![r(y, g), Event::Fence, r(x, g)],
             ],
+            Shape::CoRRFence => vec![vec![w(x, 1, g)], vec![r(x, g), Event::Fence, r(x, g)]],
         };
         TestEvents {
             name: self.short().to_string(),
@@ -911,6 +921,24 @@ mod tests {
                 assert_eq!(&unfenced, bt, "{fenced}");
             }
         }
+    }
+
+    #[test]
+    fn corr_fence_mirrors_corr() {
+        let fe = Shape::CoRRFence.events();
+        let be = Shape::CoRR.events();
+        assert_eq!(fe.num_locs(), be.num_locs());
+        assert_eq!(fe.num_reads(), be.num_reads());
+        assert_eq!(fe.observers(), be.observers());
+        assert_eq!(fe.threads[0], be.threads[0], "writer thread unchanged");
+        assert_eq!(fe.threads[1][1], Event::Fence, "fence between the reads");
+        let unfenced: Vec<Event> = fe.threads[1]
+            .iter()
+            .copied()
+            .filter(|e| *e != Event::Fence)
+            .collect();
+        assert_eq!(unfenced, be.threads[1]);
+        assert_eq!(Shape::CoRRFence.placement(), Placement::InterBlock);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!    runtime/energy study of Sec. 6.
 
 use crate::seq::AccessSeq;
+use crate::topology::{L1Params, Topology};
 
 /// The three NVIDIA architectures spanned by Tab. 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,6 +127,17 @@ pub struct Chip {
     pub window: usize,
     /// Probability that the window head completes on a given drain turn.
     pub drain_q: f64,
+    /// Cluster/SM layout. Every launched block is deterministically
+    /// assigned a home SM (round-robin over the launch order); the home
+    /// SM's private L1 is what [`Chip::l1`] parameterises.
+    pub topology: Topology,
+    /// The per-SM L1 staleness channel. All-zero rates mean the L1 is
+    /// *coherent*: global loads always see the latest completed store and
+    /// the execution engine skips the channel entirely (the pre-topology
+    /// behaviour, bit for bit). The Tesla-class Fermi boards (C2075,
+    /// C2050) ship incoherent L1s — the paper's structural explanation
+    /// for `CoRR` going weak on them.
+    pub l1: L1Params,
 
     // -- reordering -------------------------------------------------------
     /// Base and stress-amplified reorder probabilities for global-space
@@ -255,12 +267,22 @@ impl Chip {
             .any(|&r| r > 0.0)
     }
 
+    /// True if this chip's per-SM L1s are incoherent: any nonzero
+    /// staleness rate makes global loads consult the home SM's L1,
+    /// which may serve a stale line. When false, the execution engine
+    /// allocates no L1 state and draws no L1 randomness — loads read
+    /// straight from memory (the pre-topology behaviour, bit for bit).
+    pub fn l1_weak(&self) -> bool {
+        self.l1.weak()
+    }
+
     /// This chip with every weak-memory knob zeroed: global *and*
-    /// shared-space reorder matrices, plus the 980's ambient-MP quirk.
-    /// Under the resulting profile the simulator is sequentially
-    /// consistent in both memory spaces — the canonical way to build an
+    /// shared-space reorder matrices, the incoherent-L1 staleness
+    /// rates, plus the 980's ambient-MP quirk. Under the resulting
+    /// profile the simulator is sequentially consistent in both memory
+    /// spaces and every L1 is coherent — the canonical way to build an
     /// SC control chip (hand-zeroing only `reorder` would leave the
-    /// shared-space matrix live).
+    /// shared-space matrix and the L1 channel live).
     pub fn sequentially_consistent(mut self) -> Chip {
         self.reorder = ReorderRates {
             base: [0.0; 4],
@@ -270,6 +292,8 @@ impl Chip {
             base: [0.0; 4],
             gain: [0.0; 4],
         };
+        self.l1.stale_base = 0.0;
+        self.l1.stale_gain = 0.0;
         self.ambient_mp = 0.0;
         self
     }
@@ -310,6 +334,21 @@ fn base_chip(
         },
         window: 6,
         drain_q: 0.30,
+        // Two clusters of four SMs each, eight resident blocks per SM —
+        // the same ~50× occupancy scaling as `max_concurrent_threads`.
+        topology: Topology::uniform(2, 4, 8),
+        // Coherent L1 by default: zero staleness rates. The structural
+        // knobs (capacity, TTL, pressure curve) are shared across chips;
+        // only the Fermi Tesla boards switch the rates on.
+        l1: L1Params {
+            stale_base: 0.0,
+            stale_gain: 0.0,
+            words: 512,
+            ttl_turns: 4000,
+            pressure_half: 48.0,
+            pressure_floor: 24.0,
+            pressure_tau: 96.0,
+        },
         reorder: ReorderRates {
             base: [3e-5, 2e-5, 6e-5, 1.5e-5],
             gain: [0.60, 0.48, 0.68, 0.40],
@@ -411,6 +450,11 @@ fn c2075() -> Chip {
     // the oldest shared-memory datapath relaxes the most under pressure.
     c.reorder.base = [2e-4, 5e-5, 2e-4, 2.5e-5];
     c.shared_reorder.gain = [0.58, 0.46, 0.64, 0.38];
+    // Fermi's per-SM L1s are incoherent: under cross-SM write pressure a
+    // global load may hit a stale line, which is what flips CoRR weak on
+    // the Tesla boards (zero stale_base keeps native runs coherent — the
+    // channel is pressure-provoked, like every other stress channel).
+    c.l1.stale_gain = 0.60;
     c.fence_stall = 60;
     c.clock_ghz = 0.57;
     c.power_watts = 225.0;
@@ -422,6 +466,7 @@ fn c2050() -> Chip {
     let mut c = base_chip("Tesla C2050", "C2050", Arch::Fermi, 2010, 64, "ld st");
     c.reorder.base = [1.2e-4, 4e-5, 1.5e-4, 2e-5];
     c.shared_reorder.gain = [0.58, 0.46, 0.64, 0.38];
+    c.l1.stale_gain = 0.55; // incoherent L1, slightly tamer than the C2075
     c.fence_stall = 60;
     c.clock_ghz = 0.57;
     c.power_watts = 238.0;
@@ -549,6 +594,43 @@ mod tests {
             assert_eq!(sc.shared_reorder.gain, [0.0; 4], "{}", sc.short);
             assert_eq!(sc.ambient_mp, 0.0, "{}", sc.short);
             assert!(!sc.shared_weak(), "{}", sc.short);
+            assert_eq!(sc.l1.stale_base, 0.0, "{}", sc.short);
+            assert_eq!(sc.l1.stale_gain, 0.0, "{}", sc.short);
+            assert!(!sc.l1_weak(), "{}", sc.short);
+        }
+    }
+
+    #[test]
+    fn only_fermi_teslas_have_incoherent_l1s() {
+        // The paper's structural story: CoRR goes weak on the Tesla
+        // boards because their per-SM L1s are incoherent; the Kepler
+        // and Maxwell consumer/HPC parts read-coherently through L2.
+        for c in Chip::all() {
+            let expect = matches!(c.short, "C2075" | "C2050");
+            assert_eq!(c.l1_weak(), expect, "{}", c.short);
+            // Like the shared channel, staleness is stress-provoked
+            // only: zero base rate on every profile.
+            assert_eq!(c.l1.stale_base, 0.0, "{}", c.short);
+            assert!(c.l1.pressure_floor > 0.0, "{}", c.short);
+        }
+        let c2075 = Chip::by_short("C2075").unwrap();
+        let c2050 = Chip::by_short("C2050").unwrap();
+        assert!(c2075.l1.stale_gain > c2050.l1.stale_gain);
+    }
+
+    #[test]
+    fn every_chip_has_a_uniform_topology() {
+        for c in Chip::all() {
+            assert!(c.topology.total_sms() > 1, "{}", c.short);
+            assert!(
+                c.topology.capacity_blocks() >= c.topology.total_sms(),
+                "{}",
+                c.short
+            );
+            // Round-robin home-SM assignment puts consecutive launches
+            // on distinct SMs, so a two-block litmus test always spans
+            // two private L1s.
+            assert_ne!(c.topology.home_sm(0), c.topology.home_sm(1), "{}", c.short);
         }
     }
 

@@ -28,6 +28,18 @@
 //!   complete out of order with each other (subject to fences), which is
 //!   what makes mixed-scope litmus shapes observable.
 //!
+//! Orthogonal to the window, the chip's [`topology`](crate::topology)
+//! adds a *structural* weakness channel: every block is assigned a home
+//! SM at launch, and on chips with incoherent per-SM L1s
+//! ([`Chip::l1_weak`]) a completed global store leaves the pre-write
+//! value visible as a stale line to every **other** SM. A later global
+//! load may hit that stale line with a probability driven by cross-SM
+//! write pressure — which is how same-address load-load pairs (`CoRR`)
+//! go weak even though the window can never reorder them. A device
+//! fence refreshes the issuing SM's L1; chips with zero staleness rates
+//! never touch any of this (no state, no RNG draws — the legacy path,
+//! bit for bit).
+//!
 //! The fence hierarchy is two-level, mirroring `membar.cta`/`membar.gl`:
 //! a **device** fence ([`FenceLevel::Device`]) orders everything in the
 //! window, while a **block** fence ([`FenceLevel::Block`]) orders only the
@@ -41,6 +53,7 @@
 use crate::chip::{Chip, ReorderKind};
 use crate::ir::{BinOp, FenceLevel, Inst, Program, Reg, Space, SpecialReg};
 use crate::mem::{MemSystem, OobError};
+use crate::topology::L1System;
 use crate::word::{from_f32, to_f32, Word};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -296,6 +309,10 @@ struct BlockState {
     alive: u32,
     waiting: u32,
     retired: bool,
+    /// The SM this block is resident on (deterministic round-robin over
+    /// the launch order, see [`crate::topology::Topology::home_sm`]);
+    /// selects which private L1 the block's global loads consult.
+    home_sm: u32,
     /// Decaying read/write pressure on this block's shared memory — the
     /// per-block analogue of a channel tracker, feeding the shared-space
     /// contention factor χ. Only updated on chips with a live shared
@@ -418,6 +435,11 @@ struct Run<'a> {
     /// Whether this chip routes shared-space accesses through the
     /// in-flight window (any nonzero shared reorder rate).
     shared_weak: bool,
+    /// Incoherent-L1 state — `Some` only on chips with a nonzero L1
+    /// staleness rate ([`Chip::l1_weak`]). `None` means global loads
+    /// read straight from memory with no L1 bookkeeping and no extra
+    /// RNG draws (the pre-topology behaviour, bit for bit).
+    l1: Option<L1System>,
     rng: SmallRng,
     turn: u64,
     instructions: u64,
@@ -484,6 +506,9 @@ impl<'a> Run<'a> {
             resident_threads: 0,
             app_blocks_left,
             shared_weak: chip.shared_weak(),
+            l1: chip
+                .l1_weak()
+                .then(|| L1System::new(chip.topology.total_sms(), chip.l1)),
             rng,
             turn: 0,
             instructions: 0,
@@ -601,6 +626,11 @@ impl<'a> Run<'a> {
         let num_regs = g.program.num_regs as u32;
         let logical_bid = self.bid_maps[gi as usize][bid_phys as usize];
         let block_index = self.blocks.len() as u32;
+        // Home-SM assignment is total: launch indices past the chip's
+        // block capacity wrap onto earlier SMs deterministically, so
+        // oversubscribed grids share (and re-pollute) the same L1s.
+        let home_sm = self.chip.topology.home_sm(block_index);
+        debug_assert!(home_sm < self.chip.topology.total_sms());
         let t0 = self.threads.len() as u32;
         let shared_at = self.shared.len() as u32;
         self.shared
@@ -653,6 +683,7 @@ impl<'a> Run<'a> {
             alive: tpb,
             waiting: 0,
             retired: false,
+            home_sm,
             sh_r: 0.0,
             sh_w: 0.0,
             sh_turn: 0,
@@ -929,25 +960,7 @@ impl<'a> Run<'a> {
                 SlotKind::Fence | SlotKind::FenceBlock => unreachable!("guarded above"),
             })
         } else {
-            match slot.kind {
-                SlotKind::Fence | SlotKind::FenceBlock => Ok(None),
-                SlotKind::Load => self.mem.read(slot.addr).map(Some),
-                SlotKind::Store => self.mem.write(slot.addr, slot.v1).map(|_| None),
-                SlotKind::Cas => self.mem.read(slot.addr).and_then(|old| {
-                    if old == slot.v1 {
-                        self.mem.write(slot.addr, slot.v2)?;
-                    }
-                    Ok(Some(old))
-                }),
-                SlotKind::Exch => self.mem.read(slot.addr).and_then(|old| {
-                    self.mem.write(slot.addr, slot.v1)?;
-                    Ok(Some(old))
-                }),
-                SlotKind::Add => self.mem.read(slot.addr).and_then(|old| {
-                    self.mem.write(slot.addr, old.wrapping_add(slot.v1))?;
-                    Ok(Some(old))
-                }),
-            }
+            self.complete_global(t, slot)
         };
         match result {
             Err(e) => {
@@ -974,6 +987,84 @@ impl<'a> Run<'a> {
             th.win[k] = th.win[k + 1];
         }
         th.win_len -= 1;
+    }
+
+    /// Complete a global-space slot against memory and, on chips with an
+    /// incoherent L1 ([`Chip::l1_weak`]), against the home SM's cache:
+    ///
+    /// * a **load** reads fresh memory, then may be served the stale
+    ///   pre-write value instead when a live remote-written line covers
+    ///   the address (one RNG draw, made only when the hit probability
+    ///   is positive);
+    /// * a **store** (or the write half of an atomic) records the
+    ///   overwritten value as the stale line every *other* SM may still
+    ///   see — the writing SM's own L1 is updated in place;
+    /// * the **read half of an atomic always reads fresh**: RMWs are
+    ///   performed at the shared L2, bypassing the L1, which is what
+    ///   keeps lock words and counters exact even on incoherent chips;
+    /// * a **device fence** refreshes the issuing SM's entire L1.
+    ///
+    /// With `l1` absent every arm reduces to the plain memory access.
+    fn complete_global(&mut self, t: u32, slot: Slot) -> Result<Option<Word>, OobError> {
+        let home = self.blocks[self.threads[t as usize].block as usize].home_sm;
+        match slot.kind {
+            SlotKind::Fence => {
+                if let Some(l1) = self.l1.as_mut() {
+                    l1.note_fence(home);
+                }
+                Ok(None)
+            }
+            SlotKind::FenceBlock => Ok(None),
+            SlotKind::Load => {
+                let fresh = self.mem.read(slot.addr)?;
+                if let Some(l1) = self.l1.as_mut() {
+                    if let Some((stale, p)) = l1.stale_candidate(slot.addr, home, self.turn) {
+                        if self.rng.gen::<f64>() < p {
+                            return Ok(Some(stale));
+                        }
+                    }
+                }
+                Ok(Some(fresh))
+            }
+            SlotKind::Store => {
+                let old = if self.l1.is_some() {
+                    Some(self.mem.read(slot.addr)?)
+                } else {
+                    None
+                };
+                self.mem.write(slot.addr, slot.v1)?;
+                if let (Some(l1), Some(old)) = (self.l1.as_mut(), old) {
+                    l1.record_write(slot.addr, old, home, self.turn);
+                }
+                Ok(None)
+            }
+            SlotKind::Cas => {
+                let old = self.mem.read(slot.addr)?;
+                if old == slot.v1 {
+                    self.mem.write(slot.addr, slot.v2)?;
+                    if let Some(l1) = self.l1.as_mut() {
+                        l1.record_write(slot.addr, old, home, self.turn);
+                    }
+                }
+                Ok(Some(old))
+            }
+            SlotKind::Exch => {
+                let old = self.mem.read(slot.addr)?;
+                self.mem.write(slot.addr, slot.v1)?;
+                if let Some(l1) = self.l1.as_mut() {
+                    l1.record_write(slot.addr, old, home, self.turn);
+                }
+                Ok(Some(old))
+            }
+            SlotKind::Add => {
+                let old = self.mem.read(slot.addr)?;
+                self.mem.write(slot.addr, old.wrapping_add(slot.v1))?;
+                if let Some(l1) = self.l1.as_mut() {
+                    l1.record_write(slot.addr, old, home, self.turn);
+                }
+                Ok(Some(old))
+            }
+        }
     }
 
     // -- instruction execution ---------------------------------------------
@@ -2165,6 +2256,182 @@ mod tests {
         for seed in 0..50 {
             let r = gpu.run(&LaunchSpec::app(p.clone(), 2, 32, 128), seed);
             assert_eq!(r.bypasses, 0, "seed {seed}");
+        }
+    }
+
+    /// A global CoRR kernel across two blocks: block 0 writes x once,
+    /// block 1 reads x twice (optionally with a device fence between)
+    /// and publishes both reads. The in-flight window can never reorder
+    /// the same-address loads, so any (1, 0) outcome comes from the
+    /// incoherent-L1 channel.
+    fn corr_kernel(fence: bool) -> Program {
+        let mut b = KernelBuilder::new("corr");
+        let tid = b.tid();
+        let zero = b.const_(0);
+        let is0 = b.eq(tid, zero);
+        b.if_(is0, |b| {
+            let bid = b.bid();
+            let zero = b.const_(0);
+            let one = b.const_(1);
+            let x = b.const_(0);
+            let is_writer = b.eq(bid, zero);
+            b.if_else(
+                is_writer,
+                |b| {
+                    b.store_global(x, one);
+                },
+                |b| {
+                    let r0 = b.load_global(x);
+                    if fence {
+                        b.fence_device();
+                    }
+                    let r1 = b.load_global(x);
+                    let res0 = b.const_(128);
+                    let res1 = b.const_(129);
+                    b.store_global(res0, r0);
+                    b.store_global(res1, r1);
+                },
+            );
+        });
+        b.finish().unwrap()
+    }
+
+    /// Write-heavy stress kernel: every thread hammers stores across a
+    /// scratchpad region — the cross-SM writer traffic that pressures
+    /// remote L1s without feeding the (load+store-gated) channel χ.
+    fn write_stress_kernel() -> Program {
+        let mut b = KernelBuilder::new("wstress");
+        let g = b.global_tid();
+        let base = b.const_(256);
+        let m = b.const_(256);
+        let off = b.rem_u(g, m);
+        let addr = b.add(base, off);
+        let i = b.reg();
+        b.assign_const(i, 0);
+        let n = b.const_(120);
+        let one = b.const_(1);
+        b.while_(
+            |b| b.lt_u(i, n),
+            |b| {
+                b.store_global(addr, i);
+                b.bin_into(i, BinOp::Add, i, one);
+            },
+        );
+        b.finish().unwrap()
+    }
+
+    /// Count (1, 0) outcomes of the CoRR kernel under cross-SM write
+    /// stress. The launch queue interleaves app and stress blocks, so
+    /// the round-robin puts the writer on SM 0, stress on SMs 1 and 3,
+    /// and the reader on SM 2 — reader and writer never share an L1.
+    fn corr_weak_count(chip: Chip, fence: bool, stressed: bool, seeds: u64) -> u32 {
+        let mut groups = vec![KernelGroup {
+            program: Arc::new(corr_kernel(fence)),
+            blocks: 2,
+            threads_per_block: 32,
+            role: Role::App,
+        }];
+        if stressed {
+            groups.push(KernelGroup {
+                program: Arc::new(write_stress_kernel()),
+                blocks: 2,
+                threads_per_block: 32,
+                role: Role::Stress,
+            });
+        }
+        let spec = LaunchSpec {
+            groups,
+            global_words: 1024,
+            shared_words: 0,
+            init_image: vec![],
+            init: vec![],
+            max_turns: 4_000_000,
+            randomize_ids: false,
+        };
+        let mut gpu = Gpu::new(chip);
+        let mut weak = 0;
+        for seed in 0..seeds {
+            let r = gpu.run(&spec, seed);
+            assert!(r.status.is_completed(), "seed {seed}: {:?}", r.status);
+            if (r.word(128), r.word(129)) == (1, 0) {
+                weak += 1;
+            }
+        }
+        weak
+    }
+
+    #[test]
+    fn incoherent_l1_makes_corr_weak_under_cross_sm_writes() {
+        let weak = corr_weak_count(Chip::by_short("C2075").unwrap(), false, true, 200);
+        assert!(weak > 0, "CoRR never went weak on the incoherent-L1 chip");
+    }
+
+    #[test]
+    fn device_fence_refreshes_the_readers_l1() {
+        let weak = corr_weak_count(Chip::by_short("C2075").unwrap(), true, true, 200);
+        assert_eq!(weak, 0, "a device fence between the reads must refresh");
+    }
+
+    #[test]
+    fn coherent_l1_chips_keep_corr_strong() {
+        // Kepler parts read-coherently through L2, and the SC control
+        // zeroes the staleness rates explicitly.
+        let weak = corr_weak_count(Chip::by_short("K20").unwrap(), false, true, 200);
+        assert_eq!(weak, 0, "K20's L1 is coherent");
+        let sc = Chip::by_short("C2075").unwrap().sequentially_consistent();
+        let weak = corr_weak_count(sc, false, true, 200);
+        assert_eq!(weak, 0, "sequentially_consistent() must zero the L1 too");
+    }
+
+    #[test]
+    fn l1_staleness_needs_cross_sm_write_pressure() {
+        // Without stress traffic the test's own single write stays far
+        // below the pressure floor: native C2075 CoRR is coherent.
+        let weak = corr_weak_count(Chip::by_short("C2075").unwrap(), false, false, 200);
+        assert_eq!(weak, 0, "staleness must be pressure-provoked only");
+    }
+
+    #[test]
+    fn zeroed_l1_rates_take_the_legacy_path() {
+        // With the staleness rates zeroed, no L1 state is consulted at
+        // all: the structural knobs (capacity, TTL) cannot influence the
+        // run, so wildly different values produce bit-identical results.
+        let mut a = Chip::by_short("C2075").unwrap();
+        a.l1.stale_gain = 0.0;
+        assert!(!a.l1_weak());
+        let mut b = a.clone();
+        b.l1.words = 1;
+        b.l1.ttl_turns = 1;
+        let mut gpu_a = Gpu::new(a);
+        let mut gpu_b = Gpu::new(b);
+        let spec = LaunchSpec {
+            groups: vec![
+                KernelGroup {
+                    program: Arc::new(corr_kernel(false)),
+                    blocks: 2,
+                    threads_per_block: 32,
+                    role: Role::App,
+                },
+                KernelGroup {
+                    program: Arc::new(write_stress_kernel()),
+                    blocks: 2,
+                    threads_per_block: 32,
+                    role: Role::Stress,
+                },
+            ],
+            global_words: 1024,
+            shared_words: 0,
+            init_image: vec![],
+            init: vec![],
+            max_turns: 4_000_000,
+            randomize_ids: false,
+        };
+        for seed in 0..40 {
+            let ra = gpu_a.run(&spec, seed);
+            let rb = gpu_b.run(&spec, seed);
+            assert_eq!(ra.memory, rb.memory, "seed {seed}");
+            assert_eq!(ra.total_turns, rb.total_turns, "seed {seed}");
+            assert_eq!(ra.bypasses, rb.bypasses, "seed {seed}");
         }
     }
 }

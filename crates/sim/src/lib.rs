@@ -44,9 +44,11 @@ pub mod exec;
 pub mod ir;
 pub mod mem;
 pub mod seq;
+pub mod topology;
 pub mod word;
 
 pub use chip::{Arch, Chip, ReorderKind};
 pub use exec::{Gpu, KernelGroup, LaunchSpec, Role, RunResult, RunStatus};
 pub use ir::{builder::KernelBuilder, Program};
+pub use topology::{L1Params, Topology};
 pub use word::Word;

@@ -166,6 +166,57 @@ fn shared_stress_campaigns_match_the_legacy_path_bit_for_bit() {
     }
 }
 
+/// The structural L1 path takes the same per-run seed stream: under
+/// `l1-str+` on the incoherent-L1 C2075 (extra staleness draws live in
+/// the load path) and on the same chip with the staleness knobs zeroed
+/// (`Run.l1` disengaged, the pre-topology load path verbatim), the
+/// facade is bit-identical to the sequential legacy loop at every
+/// worker count.
+#[test]
+fn l1_stress_campaigns_match_the_legacy_path_bit_for_bit() {
+    let pad = Scratchpad::new(2048, 2048);
+    let env = Environment::l1_str_plus();
+    let incoherent = Chip::by_short("C2075").unwrap();
+    let mut coherent = incoherent.clone();
+    coherent.l1.stale_base = 0.0;
+    coherent.l1.stale_gain = 0.0;
+    assert!(incoherent.l1_weak() && !coherent.l1_weak());
+    for chip in [incoherent, coherent] {
+        for test in [Shape::CoRR, Shape::CoRRFence, Shape::Mp] {
+            let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+            let base_seed = 0x11CA;
+            let legacy = legacy_litmus_campaign(
+                &chip,
+                &inst,
+                |rng| {
+                    let threads = litmus_stress_threads(&chip, rng);
+                    let s = build_stress(&chip, &env.stress, pad, threads, 40, rng);
+                    (s.groups, s.init)
+                },
+                32,
+                base_seed,
+                env.randomize,
+            );
+            assert_eq!(legacy.total(), 32);
+            for workers in WORKER_COUNTS {
+                let new = CampaignBuilder::new(&chip)
+                    .environment(&env, pad, 40)
+                    .count(32)
+                    .base_seed(base_seed)
+                    .parallelism(workers)
+                    .build()
+                    .run_litmus(&inst);
+                assert_eq!(
+                    new,
+                    legacy,
+                    "{test} under l1-str+ (l1_weak={}): facade diverged at {workers} workers",
+                    chip.l1_weak()
+                );
+            }
+        }
+    }
+}
+
 /// A miniature lock-protected accumulator (the idiom of the paper's
 /// Fig. 1 running example): weak-memory-buggy by design, so stressed
 /// campaigns produce a mix of verdicts worth comparing.

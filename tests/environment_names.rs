@@ -34,6 +34,25 @@ fn all_eight_matches_tab5_order_on_every_chip() {
 }
 
 #[test]
+fn l1_str_plus_is_named_but_stays_out_of_tab5() {
+    // The structural L1 environment post-dates the paper: it gets the
+    // same `<strategy><randomized>` naming scheme, but Tab. 5 keeps
+    // exactly its eight published columns — `l1-str+` appears only in
+    // the extended suite, never in `all_eight`.
+    assert_eq!(Environment::l1_str_plus().name(), "l1-str+");
+    assert_eq!(StressStrategy::L1.short(), "l1-str");
+    assert_eq!(SuiteStrategy::l1_str_plus(40).name, "l1-str+");
+    for chip in Chip::all() {
+        let names: Vec<String> = Environment::all_eight(&chip)
+            .iter()
+            .map(Environment::name)
+            .collect();
+        assert_eq!(names.len(), 8, "{}", chip.short);
+        assert!(!names.contains(&"l1-str+".to_string()), "{}", chip.short);
+    }
+}
+
+#[test]
 fn strategy_short_names_match_the_paper() {
     let chip = Chip::by_short("K20").unwrap();
     assert_eq!(StressStrategy::None.short(), "no-str");

@@ -52,8 +52,12 @@ fn stress_on_unrelated_channel_is_ineffective() {
 #[test]
 fn no_weak_behaviour_below_the_patch_size() {
     // d = 0 puts all communication locations in the same line on every
-    // chip: same-line ordering forbids the reordering entirely.
-    for short in ["Titan", "C2075"] {
+    // chip: same-line ordering forbids the *reordering* entirely. That
+    // guarantee now only extends to coherent-L1 chips — on the Tesla
+    // C2075/C2050 the incoherent L1 can serve a stale line under
+    // cross-SM write pressure, a channel that line-local ordering does
+    // not close — so this pins Titan (Kepler) and K20 instead.
+    for short in ["Titan", "K20"] {
         let chip = Chip::by_short(short).unwrap();
         for test in Shape::TRIO {
             let weak = stressed_weak_count(&chip, test, 0, 0, 80);
@@ -322,6 +326,51 @@ fn rmw_cycles_are_observable_under_stress() {
         let weak = stressed_weak_count(&chip, test, 64, 0, 300);
         assert!(weak > 0, "{test} should show weak behaviour under stress");
     }
+}
+
+#[test]
+fn incoherent_l1_makes_corr_observable_on_the_teslas_only() {
+    // The structural relaxation channel of the chip topology: under
+    // `l1-str+` (write-only cross-SM traffic driving the staleness
+    // probability) the Tesla C2075's incoherent L1 serves CoRR's second
+    // read a stale line, so the oracle-forbidden `r0=1, r1=0` outcome
+    // appears — the paper's Tab. 4 coherence violation on the Fermi
+    // Teslas. Every way of closing the channel pins it back at exactly
+    // zero: a coherent-L1 preset (Titan), the SC chip transform, and
+    // the device fence between the two reads.
+    let pad = Scratchpad::new(2048, 2048);
+    let env = Environment::l1_str_plus();
+    let campaign = |chip: &Chip, test: Shape| {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+        CampaignBuilder::new(chip)
+            .environment(&env, pad, 40)
+            .count(80)
+            .base_seed(0x11CA)
+            .build()
+            .run_litmus(&inst)
+    };
+    let tesla = Chip::by_short("C2075").unwrap();
+    let weak = campaign(&tesla, Shape::CoRR).weak();
+    assert!(
+        weak > 0,
+        "CoRR should read stale L1 lines on the C2075 under l1-str+"
+    );
+    assert_eq!(
+        campaign(&tesla, Shape::CoRRFence).weak(),
+        0,
+        "the device fence must invalidate the stale line"
+    );
+    assert_eq!(
+        campaign(&tesla.sequentially_consistent(), Shape::CoRR).weak(),
+        0,
+        "the SC chip zeroes the staleness channel"
+    );
+    let coherent = Chip::by_short("Titan").unwrap();
+    assert_eq!(
+        campaign(&coherent, Shape::CoRR).weak(),
+        0,
+        "coherent-L1 chips must keep CoRR coherent under l1-str+"
+    );
 }
 
 #[test]

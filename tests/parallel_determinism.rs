@@ -157,6 +157,40 @@ fn campaign_shared_stressed_is_worker_count_invariant() {
     }
 }
 
+/// The structural L1 channel stays bit-identical across worker counts:
+/// the per-run staleness draws in the load path come from the same
+/// per-run RNG stream as everything else, so campaigning CoRR and its
+/// fenced twin on an incoherent-L1 Tesla under `l1-str+` must agree
+/// exactly at 1/2/8 workers — including the weak (stale-read) outcomes.
+#[test]
+fn campaign_l1_stressed_is_worker_count_invariant() {
+    use gpu_wmm::core::env::Environment;
+    let chip = Chip::by_short("C2075").unwrap();
+    let pad = Scratchpad::new(2048, 2048);
+    let env = Environment::l1_str_plus();
+    for test in [Shape::CoRR, Shape::CoRRFence, Shape::Mp] {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+        let run = |parallelism: usize| {
+            CampaignBuilder::new(&chip)
+                .environment(&env, pad, 40)
+                .count(32)
+                .base_seed(0x11CA)
+                .parallelism(parallelism)
+                .build()
+                .run_litmus(&inst)
+        };
+        let reference = run(WORKER_COUNTS[0]);
+        assert_eq!(reference.total(), 32);
+        for workers in &WORKER_COUNTS[1..] {
+            assert_eq!(
+                run(*workers),
+                reference,
+                "{test}: L1-stressed histogram diverged at {workers} workers"
+            );
+        }
+    }
+}
+
 /// Different seeds must not produce identical streams (sanity check that
 /// the invariance above isn't vacuous).
 #[test]

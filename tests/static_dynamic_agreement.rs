@@ -14,10 +14,14 @@ use gpu_wmm::litmus::LitmusLayout;
 use gpu_wmm::sim::chip::Chip;
 use gpu_wmm::sim::ir::FenceLevel;
 
-/// The catalogue shapes with no unfenced delay pair: the coherence
-/// (same-location) shapes and every fenced twin.
-const QUIET: [Shape; 11] = [
+/// The catalogue shapes with no unfenced delay pair *under the
+/// chip-independent analysis*: the coherence (same-location) shapes and
+/// every fenced twin. On incoherent-L1 chips the chip-aware analysis
+/// revokes CoRR's exemption (its read-read pair can observe a stale L1
+/// line) — the dedicated test below covers that.
+const QUIET: [Shape; 12] = [
     Shape::CoRR,
+    Shape::CoRRFence,
     Shape::CoWW,
     Shape::CoRRShared,
     Shape::CoAdd,
@@ -117,6 +121,61 @@ fn dynamic_weakness_implies_a_static_warning() {
     // The cross-check is vacuous unless the campaign actually observed
     // weak behaviors.
     assert!(weak_rows >= 5, "only {weak_rows} weak rows observed");
+}
+
+#[test]
+fn incoherent_l1_weakness_implies_a_chip_aware_static_warning() {
+    // The suite's static column is computed per chip: on the
+    // incoherent-L1 C2075 the `l1-str+` column makes CoRR go weak
+    // dynamically and the chip-aware analysis must warn on exactly
+    // those rows, while CoRR+fence is certified quiet and never goes
+    // weak, and the coherent-L1 K20 keeps both quiet and at zero.
+    let chips = [
+        Chip::by_short("C2075").unwrap(),
+        Chip::by_short("K20").unwrap(),
+    ];
+    let cfg = SuiteConfig {
+        execs: 24,
+        ..Default::default()
+    };
+    let cells = run_suite(
+        &[Shape::CoRR, Shape::CoRRFence],
+        &chips,
+        &[SuiteStrategy::l1_str_plus(40)],
+        &cfg,
+    );
+    let mut corr_weak_rows = 0;
+    for c in &cells {
+        if c.hist.weak() > 0 {
+            assert!(
+                !c.static_verdict.quiet(),
+                "{} on {} went weak without a chip-aware warning",
+                c.shape,
+                c.chip
+            );
+        }
+        match (c.shape, c.chip.as_str()) {
+            (Shape::CoRR, "C2075") => {
+                assert!(!c.static_verdict.quiet(), "CoRR must warn on the C2075");
+                if c.hist.weak() > 0 {
+                    corr_weak_rows += 1;
+                }
+            }
+            (Shape::CoRR, _) => {
+                assert!(c.static_verdict.quiet(), "CoRR stays exempt on {}", c.chip);
+                assert_eq!(c.hist.weak(), 0, "CoRR went weak on coherent {}", c.chip);
+            }
+            (Shape::CoRRFence, _) => {
+                assert!(c.static_verdict.quiet(), "CoRR+fence quiet on {}", c.chip);
+                assert_eq!(c.hist.weak(), 0, "CoRR+fence went weak on {}", c.chip);
+            }
+            _ => unreachable!(),
+        }
+    }
+    assert!(
+        corr_weak_rows > 0,
+        "the cross-check is vacuous: CoRR never went weak on the C2075"
+    );
 }
 
 #[test]
