@@ -135,8 +135,34 @@ pub fn to_json(rows: &[BenchRow], scale: Scale) -> String {
     s
 }
 
-/// Run the bench, print the throughput table, and write the JSON
-/// artifact (default `BENCH_campaign.json`).
+/// The normalized service-level summary `repro bench` appends to
+/// `BENCH_soak.json`: one point aggregating the whole grid, so the
+/// soak trajectory gains a second curve measured by the one-shot path.
+pub fn trajectory_point(rows: &[BenchRow], scale: Scale) -> String {
+    let cells = rows.len();
+    let total_secs: f64 = rows.iter().map(|r| r.seconds).sum();
+    let total_execs: u64 = rows.iter().map(|r| u64::from(r.execs)).sum();
+    format!(
+        "{{\"source\": \"bench\", \"seed\": {}, \"execs_per_cell\": {}, \"cells\": {}, \"cells_per_sec\": {:.1}, \"runs_per_sec\": {:.1}}}",
+        scale.seed,
+        scale.execs,
+        cells,
+        if total_secs > 0.0 {
+            cells as f64 / total_secs
+        } else {
+            0.0
+        },
+        if total_secs > 0.0 {
+            total_execs as f64 / total_secs
+        } else {
+            0.0
+        }
+    )
+}
+
+/// Run the bench, print the throughput table, write the JSON artifact
+/// (default `BENCH_campaign.json`), and append the normalized summary
+/// to `BENCH_soak.json`.
 pub fn run(scale: Scale, json_path: Option<&str>) -> Vec<BenchRow> {
     println!(
         "Campaign throughput baseline: {} shapes x 2 chips x {} strategies x {:?} workers, {} execs/cell",
@@ -162,6 +188,17 @@ pub fn run(scale: Scale, json_path: Option<&str>) -> Vec<BenchRow> {
     match std::fs::write(path, json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+    let point = trajectory_point(&rows, scale);
+    match wmm_server::soak::append_trajectory_point(
+        std::path::Path::new(crate::soak::TRAJECTORY_PATH),
+        &point,
+    ) {
+        Ok(()) => println!(
+            "appended trajectory point to {}",
+            crate::soak::TRAJECTORY_PATH
+        ),
+        Err(e) => eprintln!("failed to append to {}: {e}", crate::soak::TRAJECTORY_PATH),
     }
     rows
 }
@@ -190,6 +227,20 @@ mod tests {
         assert!(rows.iter().any(|r| r.strategy == "l1-str+"));
         assert!(rows.iter().any(|r| r.chip == "C2075"));
         assert!(rows.iter().any(|r| r.workers == 8));
+    }
+
+    #[test]
+    fn trajectory_point_is_one_aggregated_line() {
+        let scale = Scale {
+            execs: 2,
+            ..Scale::quick()
+        };
+        let rows = measure(scale);
+        let p = trajectory_point(&rows, scale);
+        assert!(p.starts_with("{\"source\": \"bench\""));
+        assert!(p.contains(&format!("\"cells\": {}", rows.len())));
+        assert!(p.contains("\"runs_per_sec\""));
+        assert!(!p.contains('\n'));
     }
 
     #[test]

@@ -21,7 +21,14 @@
 //!                   --chips A,B re-runs the analysis per chip, adding the
 //!                   incoherent-L1 read-read channel where the chip has one)
 //!   bench           campaign-throughput baseline (BENCH_campaign.json)
-//!   all             everything above, in order (except bench)
+//!   serve           batch campaign jobs through the engine
+//!                   (--jobs FILE-or-inline-spec; jobs separated by
+//!                   newlines or `;`)
+//!   soak            deterministic soak/throughput harness
+//!                   (--quick|--extended|--stress; seed from --seed,
+//!                   else SOAK_SEED, else 2016; exits nonzero when a
+//!                   throughput/cache/determinism gate fails)
+//!   all             everything above, in order (except bench/serve/soak)
 //!
 //! `--seed N` sets the base seed every subcommand derives its
 //! per-campaign seeds from (default 2016) — one flag reseeds the entire
@@ -34,9 +41,10 @@
 //! ```
 
 use wmm_bench::{
-    analyze, bench, fig3, fig4, fig5, running, speedup, suite, table2, table3, table5, table6,
-    Scale,
+    analyze, bench, fig3, fig4, fig5, running, serve, soak, speedup, suite, table2, table3, table5,
+    table6, Scale,
 };
+use wmm_server::SoakProfile;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +66,9 @@ fn main() {
     let mut chips: Option<Vec<String>> = None;
     let mut json_path: Option<String> = None;
     let mut placement: Option<wmm_gen::Placement> = None;
+    let mut jobs_spec: Option<String> = None;
+    let mut soak_profile = SoakProfile::Quick;
+    let mut seed_flag: Option<u64> = None;
     // `analyze` takes one positional target before the flags.
     let mut analyze_target: Option<String> = None;
     let mut flag_start = 1;
@@ -95,8 +106,15 @@ fn main() {
             "--seed" => {
                 if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
                     scale.seed = v;
+                    seed_flag = Some(v);
                 }
             }
+            "--jobs" => {
+                jobs_spec = it.next().cloned();
+            }
+            "--quick" => soak_profile = SoakProfile::Quick,
+            "--extended" => soak_profile = SoakProfile::Extended,
+            "--stress" => soak_profile = SoakProfile::Stress,
             "--workers" => {
                 if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
                     scale.workers = v;
@@ -171,6 +189,29 @@ fn main() {
         "bench" => {
             bench::run(scale, json_path.as_deref());
         }
+        "serve" => {
+            let Some(spec) = jobs_spec else {
+                eprintln!("serve wants --jobs FILE-or-inline-spec");
+                usage();
+                return;
+            };
+            if let Err(e) = serve::run(&spec, scale.workers) {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        "soak" => {
+            // Precedence: explicit --seed, then SOAK_SEED, then 2016.
+            let seed = seed_flag.unwrap_or_else(|| {
+                std::env::var("SOAK_SEED")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(scale.seed)
+            });
+            if !soak::run(soak_profile, seed, scale.workers) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             running::run(scale);
             println!("\n{}\n", "=".repeat(76));
@@ -199,9 +240,9 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|speedup|suite|\
-         analyze TARGET|bench|all> \
+         analyze TARGET|bench|serve|soak|all> \
          [--chips A,B] [--execs N] [--runs N] [--seed N] [--workers N] [--json PATH] \
-         [--placement inter|intra] [--full]\n\
+         [--placement inter|intra] [--jobs SPEC] [--quick|--extended|--stress] [--full]\n\
          \n\
          --seed N       base seed for every subcommand's campaigns (default 2016)\n\
          --workers N    campaign worker threads (0 = all cores; WMM_WORKERS env default);\n\
@@ -213,6 +254,12 @@ fn usage() {
          \x20              --chips A,B analyzes per chip (adds the incoherent-L1\n\
          \x20              read-read channel on chips that have one)\n\
          bench          campaign-throughput baseline; writes BENCH_campaign.json\n\
-         \x20              (or --json PATH)"
+         \x20              (or --json PATH) and appends a summary to BENCH_soak.json\n\
+         serve          batch campaign jobs through the engine; --jobs is a file\n\
+         \x20              of job lines or an inline `;`-separated spec\n\
+         soak           deterministic soak harness; --quick/--extended/--stress\n\
+         \x20              pick the mix, seed from --seed else SOAK_SEED else 2016;\n\
+         \x20              writes tests/artifacts/soak/<profile>-seed<seed>/report.json,\n\
+         \x20              appends to BENCH_soak.json, exits nonzero on gate failure"
     );
 }

@@ -16,6 +16,8 @@
 //! | [`suite`] | generated litmus suite: shapes × chips × strategies |
 //! | [`analyze`] | static delay-set analyzer over shapes and app kernels |
 //! | [`bench`](mod@bench) | campaign-throughput baseline (`BENCH_campaign.json`) |
+//! | [`serve`] | `repro serve` — batch jobs through the campaign engine |
+//! | [`soak`] | `repro soak` — deterministic soak/throughput harness (`BENCH_soak.json`) |
 //!
 //! Every generator takes a [`Scale`] so the half-billion-execution grids
 //! of the paper shrink to laptop scale while preserving the shapes; the
@@ -27,6 +29,8 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod running;
+pub mod serve;
+pub mod soak;
 pub mod speedup;
 pub mod suite;
 pub mod table2;

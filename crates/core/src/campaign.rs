@@ -138,6 +138,138 @@ impl Workload for LitmusWorkload<'_> {
     }
 }
 
+/// 64-bit FNV-1a, the workspace's stable digest for campaign summaries
+/// and soak reports: tiny, dependency-free, and — unlike `DefaultHasher`
+/// — pinned, so digests written into committed JSON stay comparable
+/// across toolchains and runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold a byte stream into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Fold a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// A type-erased campaign summary: what a job-queue engine hands back
+/// when the jobs it drains mix litmus campaigns (summarised by a
+/// [`Histogram`]) and application campaigns (summarised by a
+/// [`CampaignResult`](crate::env::CampaignResult)). [`Workload`] keeps
+/// its associated `Summary` type for the strongly-typed one-shot paths;
+/// this enum is the boundary type of the object-safe [`CampaignJob`]
+/// dispatch the server uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SummaryValue {
+    /// A litmus campaign's outcome histogram.
+    Litmus(Histogram),
+    /// An application campaign's verdict counts.
+    App(crate::env::CampaignResult),
+}
+
+impl SummaryValue {
+    /// The litmus histogram, if this summary is one.
+    pub fn as_litmus(&self) -> Option<&Histogram> {
+        match self {
+            SummaryValue::Litmus(h) => Some(h),
+            SummaryValue::App(_) => None,
+        }
+    }
+
+    /// The application campaign result, if this summary is one.
+    pub fn as_app(&self) -> Option<&crate::env::CampaignResult> {
+        match self {
+            SummaryValue::Litmus(_) => None,
+            SummaryValue::App(r) => Some(r),
+        }
+    }
+
+    /// A stable 64-bit digest of the summary's contents ([`Fnv64`] over
+    /// the histogram's sorted outcome vectors, or the campaign result's
+    /// counters). Equal summaries digest equal on every platform, so
+    /// soak reports can compare runs by digest alone.
+    pub fn digest(&self) -> u64 {
+        let mut f = Fnv64::new();
+        match self {
+            SummaryValue::Litmus(h) => {
+                f.write(b"litmus");
+                f.write_u64(h.total());
+                f.write_u64(h.weak());
+                for (obs, n) in h.iter() {
+                    f.write_u64(obs.len() as u64);
+                    for &v in obs {
+                        f.write_u64(u64::from(v));
+                    }
+                    f.write_u64(n);
+                }
+            }
+            SummaryValue::App(r) => {
+                f.write(b"app");
+                for v in [
+                    r.runs,
+                    r.errors,
+                    r.postcondition_failures,
+                    r.timeouts,
+                    r.faults,
+                ] {
+                    f.write_u64(u64::from(v));
+                }
+            }
+        }
+        f.finish()
+    }
+}
+
+/// An object-safe campaign job: "run yourself on this campaign". The
+/// [`Workload`] trait's associated types make it impossible to queue
+/// heterogeneous workloads behind one `dyn`; this trait erases the
+/// summary type so the server's queue can hold litmus instances and
+/// application harnesses side by side. Each impl routes through exactly
+/// the same strongly-typed path a standalone caller would use —
+/// [`Campaign::run_litmus`] (shared-stress injection included) for
+/// litmus, [`Campaign::run`] for applications — so queued and one-shot
+/// results are identical by construction.
+pub trait CampaignJob: Sync {
+    /// Execute the campaign's full run count on this job and summarise.
+    fn run_on(&self, campaign: &Campaign<'_>) -> SummaryValue;
+}
+
+impl CampaignJob for LitmusInstance {
+    fn run_on(&self, campaign: &Campaign<'_>) -> SummaryValue {
+        SummaryValue::Litmus(campaign.run_litmus(self))
+    }
+}
+
+impl CampaignJob for crate::env::AppHarness<'_> {
+    fn run_on(&self, campaign: &Campaign<'_>) -> SummaryValue {
+        SummaryValue::App(campaign.run(self))
+    }
+}
+
 /// Builder for a [`Campaign`]: chip, environment (as prepared stress
 /// artifacts plus the randomisation toggle), execution count, base seed
 /// and parallelism.

@@ -21,7 +21,14 @@ use wmm_sim::Word;
 /// A testing environment: a stressing strategy plus thread randomisation,
 /// plus (for scoped litmus workloads) optional intra-block shared-space
 /// stress — the second axis of the scope hierarchy.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` are fully structural, so environments can key shared
+/// caches (see [`crate::cache::ArtifactCache`]): two environments
+/// compare equal exactly when they carry the same strategy parameters,
+/// regardless of how they were constructed or what
+/// [`Environment::name`] prints (`sys-str+` tuned for the Titan and for
+/// the GTX 980 share a name but are *not* equal).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Environment {
     /// The (global-memory) stressing strategy.
     pub stress: StressStrategy,
@@ -259,11 +266,19 @@ impl<'a> AppHarness<'a> {
         &self.spec
     }
 
+    /// The calibrated stressing-loop iteration count this harness sizes
+    /// its stress kernels to (stress runs roughly 10× the kernel under
+    /// test, Sec. 4.2). Exposed so artifact caches can key app
+    /// campaigns on exactly the `(pad, iters)` this harness would build.
+    pub fn calibrated_iters(&self) -> u32 {
+        self.stress_iters.max(60)
+    }
+
     /// Build the stress artifacts for running this application under
     /// `env`: the strategy's kernels compiled once, sized to this
     /// harness's scratchpad and calibrated stressing-loop length.
     pub fn artifacts(&self, env: &Environment) -> StressArtifacts {
-        StressArtifacts::for_strategy(self.chip, &env.stress, self.pad, self.stress_iters.max(60))
+        StressArtifacts::for_strategy(self.chip, &env.stress, self.pad, self.calibrated_iters())
             .with_shared_stress(env.shared)
     }
 

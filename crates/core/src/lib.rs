@@ -8,6 +8,9 @@
 //!   [`CampaignBuilder`]/[`Campaign`] driver every repeat-`C`-times loop
 //!   in the workspace executes on, with stress artifacts built once per
 //!   environment;
+//! * [`cache`] — the shared, structurally-keyed [`ArtifactCache`] the
+//!   campaign server and the one-shot suite runner deduplicate stress
+//!   kernel builds through;
 //! * [`stress`] — the four memory stressing strategies (`no-str`,
 //!   `rand-str`, `cache-str`, and the tuned `sys-str`) targeting a
 //!   scratchpad disjoint from the application (Sec. 3, 4.2), plus the
@@ -25,6 +28,7 @@
 
 pub mod analyze;
 pub mod app;
+pub mod cache;
 pub mod campaign;
 pub mod env;
 pub mod harden;
@@ -34,7 +38,10 @@ pub mod tuning;
 
 pub use analyze::{analyze_spec, representatives, SpecAnalysis};
 pub use app::{AppSpec, Application, Phase};
-pub use campaign::{Campaign, CampaignBuilder, LitmusWorkload, Workload};
+pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
+pub use campaign::{
+    Campaign, CampaignBuilder, CampaignJob, Fnv64, LitmusWorkload, SummaryValue, Workload,
+};
 pub use env::{AppHarness, CampaignResult, Environment, RunVerdict};
 pub use harden::{
     empirical_fence_insertion, empirical_fence_insertion_scoped, HardenConfig, HardenResult,

@@ -52,7 +52,7 @@ use wmm_sim::seq::{Acc, AccessSeq};
 use wmm_sim::Word;
 
 /// The scratchpad region stressing threads target.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Scratchpad {
     /// First word of the scratchpad (keep line-aligned).
     pub base: u32,
@@ -87,7 +87,11 @@ impl Scratchpad {
 }
 
 /// Parameters of the systematic (tuned) stress — Tab. 2's columns.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` are structural (the access sequence and the two word
+/// counts), so two strategies tuned to the same parameters — whatever
+/// chip produced them — key to the same artifact-cache entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SystematicParams {
     /// The chip's critical patch size in words.
     pub patch_words: u32,
@@ -115,7 +119,7 @@ impl SystematicParams {
 /// per-block, so the stress rides inside the test kernel itself
 /// (injected by `LitmusInstance::with_shared_stress`), and it only
 /// applies to intra-block instances.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SharedStress {
     /// Scratchpad size in shared words (placed past the test's own
     /// shared locations).
@@ -144,7 +148,13 @@ impl SharedStress {
 }
 
 /// A memory stressing strategy.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` compare the strategy's *structure* (for `sys-str`, the
+/// full [`SystematicParams`]), not its display name: `sys-str` tuned
+/// for the Titan and `sys-str` tuned for the GTX 980 print identically
+/// but hash — and cache — separately, while chips that share Tab. 2
+/// tuning (Titan and K20) compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum StressStrategy {
     /// `no-str`: no stressing blocks at all.
     None,

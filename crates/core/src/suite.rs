@@ -11,7 +11,9 @@
 //! graph); with the campaign facade in `wmm-core` the runner lives here
 //! and the columns are plain [`StressStrategy`] values.
 
+use crate::cache::ArtifactCache;
 use crate::campaign::CampaignBuilder;
+use crate::env::Environment;
 use crate::stress::{Scratchpad, SharedStress, StressArtifacts, StressStrategy, SystematicParams};
 use std::sync::Arc;
 use wmm_gen::Shape;
@@ -105,6 +107,17 @@ impl SuiteStrategy {
     /// The strategy this column applies on `chip`.
     pub fn strategy(&self, chip: &Chip) -> StressStrategy {
         (self.strategy_of)(chip)
+    }
+
+    /// The [`Environment`] this column realises on `chip` — the
+    /// structural key under which its artifacts are shared (see
+    /// [`ArtifactCache`]).
+    pub fn environment(&self, chip: &Chip) -> Environment {
+        Environment {
+            stress: self.strategy(chip),
+            randomize: self.randomize,
+            shared: self.shared,
+        }
     }
 
     /// Build this column's stress artifacts for `chip`, compiled once
@@ -256,16 +269,23 @@ pub fn run_suite(
     strategies: &[SuiteStrategy],
     cfg: &SuiteConfig,
 ) -> Vec<SuiteCell> {
-    // One artifact set per (chip, strategy) column, compiled up front.
-    let artifacts: Vec<Vec<StressArtifacts>> = chips
-        .iter()
-        .map(|chip| {
-            strategies
-                .iter()
-                .map(|s| s.artifacts(chip, cfg.pad))
-                .collect()
-        })
-        .collect();
+    run_suite_with_cache(shapes, chips, strategies, cfg, &ArtifactCache::new())
+}
+
+/// [`run_suite`] over a caller-supplied [`ArtifactCache`]: each
+/// `(chip, strategy)` column's artifacts are looked up per cell and
+/// built at most once — by this suite *or by anything else sharing the
+/// cache* (the campaign server seeds its soak runs this way). The
+/// cache's build counter is the exactly-once-compilation hook the tests
+/// assert on; results are identical to [`run_suite`]'s whether a lookup
+/// hits or builds.
+pub fn run_suite_with_cache(
+    shapes: &[Shape],
+    chips: &[Chip],
+    strategies: &[SuiteStrategy],
+    cfg: &SuiteConfig,
+    cache: &ArtifactCache,
+) -> Vec<SuiteCell> {
     let mut cells = Vec::new();
     for (si, shape) in shapes.iter().enumerate() {
         for &d in &cfg.distances {
@@ -274,13 +294,14 @@ pub fn run_suite(
                 // Per-chip: incoherent-L1 chips grow the delay set.
                 let static_verdict = StaticVerdict::of_chip(&inst, chip);
                 for (ki, strat) in strategies.iter().enumerate() {
+                    let artifacts = cache.get(chip, &strat.environment(chip), cfg.pad, strat.iters);
                     // Chain one mix per coordinate: unlike a polynomial
                     // pack, this cannot collide for any in-range values.
                     let cell_seed = [si as u64, u64::from(d), ci as u64, ki as u64]
                         .into_iter()
                         .fold(cfg.base_seed, mix_seed);
                     let hist = CampaignBuilder::new(chip)
-                        .stress(artifacts[ci][ki].clone())
+                        .stress((*artifacts).clone())
                         .randomize_ids(strat.randomize)
                         .count(cfg.execs)
                         .base_seed(cell_seed)
@@ -408,6 +429,54 @@ mod tests {
         assert_eq!(placement_of(Shape::Mp), Placement::InterBlock);
         assert_eq!(placement_of(Shape::MpShared), Placement::IntraBlock);
         assert_eq!(placement_of(Shape::MpCas), Placement::InterBlock);
+    }
+
+    #[test]
+    fn suite_compiles_each_column_exactly_once() {
+        // The full 5-column × 28-shape matrix on one chip: the cache's
+        // build counter must read exactly one compile per column, every
+        // other cell a hit.
+        let chips = [Chip::by_short("Titan").unwrap()];
+        let strategies = [
+            SuiteStrategy::native(),
+            SuiteStrategy::sys_str_plus(40),
+            SuiteStrategy::rand_str_plus(40),
+            SuiteStrategy::shared_sys_str_plus(40),
+            SuiteStrategy::l1_str_plus(40),
+        ];
+        let cfg = SuiteConfig {
+            execs: 2,
+            ..Default::default()
+        };
+        let cache = ArtifactCache::new();
+        let cells = run_suite_with_cache(&Shape::ALL, &chips, &strategies, &cfg, &cache);
+        assert_eq!(cells.len(), Shape::ALL.len() * strategies.len());
+        let s = cache.stats();
+        assert_eq!(
+            s.builds as usize,
+            strategies.len(),
+            "one compile per column"
+        );
+        assert_eq!(s.entries, strategies.len());
+        assert_eq!(s.hits, (cells.len() - strategies.len()) as u64);
+    }
+
+    #[test]
+    fn warm_cache_does_not_change_suite_results() {
+        let chips = [Chip::by_short("K20").unwrap()];
+        let shapes = [Shape::Mp, Shape::Sb];
+        let strategies = [SuiteStrategy::sys_str_plus(40)];
+        let cfg = SuiteConfig {
+            execs: 12,
+            ..Default::default()
+        };
+        let cache = ArtifactCache::new();
+        let cold = run_suite_with_cache(&shapes, &chips, &strategies, &cfg, &cache);
+        let warm = run_suite_with_cache(&shapes, &chips, &strategies, &cfg, &cache);
+        assert_eq!(cache.stats().builds, 1, "second pass must be all hits");
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.hist, b.hist, "{} {}", a.shape, a.strategy);
+        }
     }
 
     #[test]

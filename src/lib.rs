@@ -22,7 +22,11 @@
 //!   randomisation, the per-chip tuning pipeline, testing environments,
 //!   the generated-suite runner, and empirical fence insertion;
 //! * [`apps`] — the ten application case studies with functional
-//!   post-conditions.
+//!   post-conditions;
+//! * [`server`] — campaign-as-a-service: a batched job-queue engine
+//!   draining deterministic campaign jobs through a fixed worker pool
+//!   with structurally-cached stress artifacts, plus the seeded
+//!   soak/throughput harness behind `repro soak`.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results. The
@@ -34,4 +38,5 @@ pub use wmm_core as core;
 pub use wmm_gen as gen;
 pub use wmm_lang as lang;
 pub use wmm_litmus as litmus;
+pub use wmm_server as server;
 pub use wmm_sim as sim;
