@@ -19,6 +19,7 @@ use crate::Scale;
 use wmm_core::stress::Scratchpad;
 use wmm_core::suite::{run_suite, SuiteConfig, SuiteStrategy};
 use wmm_gen::Shape;
+use wmm_obs::ChannelCounts;
 use wmm_sim::chip::Chip;
 
 /// Worker counts the bench sweeps — the same 1/2/8 grid the
@@ -60,8 +61,10 @@ fn bench_strategies() -> Vec<SuiteStrategy> {
     ]
 }
 
-/// Run the bench grid and return the timed rows.
-pub fn measure(scale: Scale) -> Vec<BenchRow> {
+/// Run the bench grid and return the timed rows plus the summed
+/// deterministic weakness-channel counters of every campaign in the
+/// grid (the trajectory point's provenance payload).
+pub fn measure(scale: Scale) -> (Vec<BenchRow>, ChannelCounts) {
     let chips = [
         Chip::by_short("Titan").expect("chip"),
         Chip::by_short("C2075").expect("chip"),
@@ -69,6 +72,7 @@ pub fn measure(scale: Scale) -> Vec<BenchRow> {
     let shapes = bench_shapes();
     let strategies = bench_strategies();
     let mut rows = Vec::new();
+    let mut channels = ChannelCounts::default();
     for chip in &chips {
         for strat in &strategies {
             for &shape in &shapes {
@@ -89,6 +93,9 @@ pub fn measure(scale: Scale) -> Vec<BenchRow> {
                     );
                     let seconds = start.elapsed().as_secs_f64();
                     let execs: u64 = cells.iter().map(|c| c.hist.total()).sum();
+                    for c in &cells {
+                        channels.add(c.hist.channels());
+                    }
                     rows.push(BenchRow {
                         shape: shape.short().to_string(),
                         chip: chip.short.to_string(),
@@ -106,7 +113,7 @@ pub fn measure(scale: Scale) -> Vec<BenchRow> {
             }
         }
     }
-    rows
+    (rows, channels)
 }
 
 /// Serialise bench rows as JSON (hand-rolled, like the suite output).
@@ -136,14 +143,16 @@ pub fn to_json(rows: &[BenchRow], scale: Scale) -> String {
 }
 
 /// The normalized service-level summary `repro bench` appends to
-/// `BENCH_soak.json`: one point aggregating the whole grid, so the
-/// soak trajectory gains a second curve measured by the one-shot path.
-pub fn trajectory_point(rows: &[BenchRow], scale: Scale) -> String {
+/// `BENCH_soak.json`: one point aggregating the whole grid — wall-clock
+/// throughput plus the grid's deterministic weakness-channel totals, so
+/// the trajectory records *which* relaxation machinery each baseline
+/// actually exercised.
+pub fn trajectory_point(rows: &[BenchRow], scale: Scale, channels: &ChannelCounts) -> String {
     let cells = rows.len();
     let total_secs: f64 = rows.iter().map(|r| r.seconds).sum();
     let total_execs: u64 = rows.iter().map(|r| u64::from(r.execs)).sum();
     format!(
-        "{{\"source\": \"bench\", \"seed\": {}, \"execs_per_cell\": {}, \"cells\": {}, \"cells_per_sec\": {:.1}, \"runs_per_sec\": {:.1}}}",
+        "{{\"source\": \"bench\", \"seed\": {}, \"execs_per_cell\": {}, \"cells\": {}, \"cells_per_sec\": {:.1}, \"runs_per_sec\": {:.1}, \"channels\": {}}}",
         scale.seed,
         scale.execs,
         cells,
@@ -156,7 +165,8 @@ pub fn trajectory_point(rows: &[BenchRow], scale: Scale) -> String {
             total_execs as f64 / total_secs
         } else {
             0.0
-        }
+        },
+        channels.to_json()
     )
 }
 
@@ -172,7 +182,7 @@ pub fn run(scale: Scale, json_path: Option<&str>) -> Vec<BenchRow> {
         scale.execs
     );
     println!("(wall-clock; campaign results stay bit-identical across worker counts)\n");
-    let rows = measure(scale);
+    let (rows, channels) = measure(scale);
     println!(
         "{:>10} {:>7} {:>10} {:>8} {:>7} {:>9} {:>12}",
         "shape", "chip", "strategy", "workers", "execs", "secs", "runs/sec"
@@ -183,13 +193,14 @@ pub fn run(scale: Scale, json_path: Option<&str>) -> Vec<BenchRow> {
             r.shape, r.chip, r.strategy, r.workers, r.execs, r.seconds, r.runs_per_sec
         );
     }
+    println!("\nweakness channels exercised: {channels}");
     let path = json_path.unwrap_or("BENCH_campaign.json");
     let json = to_json(&rows, scale);
     match std::fs::write(path, json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }
-    let point = trajectory_point(&rows, scale);
+    let point = trajectory_point(&rows, scale, &channels);
     match wmm_server::soak::append_trajectory_point(
         std::path::Path::new(crate::soak::TRAJECTORY_PATH),
         &point,
@@ -213,7 +224,7 @@ mod tests {
             execs: 4,
             ..Scale::quick()
         };
-        let rows = measure(scale);
+        let (rows, channels) = measure(scale);
         assert_eq!(
             rows.len(),
             bench_shapes().len() * bench_strategies().len() * WORKER_COUNTS.len() * 2
@@ -227,6 +238,8 @@ mod tests {
         assert!(rows.iter().any(|r| r.strategy == "l1-str+"));
         assert!(rows.iter().any(|r| r.chip == "C2075"));
         assert!(rows.iter().any(|r| r.workers == 8));
+        // The stressed columns exercise the window channel.
+        assert!(channels.window_global > 0, "{channels:?}");
     }
 
     #[test]
@@ -235,11 +248,12 @@ mod tests {
             execs: 2,
             ..Scale::quick()
         };
-        let rows = measure(scale);
-        let p = trajectory_point(&rows, scale);
+        let (rows, channels) = measure(scale);
+        let p = trajectory_point(&rows, scale, &channels);
         assert!(p.starts_with("{\"source\": \"bench\""));
         assert!(p.contains(&format!("\"cells\": {}", rows.len())));
         assert!(p.contains("\"runs_per_sec\""));
+        assert!(p.contains("\"channels\": {\"window_global\":"));
         assert!(!p.contains('\n'));
     }
 
@@ -249,7 +263,7 @@ mod tests {
             execs: 2,
             ..Scale::quick()
         };
-        let rows = measure(scale);
+        let (rows, _) = measure(scale);
         let j = to_json(&rows, scale);
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
         assert_eq!(j.matches("\"shape\"").count(), rows.len());

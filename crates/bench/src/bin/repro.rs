@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment> [--chips A,B,...] [--execs N] [--runs N] [--seed N]
 //!                    [--workers N] [--json PATH] [--placement inter|intra]
-//!                    [--full]
+//!                    [--provenance] [--env NAME] [--full]
 //!
 //! experiments:
 //!   fig3            patch-finding plots (Titan, C2075, 980)
@@ -15,7 +15,13 @@
 //!   fig5            fence runtime/energy cost
 //!   running-example cbe-dot on the K20 (Sec. 1)
 //!   speedup         parallel campaign-layer scaling measurement
-//!   suite           generated litmus suite (shapes x chips x strategies)
+//!   suite           generated litmus suite (shapes x chips x strategies;
+//!                   --provenance adds the weakness-channel breakdown
+//!                   column and JSON fields)
+//!   trace SHAPE     replay one campaign with a bounded event log
+//!                   (--chips C picks the chip, default Titan; --env NAME
+//!                   picks the suite environment, default by placement;
+//!                   --json PATH writes the buffered events)
 //!   analyze TARGET  static delay-set analysis of a shape or app kernel
 //!                   (TARGET: shape short name, app name, shapes, apps, all;
 //!                   --chips A,B re-runs the analysis per chip, adding the
@@ -42,7 +48,7 @@
 
 use wmm_bench::{
     analyze, bench, fig3, fig4, fig5, running, serve, soak, speedup, suite, table2, table3, table5,
-    table6, Scale,
+    table6, trace, Scale,
 };
 use wmm_server::SoakProfile;
 
@@ -69,17 +75,23 @@ fn main() {
     let mut jobs_spec: Option<String> = None;
     let mut soak_profile = SoakProfile::Quick;
     let mut seed_flag: Option<u64> = None;
-    // `analyze` takes one positional target before the flags.
+    let mut provenance = false;
+    let mut env_name: Option<String> = None;
+    // `analyze` and `trace` take one positional target before the flags.
     let mut analyze_target: Option<String> = None;
     let mut flag_start = 1;
-    if cmd == "analyze" {
+    if cmd == "analyze" || cmd == "trace" {
         match args.get(1) {
             Some(t) if !t.starts_with("--") => {
                 analyze_target = Some(t.clone());
                 flag_start = 2;
             }
             _ => {
-                eprintln!("analyze wants a target (shape, app, shapes, apps, or all)");
+                if cmd == "analyze" {
+                    eprintln!("analyze wants a target (shape, app, shapes, apps, or all)");
+                } else {
+                    eprintln!("trace wants a shape short name (e.g. MP, CoRR, MP.shared)");
+                }
                 usage();
                 return;
             }
@@ -111,6 +123,10 @@ fn main() {
             }
             "--jobs" => {
                 jobs_spec = it.next().cloned();
+            }
+            "--provenance" => provenance = true,
+            "--env" => {
+                env_name = it.next().cloned();
             }
             "--quick" => soak_profile = SoakProfile::Quick,
             "--extended" => soak_profile = SoakProfile::Extended,
@@ -147,9 +163,9 @@ fn main() {
         }
     }
     let run_suite = |chips: Option<Vec<String>>, json_path: &Option<String>| {
-        let cells = suite::run(chips, placement, scale);
+        let cells = suite::run(chips, placement, scale, provenance);
         if let Some(path) = json_path {
-            let json = suite::to_json(&cells, scale.execs, scale.seed);
+            let json = suite::to_json(&cells, scale.execs, scale.seed, provenance);
             match std::fs::write(path, json) {
                 Ok(()) => println!("wrote {path}"),
                 Err(e) => eprintln!("failed to write {path}: {e}"),
@@ -179,6 +195,19 @@ fn main() {
             speedup::run(scale);
         }
         "suite" => run_suite(chips, &json_path),
+        "trace" => {
+            let target = analyze_target.as_deref().unwrap_or_default();
+            if let Err(e) = trace::run(
+                target,
+                chips,
+                env_name.as_deref(),
+                scale,
+                json_path.as_deref(),
+            ) {
+                eprintln!("{e}");
+                usage();
+            }
+        }
         "analyze" => {
             let target = analyze_target.as_deref().unwrap_or_default();
             if let Err(e) = analyze::run(target, chips, json_path.as_deref()) {
@@ -240,14 +269,20 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: repro <fig3|table2|table3|fig4|table5|table6|fig5|running-example|speedup|suite|\
-         analyze TARGET|bench|serve|soak|all> \
+         analyze TARGET|trace SHAPE|bench|serve|soak|all> \
          [--chips A,B] [--execs N] [--runs N] [--seed N] [--workers N] [--json PATH] \
-         [--placement inter|intra] [--jobs SPEC] [--quick|--extended|--stress] [--full]\n\
+         [--placement inter|intra] [--provenance] [--env NAME] [--jobs SPEC] \
+         [--quick|--extended|--stress] [--full]\n\
          \n\
          --seed N       base seed for every subcommand's campaigns (default 2016)\n\
          --workers N    campaign worker threads (0 = all cores; WMM_WORKERS env default);\n\
          \x20              results are bit-identical for every value\n\
          --placement P  (suite) restrict the catalogue to inter- or intra-block shapes\n\
+         --provenance   (suite) add the weakness-channel breakdown column; with --json,\n\
+         \x20              per-cell channel counters and per-weak-outcome attribution\n\
+         trace SHAPE    replay one campaign with a bounded structured event log;\n\
+         \x20              --chips C picks the chip (default Titan), --env NAME the suite\n\
+         \x20              environment (default by placement), --json PATH the event dump\n\
          analyze TARGET static delay-set analysis; TARGET is a shape short name\n\
          \x20              (e.g. MP.shared), an app name (e.g. cbe-dot, shm-pipe),\n\
          \x20              shapes, apps, or all; --json PATH writes the report;\n\

@@ -18,6 +18,7 @@
 //! | [`bench`](mod@bench) | campaign-throughput baseline (`BENCH_campaign.json`) |
 //! | [`serve`] | `repro serve` — batch jobs through the campaign engine |
 //! | [`soak`] | `repro soak` — deterministic soak/throughput harness (`BENCH_soak.json`) |
+//! | [`trace`] | `repro trace` — replay one campaign with a bounded event log |
 //!
 //! Every generator takes a [`Scale`] so the half-billion-execution grids
 //! of the paper shrink to laptop scale while preserving the shapes; the
@@ -37,6 +38,7 @@ pub mod table2;
 pub mod table3;
 pub mod table5;
 pub mod table6;
+pub mod trace;
 
 /// Execution-budget scaling shared by the experiment generators.
 #[derive(Debug, Clone, Copy)]

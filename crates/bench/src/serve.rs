@@ -11,6 +11,7 @@
 //! ```
 
 use std::time::Instant;
+use wmm_obs::{ChannelCounts, LatencyHistogram};
 use wmm_server::{parse_jobs, Engine, EngineConfig, JobSpec};
 
 /// Resolve the `--workers` convention (0 ⇒ all cores) to a pool size.
@@ -82,6 +83,23 @@ pub fn run(spec: &str, workers: usize) -> Result<(), String> {
         stats.hit_rate() * 100.0,
         engine.max_depth()
     );
+    // Wall-clock span telemetry plus the batch's deterministic
+    // weakness-channel totals (the litmus jobs' provenance counters).
+    let m = engine.metrics();
+    let zero = LatencyHistogram::default();
+    println!(
+        "spans (wall-clock): queue_wait {}; execute {}; compile {}",
+        m.span("queue_wait").unwrap_or(&zero),
+        m.span("execute").unwrap_or(&zero),
+        engine.compile_times()
+    );
+    let mut channels = ChannelCounts::default();
+    for r in &results {
+        if let Some(h) = r.summary.as_litmus() {
+            channels.add(h.channels());
+        }
+    }
+    println!("weakness channels (deterministic): {channels}");
     Ok(())
 }
 

@@ -49,6 +49,14 @@ pub fn run(profile: SoakProfile, seed: u64, workers: usize) -> bool {
         report.cache.hits,
         report.cache.hit_rate() * 100.0
     );
+    println!(
+        "spans (wall-clock): queue_wait {}; execute {}; compile {}",
+        report.metrics.queue_wait, report.metrics.execute, report.metrics.compile
+    );
+    println!(
+        "weakness channels (deterministic): {}; provenance: {}",
+        report.metrics.channels, report.metrics.provenance
+    );
     println!("results digest: {}", report.results_digest);
     println!(
         "gates: throughput {}  cache {}  determinism {} ({} checked, {} mismatches)",

@@ -14,6 +14,7 @@ use crate::Scale;
 use wmm_core::stress::Scratchpad;
 use wmm_core::suite::{run_suite, SuiteCell, SuiteConfig, SuiteStrategy};
 use wmm_gen::{Placement, Shape};
+use wmm_obs::Provenance;
 use wmm_sim::chip::Chip;
 
 /// The scratchpad suite campaigns stress (after the litmus layout,
@@ -51,11 +52,14 @@ pub fn default_strategies() -> Vec<SuiteStrategy> {
 /// Kepler flagship and one compute part) and print the weak-rate
 /// matrix. `placement` restricts the catalogue to shapes of one thread
 /// placement (`repro suite --placement intra` runs just the scoped
-/// rows). Returns the cells for JSON serialisation and tests.
+/// rows). `provenance` adds a per-row weakness-channel breakdown column
+/// (`repro suite --provenance`). Returns the cells for JSON
+/// serialisation and tests.
 pub fn run(
     chips: Option<Vec<String>>,
     placement: Option<Placement>,
     scale: Scale,
+    provenance: bool,
 ) -> Vec<SuiteCell> {
     let chips: Vec<Chip> = match chips {
         Some(names) => names
@@ -89,7 +93,7 @@ pub fn run(
     );
     println!("(weak predicate of every cell derived by the SC-enumeration oracle)\n");
     let cells = run_suite(&shapes, &chips, &strategies, &cfg);
-    print_matrix(&chips, &strategies, &cells);
+    print_matrix(&chips, &strategies, &cells, provenance);
     // Describe only the rows actually in the table above.
     match placement {
         Some(Placement::IntraBlock) => {
@@ -121,13 +125,23 @@ pub fn run(
 }
 
 /// Print the matrix: one row per (shape, distance) with its placement,
-/// one column per (chip, strategy).
-fn print_matrix(chips: &[Chip], strategies: &[SuiteStrategy], cells: &[SuiteCell]) {
+/// one column per (chip, strategy). With `provenance`, a trailing
+/// column aggregates the row's weakness-channel attribution across all
+/// its cells (`-` when the row never went weak).
+fn print_matrix(
+    chips: &[Chip],
+    strategies: &[SuiteStrategy],
+    cells: &[SuiteCell],
+    provenance: bool,
+) {
     print!("{:>13} {:>7} {:>12}", "shape", "place", "static");
     for chip in chips {
         for s in strategies {
             print!(" {:>15}", format!("{}/{}", chip.short, s.name));
         }
+    }
+    if provenance {
+        print!("  provenance");
     }
     println!();
     let mut i = 0;
@@ -139,6 +153,7 @@ fn print_matrix(chips: &[Chip], strategies: &[SuiteStrategy], cells: &[SuiteCell
             row.placement,
             row.static_verdict
         );
+        let mut row_prov = Provenance::default();
         for _ in 0..chips.len() * strategies.len() {
             let c = &cells[i];
             print!(
@@ -150,7 +165,11 @@ fn print_matrix(chips: &[Chip], strategies: &[SuiteStrategy], cells: &[SuiteCell
                     100.0 * c.weak_rate()
                 )
             );
+            row_prov.add(&c.hist.provenance_total());
             i += 1;
+        }
+        if provenance {
+            print!("  {row_prov}");
         }
         println!();
     }
@@ -158,8 +177,12 @@ fn print_matrix(chips: &[Chip], strategies: &[SuiteStrategy], cells: &[SuiteCell
 }
 
 /// Serialise suite cells as JSON (hand-rolled; values are numbers and
-/// plain ASCII names, so no string escaping is needed).
-pub fn to_json(cells: &[SuiteCell], execs: u32, seed: u64) -> String {
+/// plain ASCII names, so no string escaping is needed). With
+/// `provenance`, every cell carries its deterministic weakness-channel
+/// counters plus a per-weak-outcome attribution breakdown that sums to
+/// the outcome's count; without it the output is byte-identical to the
+/// pre-provenance format.
+pub fn to_json(cells: &[SuiteCell], execs: u32, seed: u64, provenance: bool) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"execs\": {execs},\n  \"seed\": {seed},\n  \"cells\": [\n"
@@ -170,7 +193,14 @@ pub fn to_json(cells: &[SuiteCell], execs: u32, seed: u64) -> String {
             .iter()
             .map(|(obs, n)| {
                 let vals: Vec<String> = obs.iter().map(|v| v.to_string()).collect();
-                format!("{{\"obs\": [{}], \"count\": {n}}}", vals.join(", "))
+                match c.hist.provenance(obs).filter(|_| provenance) {
+                    Some(p) => format!(
+                        "{{\"obs\": [{}], \"count\": {n}, \"provenance\": {}}}",
+                        vals.join(", "),
+                        p.to_json()
+                    ),
+                    None => format!("{{\"obs\": [{}], \"count\": {n}}}", vals.join(", ")),
+                }
             })
             .collect();
         let spaces: Vec<String> = c
@@ -181,11 +211,20 @@ pub fn to_json(cells: &[SuiteCell], execs: u32, seed: u64) -> String {
                 wmm_sim::ir::Space::Shared => "\"shared\"".to_string(),
             })
             .collect();
+        let prov_fields = if provenance {
+            format!(
+                "\"channels\": {}, \"provenance\": {}, ",
+                c.hist.channels().to_json(),
+                c.hist.provenance_total().to_json()
+            )
+        } else {
+            String::new()
+        };
         s.push_str(&format!(
             "    {{\"shape\": \"{}\", \"distance\": {}, \"placement\": \"{}\", \
              \"spaces\": [{}], \"chip\": \"{}\", \"strategy\": \"{}\", \
              \"static\": \"{}\", \"static_warnings\": {}, \
-             \"weak\": {}, \"total\": {}, \"rate\": {:.6}, \"outcomes\": [{}]}}{}\n",
+             \"weak\": {}, \"total\": {}, \"rate\": {:.6}, {}\"outcomes\": [{}]}}{}\n",
             c.shape,
             c.distance,
             c.placement,
@@ -197,6 +236,7 @@ pub fn to_json(cells: &[SuiteCell], execs: u32, seed: u64) -> String {
             c.hist.weak(),
             c.hist.total(),
             c.weak_rate(),
+            prov_fields,
             outcomes.join(", "),
             if i + 1 < cells.len() { "," } else { "" }
         ));
@@ -215,7 +255,7 @@ mod tests {
             execs: 24,
             ..Scale::quick()
         };
-        let cells = run(Some(vec!["Titan".to_string()]), None, scale);
+        let cells = run(Some(vec!["Titan".to_string()]), None, scale, true);
         // Every shape × 1 chip × the default strategy columns.
         assert_eq!(cells.len(), Shape::ALL.len() * default_strategies().len());
         // Under sys-str+, the relaxed two-thread shapes show weak
@@ -284,6 +324,7 @@ mod tests {
             Some(vec!["K20".to_string()]),
             Some(Placement::IntraBlock),
             scale,
+            false,
         );
         let intra = Shape::SCOPED.len() + Shape::SCOPED_FENCED.len() + Shape::MIXED.len();
         assert_eq!(cells.len(), intra * default_strategies().len());
@@ -309,8 +350,11 @@ mod tests {
             &[SuiteStrategy::native()],
             &cfg,
         );
-        let j = to_json(&cells, cfg.execs, cfg.base_seed);
+        let j = to_json(&cells, cfg.execs, cfg.base_seed, false);
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        // Without --provenance the document carries no channel fields.
+        assert!(!j.contains("\"channels\""));
+        assert!(!j.contains("\"provenance\""));
         assert_eq!(j.matches("\"shape\"").count(), 4);
         assert!(j.contains("\"MP\""));
         assert!(j.contains("\"CoWW\""));
@@ -328,5 +372,40 @@ mod tests {
         // Balanced brackets (cheap structural sanity).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn provenance_json_breaks_down_every_weak_outcome() {
+        let cfg = SuiteConfig {
+            execs: 40,
+            pad: suite_scratchpad(&[Chip::by_short("Titan").unwrap()]),
+            base_seed: 7,
+            workers: 1,
+            ..Default::default()
+        };
+        let cells = run_suite(
+            &[Shape::Mp],
+            &[Chip::by_short("Titan").unwrap()],
+            &[SuiteStrategy::sys_str_plus(40)],
+            &cfg,
+        );
+        let c = &cells[0];
+        assert!(c.hist.weak() > 0, "MP under sys-str+ must go weak");
+        // Every weak outcome's attribution sums to its count, so the
+        // row-level provenance totals the row's weak count.
+        for (obs, n) in c.hist.iter() {
+            if let Some(p) = c.hist.provenance(obs) {
+                assert_eq!(p.total(), n);
+            }
+        }
+        assert_eq!(c.hist.provenance_total().total(), c.hist.weak());
+        let j = to_json(&cells, cfg.execs, cfg.base_seed, true);
+        assert!(j.contains("\"channels\": {\"window_global\":"), "{j}");
+        assert!(j.contains("\"provenance\": {\"window_global\":"), "{j}");
+        // MP on a coherent-L1 Kepler relaxes through the store window
+        // only — never the structural L1 channel.
+        assert!(j.contains("\"l1_stale\": 0"), "{j}");
+        // The no-provenance rendering of the same cells stays clean.
+        assert!(!to_json(&cells, cfg.execs, cfg.base_seed, false).contains("\"channels\""));
     }
 }

@@ -1,0 +1,321 @@
+//! `repro trace` — replay one campaign with a bounded structured event
+//! log, for answering "*why* did this cell go weak?" run by run.
+//!
+//! Replays a single `(shape, chip, environment)` campaign sequentially
+//! through [`wmm_core::campaign::Campaign::run_litmus_observed`] — the
+//! observed replay is bit-identical to the parallel campaign at any
+//! worker count — and records one [`TraceEvent`] per execution into a
+//! fixed-capacity ring buffer ([`wmm_obs::EventLog`], 256 events): the
+//! run index, the observed register values, the weak verdict, and the
+//! weakness channels that fired during that run. The printed table
+//! shows the buffered weak runs (the ones the provenance column
+//! explains); `--json PATH` writes every buffered event.
+//!
+//! Everything this subcommand prints is deterministic in
+//! `(shape, chip, env, execs, seed)` — there is no wall-clock anywhere
+//! on this path.
+
+use std::fmt::Write as _;
+
+use crate::suite::default_strategies;
+use crate::Scale;
+use wmm_core::campaign::CampaignBuilder;
+use wmm_core::stress::Scratchpad;
+use wmm_core::suite::SuiteStrategy;
+use wmm_gen::{Placement, Shape};
+use wmm_litmus::LitmusLayout;
+use wmm_obs::{ChannelCounts, EventLog};
+use wmm_sim::chip::Chip;
+
+/// Ring-buffer capacity of the trace event log. A bound, not a budget:
+/// a million-execution replay keeps the *last* 256 events and reports
+/// how many it dropped.
+pub const EVENT_CAPACITY: usize = 256;
+
+/// Layout distance traced instances use (the suite's standard cell).
+const DISTANCE: u32 = 64;
+
+/// One traced execution.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Run index within the campaign (the seed derivation input).
+    pub run: u64,
+    /// Observed register values, in litmus observer order.
+    pub obs: Vec<u32>,
+    /// Whether the observation falls outside the SC-reachable set.
+    pub weak: bool,
+    /// The weakness channels that fired during this run (a channel can
+    /// fire without the run going weak — stress keeps the window busy
+    /// even when the final observation is SC).
+    pub channels: ChannelCounts,
+}
+
+/// The full result of one traced replay.
+pub struct TraceReport {
+    /// Shape short name.
+    pub shape: String,
+    /// Chip short name.
+    pub chip: String,
+    /// Environment (suite strategy) name.
+    pub env: String,
+    /// The campaign histogram, bit-identical to `repro suite`'s cell
+    /// for the same coordinates and seed.
+    pub hist: wmm_litmus::Histogram,
+    /// The bounded event log (most recent `EVENT_CAPACITY` runs).
+    pub events: EventLog<TraceEvent>,
+    /// Executions and base seed the replay ran at.
+    pub execs: u32,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Resolve the environment column: an explicit `--env NAME` must match
+/// one of the default suite strategies; otherwise the default is the
+/// column under which the shape's placement actually relaxes
+/// (`shm+sys-str+` for intra-block rows, `sys-str+` for the rest).
+fn resolve_env(shape: Shape, env: Option<&str>) -> Result<SuiteStrategy, String> {
+    let strategies = default_strategies();
+    match env {
+        Some(name) => strategies
+            .iter()
+            .find(|s| s.name == name)
+            .cloned()
+            .ok_or_else(|| {
+                let names: Vec<&str> = strategies.iter().map(|s| s.name.as_str()).collect();
+                format!("unknown env `{name}` (want one of: {})", names.join(", "))
+            }),
+        None => {
+            let default = match shape.placement() {
+                Placement::IntraBlock => "shm+sys-str+",
+                Placement::InterBlock => "sys-str+",
+            };
+            Ok(strategies
+                .into_iter()
+                .find(|s| s.name == default)
+                .expect("default strategy present"))
+        }
+    }
+}
+
+/// Replay the campaign and collect the trace.
+pub fn trace(shape: Shape, chip: &Chip, strategy: &SuiteStrategy, scale: Scale) -> TraceReport {
+    let pad = Scratchpad::new(2048, chip.l2_scaled_words.max(2048));
+    let inst = shape.instance(LitmusLayout::standard(DISTANCE, pad.required_words()));
+    let artifacts = strategy.artifacts(chip, pad);
+    let mut events = EventLog::new(EVENT_CAPACITY);
+    let hist = CampaignBuilder::new(chip)
+        .stress(artifacts)
+        .randomize_ids(strategy.randomize)
+        .count(scale.execs)
+        .base_seed(scale.seed)
+        .build()
+        .run_litmus_observed(&inst, |run, outcome| {
+            events.push(TraceEvent {
+                run,
+                obs: outcome.obs.clone(),
+                weak: outcome.weak,
+                channels: outcome.channels,
+            });
+        });
+    TraceReport {
+        shape: shape.short().to_string(),
+        chip: chip.short.to_string(),
+        env: strategy.name.clone(),
+        hist,
+        events,
+        execs: scale.execs,
+        seed: scale.seed,
+    }
+}
+
+/// Render the report as a JSON document (hand-rolled, single trailing
+/// newline; every buffered event rides along).
+pub fn to_json(r: &TraceReport) -> String {
+    let mut s = String::from("{\n");
+    let _ = write!(
+        s,
+        "  \"shape\": \"{}\", \"chip\": \"{}\", \"env\": \"{}\",\n  \
+         \"execs\": {}, \"seed\": {},\n  \
+         \"weak\": {}, \"total\": {},\n  \
+         \"channels\": {},\n  \"provenance\": {},\n  \
+         \"dropped\": {},\n  \"events\": [\n",
+        r.shape,
+        r.chip,
+        r.env,
+        r.execs,
+        r.seed,
+        r.hist.weak(),
+        r.hist.total(),
+        r.hist.channels().to_json(),
+        r.hist.provenance_total().to_json(),
+        r.events.dropped(),
+    );
+    let n = r.events.len();
+    for (i, e) in r.events.iter().enumerate() {
+        let vals: Vec<String> = e.obs.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(
+            s,
+            "    {{\"run\": {}, \"obs\": [{}], \"weak\": {}, \"channels\": {}}}{}",
+            e.run,
+            vals.join(", "),
+            e.weak,
+            e.channels.to_json(),
+            if i + 1 < n { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn print_report(r: &TraceReport) {
+    println!(
+        "Trace: {} on {} under {} — {} execs, seed {}, event ring {}",
+        r.shape, r.chip, r.env, r.execs, r.seed, EVENT_CAPACITY
+    );
+    println!("(deterministic replay; bit-identical to the parallel campaign)\n");
+    let weak_events: Vec<&TraceEvent> = r.events.iter().filter(|e| e.weak).collect();
+    if weak_events.is_empty() {
+        println!("no weak executions in the buffered window");
+    } else {
+        println!("{:>8} {:>20} channels fired", "run", "obs");
+        for e in &weak_events {
+            let vals: Vec<String> = e.obs.iter().map(|v| v.to_string()).collect();
+            println!(
+                "{:>8} {:>20} {}",
+                e.run,
+                format!("[{}]", vals.join(", ")),
+                e.channels
+            );
+        }
+    }
+    if r.events.dropped() > 0 {
+        println!(
+            "({} earlier event(s) dropped by the {}-event ring)",
+            r.events.dropped(),
+            EVENT_CAPACITY
+        );
+    }
+    println!(
+        "\n{}/{} weak; channels: {}; provenance: {}",
+        r.hist.weak(),
+        r.hist.total(),
+        r.hist.channels(),
+        r.hist.provenance_total()
+    );
+}
+
+/// `repro trace <shape>` entry point: resolve the shape (short name,
+/// as in `repro analyze`), the chip (`--chips`, first name; default
+/// Titan), and the environment (`--env`, default by placement), replay,
+/// print, and optionally write JSON.
+pub fn run(
+    target: &str,
+    chips: Option<Vec<String>>,
+    env: Option<&str>,
+    scale: Scale,
+    json_path: Option<&str>,
+) -> Result<(), String> {
+    let shape: Shape = target
+        .parse()
+        .map_err(|_| format!("unknown trace target `{target}` (want a shape short name)"))?;
+    let chip_name = chips
+        .as_ref()
+        .and_then(|c| c.first().cloned())
+        .unwrap_or_else(|| "Titan".to_string());
+    let chip = Chip::by_short(&chip_name).ok_or_else(|| format!("unknown chip {chip_name}"))?;
+    let strategy = resolve_env(shape, env)?;
+    let report = trace(shape, &chip, &strategy, scale);
+    print_report(&report);
+    if let Some(path) = json_path {
+        let json = to_json(&report);
+        std::fs::write(path, json).map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(execs: u32, seed: u64) -> Scale {
+        Scale {
+            execs,
+            seed,
+            ..Scale::quick()
+        }
+    }
+
+    #[test]
+    fn trace_matches_the_suite_cell_and_logs_every_run() {
+        let chip = Chip::by_short("Titan").unwrap();
+        let strategy = resolve_env(Shape::Mp, None).unwrap();
+        assert_eq!(strategy.name, "sys-str+");
+        let r = trace(Shape::Mp, &chip, &strategy, quick(40, 42));
+        assert_eq!(r.hist.total(), 40);
+        assert!(
+            r.hist.weak() > 0,
+            "MP under sys-str+ must go weak: {}",
+            r.hist
+        );
+        assert_eq!(r.events.len(), 40, "every run under capacity is kept");
+        assert_eq!(r.events.dropped(), 0);
+        // The buffered weak events agree with the histogram's count.
+        let weak_events = r.events.iter().filter(|e| e.weak).count() as u64;
+        assert_eq!(weak_events, r.hist.weak());
+        // Replays are deterministic.
+        let again = trace(Shape::Mp, &chip, &strategy, quick(40, 42));
+        assert_eq!(r.hist, again.hist);
+        let runs: Vec<u64> = r.events.iter().map(|e| e.run).collect();
+        let runs2: Vec<u64> = again.events.iter().map(|e| e.run).collect();
+        assert_eq!(runs, runs2);
+    }
+
+    #[test]
+    fn trace_ring_drops_the_oldest_runs() {
+        let chip = Chip::by_short("Titan").unwrap();
+        let strategy = resolve_env(Shape::Mp, Some("no-str-")).unwrap();
+        let execs = (EVENT_CAPACITY + 10) as u32;
+        let r = trace(Shape::Mp, &chip, &strategy, quick(execs, 1));
+        assert_eq!(r.events.len(), EVENT_CAPACITY);
+        assert_eq!(r.events.dropped(), 10);
+        // The ring keeps the most recent runs.
+        assert_eq!(r.events.iter().next().unwrap().run, 10);
+    }
+
+    #[test]
+    fn scoped_shapes_default_to_the_shared_stress_column() {
+        assert_eq!(
+            resolve_env(Shape::MpShared, None).unwrap().name,
+            "shm+sys-str+"
+        );
+        assert!(resolve_env(Shape::Mp, Some("nope")).is_err());
+    }
+
+    #[test]
+    fn trace_json_carries_channels_and_events() {
+        let chip = Chip::by_short("C2075").unwrap();
+        let strategy = resolve_env(Shape::CoRR, Some("l1-str+")).unwrap();
+        let r = trace(Shape::CoRR, &chip, &strategy, quick(32, 2016));
+        assert!(r.hist.weak() > 0, "CoRR@C2075 under l1-str+: {}", r.hist);
+        // The structural channel is what fired.
+        assert!(r.hist.channels().l1_stale > 0);
+        assert!(r.hist.provenance_total().l1_stale > 0);
+        let j = to_json(&r);
+        assert!(j.contains("\"shape\": \"CoRR\""));
+        assert!(j.contains("\"channels\": {\"window_global\":"));
+        assert!(j.contains("\"provenance\""));
+        assert!(j.contains("\"events\""));
+        assert_eq!(j.matches("\"run\":").count(), 32);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn run_rejects_unknown_targets_and_chips() {
+        let scale = quick(4, 1);
+        assert!(run("nope", None, None, scale, None).is_err());
+        assert!(run("MP", Some(vec!["NotAChip".into()]), None, scale, None).is_err());
+        assert!(run("MP", None, Some("bogus"), scale, None).is_err());
+    }
+}

@@ -27,12 +27,17 @@ fn main() {
             app_turns += r.app_turns;
             let obs = inst.observe(&r);
             let weak = inst.is_weak(&obs);
-            hist.record(LitmusOutcome { obs, weak });
+            hist.record(LitmusOutcome {
+                obs,
+                weak,
+                channels: r.channels,
+            });
         }
         println!(
-            "{t}: avg bypasses/run = {:.2}, avg app_turns = {}",
+            "{t}: avg bypasses/run = {:.2}, avg app_turns = {}, channels = {}",
             total_byp as f64 / 300.0,
-            app_turns / 300
+            app_turns / 300,
+            hist.channels()
         );
         println!("{}", inst.display_histogram(&hist));
     }

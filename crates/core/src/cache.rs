@@ -30,6 +30,8 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use wmm_obs::LatencyHistogram;
 use wmm_sim::chip::Chip;
 
 /// Everything [`StressArtifacts::for_strategy`] reads: the cache key
@@ -120,6 +122,9 @@ pub struct ArtifactCache {
     map: Mutex<HashMap<ArtifactKey, Arc<StressArtifacts>>>,
     hits: AtomicU64,
     builds: AtomicU64,
+    /// Wall-clock artifact-compile durations (one sample per build).
+    /// Telemetry only — never folded into any deterministic digest.
+    compile: Mutex<LatencyHistogram>,
 }
 
 impl ArtifactCache {
@@ -136,7 +141,12 @@ impl ArtifactCache {
             return Arc::clone(hit);
         }
         self.builds.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let built = Arc::new(key.build());
+        self.compile
+            .lock()
+            .expect("compile histogram poisoned")
+            .record(started.elapsed());
         map.insert(key.clone(), Arc::clone(&built));
         built
     }
@@ -166,6 +176,15 @@ impl ArtifactCache {
             builds: self.builds.load(Ordering::Relaxed),
             entries,
         }
+    }
+
+    /// Snapshot of the wall-clock artifact-compile latency histogram
+    /// (one sample per build; empty when every lookup hit).
+    pub fn compile_times(&self) -> LatencyHistogram {
+        self.compile
+            .lock()
+            .expect("compile histogram poisoned")
+            .clone()
     }
 }
 
@@ -302,6 +321,17 @@ mod tests {
             a.groups[0].program.to_string(),
             b.groups[0].program.to_string()
         );
+    }
+
+    #[test]
+    fn compile_times_sample_builds_not_hits() {
+        let c = chip();
+        let cache = ArtifactCache::new();
+        let env = Environment::sys_str_plus(&c);
+        assert!(cache.compile_times().is_empty());
+        let _ = cache.get(&c, &env, pad(), 40);
+        let _ = cache.get(&c, &env, pad(), 40); // hit: no new sample
+        assert_eq!(cache.compile_times().count(), 1);
     }
 
     #[test]

@@ -440,6 +440,36 @@ impl<'a> Campaign<'a> {
         }
     }
 
+    /// [`Campaign::run_litmus`], replayed **sequentially** with a
+    /// per-run observer: `observe(i, &outcome)` fires for run `i` in
+    /// index order before the outcome is folded — the hook `repro
+    /// trace` builds its event log on. Because every run draws all of
+    /// its randomness from `mix_seed(base_seed, i)` alone, the returned
+    /// histogram is bit-identical to [`Campaign::run_litmus`] at any
+    /// worker count; only the observation order is fixed here.
+    pub fn run_litmus_observed(
+        &self,
+        inst: &LitmusInstance,
+        mut observe: impl FnMut(u64, &LitmusOutcome),
+    ) -> Histogram {
+        let stressed = self.litmus_instance(inst);
+        let workload = LitmusWorkload(stressed.as_ref().unwrap_or(inst));
+        let ctx = RunCtx {
+            chip: self.chip,
+            stress: &self.stress,
+            randomize_ids: self.randomize_ids,
+        };
+        let mut gpu = Gpu::new(self.chip.clone());
+        let mut hist = workload.summary();
+        for i in 0..u64::from(self.count) {
+            let mut rng = SmallRng::seed_from_u64(mix_seed(self.base_seed, i));
+            let outcome = workload.run_once(&mut gpu, &ctx, &mut rng);
+            observe(i, &outcome);
+            workload.fold(&mut hist, outcome);
+        }
+        hist
+    }
+
     fn run_impl<W: Workload>(
         &self,
         workload: &W,
@@ -483,6 +513,34 @@ mod tests {
 
     fn strong_chip() -> Chip {
         Chip::by_short("K20").unwrap().sequentially_consistent()
+    }
+
+    #[test]
+    fn observed_replay_matches_the_parallel_campaign() {
+        let chip = Chip::by_short("Titan").unwrap();
+        let inst = Shape::Mp.instance(LitmusLayout::standard(64, 4096));
+        let c = CampaignBuilder::new(&chip)
+            .count(40)
+            .base_seed(0xAB)
+            .parallelism(4)
+            .build();
+        let parallel = c.run_litmus(&inst);
+        let mut seen = Vec::new();
+        let observed = c.run_litmus_observed(&inst, |i, out| seen.push((i, out.clone())));
+        assert_eq!(
+            observed, parallel,
+            "sequential replay must be bit-identical"
+        );
+        assert_eq!(seen.len(), 40);
+        for (k, (i, out)) in seen.iter().enumerate() {
+            assert_eq!(k as u64, *i, "observer fires in index order");
+            if out.weak {
+                assert!(
+                    observed.provenance(&out.obs).is_some(),
+                    "weak outcome without a provenance entry"
+                );
+            }
+        }
     }
 
     #[test]

@@ -48,4 +48,6 @@ pub use harden::{
     LeveledFenceSite, ScopedHardenResult,
 };
 pub use stress::{Scratchpad, StressArtifacts, StressStrategy, SystematicParams};
-pub use suite::{run_suite, StaticVerdict, SuiteCell, SuiteConfig, SuiteStrategy};
+pub use suite::{
+    run_suite, run_suite_observed, StaticVerdict, SuiteCell, SuiteConfig, SuiteStrategy,
+};

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use wmm_gen::Shape;
 use wmm_litmus::runner::mix_seed;
 use wmm_litmus::{Histogram, LitmusLayout, Placement};
+use wmm_obs::{MetricsRegistry, SpanTimer};
 use wmm_sim::chip::Chip;
 use wmm_sim::ir::{FenceLevel, Space};
 
@@ -286,6 +287,29 @@ pub fn run_suite_with_cache(
     cfg: &SuiteConfig,
     cache: &ArtifactCache,
 ) -> Vec<SuiteCell> {
+    run_suite_observed(
+        shapes,
+        chips,
+        strategies,
+        cfg,
+        cache,
+        &mut MetricsRegistry::new(),
+    )
+}
+
+/// [`run_suite_with_cache`] that also records wall-clock telemetry
+/// into `metrics`: one `suite_cell` span sample per cell campaign and
+/// a `suite_cells` counter. The cells themselves are untouched — the
+/// registry is observation only, and its span values are wall-clock
+/// (machine-dependent), unlike everything else this function returns.
+pub fn run_suite_observed(
+    shapes: &[Shape],
+    chips: &[Chip],
+    strategies: &[SuiteStrategy],
+    cfg: &SuiteConfig,
+    cache: &ArtifactCache,
+    metrics: &mut MetricsRegistry,
+) -> Vec<SuiteCell> {
     let mut cells = Vec::new();
     for (si, shape) in shapes.iter().enumerate() {
         for &d in &cfg.distances {
@@ -300,6 +324,7 @@ pub fn run_suite_with_cache(
                     let cell_seed = [si as u64, u64::from(d), ci as u64, ki as u64]
                         .into_iter()
                         .fold(cfg.base_seed, mix_seed);
+                    let span = SpanTimer::start();
                     let hist = CampaignBuilder::new(chip)
                         .stress((*artifacts).clone())
                         .randomize_ids(strat.randomize)
@@ -308,6 +333,8 @@ pub fn run_suite_with_cache(
                         .parallelism(cfg.workers)
                         .build()
                         .run_litmus(&inst);
+                    span.finish(metrics, "suite_cell");
+                    metrics.incr("suite_cells", 1);
                     cells.push(SuiteCell {
                         shape: *shape,
                         distance: d,

@@ -6,9 +6,20 @@
 //! [`Observer`](crate::Observer) of the instance — so the same histogram
 //! machinery serves two-thread coherence tests and four-thread IRIW
 //! alike.
+//!
+//! Each outcome also carries the [`ChannelCounts`] of the run that
+//! produced it: how often each weakness channel (window bypass per
+//! space, L1 stale hit, …) fired. The histogram folds these two ways —
+//! raw event totals across every run ([`Histogram::channels`]), and a
+//! per-outcome [`Provenance`] attribution of *weak* runs
+//! ([`Histogram::provenance`]) whose buckets always sum to the
+//! outcome's count. Both are pure counts merged commutatively, so they
+//! are exactly as deterministic (and worker-count-invariant) as the
+//! histogram itself.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use wmm_obs::{ChannelCounts, Provenance};
 
 /// The observed values of one litmus execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +28,8 @@ pub struct LitmusOutcome {
     pub obs: Vec<u32>,
     /// Whether this outcome is outside the test's SC-reachable set.
     pub weak: bool,
+    /// Per-channel weakness-event counts of the producing run.
+    pub channels: ChannelCounts,
 }
 
 /// A histogram of observer-vector outcomes over many executions, in the
@@ -26,6 +39,11 @@ pub struct Histogram {
     counts: BTreeMap<Vec<u32>, u64>,
     weak: u64,
     total: u64,
+    /// Raw channel-event totals summed over every recorded run.
+    channels: ChannelCounts,
+    /// Weak-run attribution per weak observer vector (only weak
+    /// outcomes get an entry; its buckets sum to the vector's count).
+    provenance: BTreeMap<Vec<u32>, Provenance>,
 }
 
 impl Histogram {
@@ -36,11 +54,16 @@ impl Histogram {
 
     /// Record one outcome.
     pub fn record(&mut self, outcome: LitmusOutcome) {
-        *self.counts.entry(outcome.obs).or_insert(0) += 1;
         self.total += 1;
+        self.channels.add(&outcome.channels);
         if outcome.weak {
             self.weak += 1;
+            self.provenance
+                .entry(outcome.obs.clone())
+                .or_default()
+                .attribute(&outcome.channels);
         }
+        *self.counts.entry(outcome.obs).or_insert(0) += 1;
     }
 
     /// Merge another histogram into this one.
@@ -50,6 +73,10 @@ impl Histogram {
         }
         self.total += other.total;
         self.weak += other.weak;
+        self.channels.add(&other.channels);
+        for (k, p) in &other.provenance {
+            self.provenance.entry(k.clone()).or_default().add(p);
+        }
     }
 
     /// Number of weak outcomes.
@@ -74,6 +101,35 @@ impl Histogram {
     /// Count for a specific observer vector.
     pub fn count(&self, obs: &[u32]) -> u64 {
         self.counts.get(obs).copied().unwrap_or(0)
+    }
+
+    /// Raw channel-event totals summed over every recorded run
+    /// (weak and strong alike) — deterministic at a fixed seed.
+    pub fn channels(&self) -> &ChannelCounts {
+        &self.channels
+    }
+
+    /// Weak-run attribution for one observer vector — `None` unless
+    /// that vector was recorded as a weak outcome. The returned
+    /// buckets sum to [`Histogram::count`] for the vector.
+    pub fn provenance(&self, obs: &[u32]) -> Option<&Provenance> {
+        self.provenance.get(obs)
+    }
+
+    /// Iterate `(observer vector, provenance)` over the weak outcomes
+    /// in sorted order.
+    pub fn iter_provenance(&self) -> impl Iterator<Item = (&[u32], &Provenance)> {
+        self.provenance.iter().map(|(k, v)| (k.as_slice(), v))
+    }
+
+    /// The attribution of every weak run, summed over all weak
+    /// outcomes; its total always equals [`Histogram::weak`].
+    pub fn provenance_total(&self) -> Provenance {
+        let mut p = Provenance::default();
+        for v in self.provenance.values() {
+            p.add(v);
+        }
+        p
     }
 
     /// Iterate over `(observer vector, count)` pairs in sorted order.
@@ -129,6 +185,15 @@ mod tests {
         LitmusOutcome {
             obs: obs.to_vec(),
             weak,
+            channels: ChannelCounts::default(),
+        }
+    }
+
+    fn o_ch(obs: &[u32], weak: bool, channels: ChannelCounts) -> LitmusOutcome {
+        LitmusOutcome {
+            obs: obs.to_vec(),
+            weak,
+            channels,
         }
     }
 
@@ -183,5 +248,63 @@ mod tests {
         let s = h.display_flagged(&labels, |obs| obs == [1, 0]);
         assert!(s.contains("* r0=1 r1=0"));
         assert!(s.contains("  r0=0 r1=0"));
+    }
+
+    #[test]
+    fn channels_accumulate_over_all_runs() {
+        let mut h = Histogram::new();
+        let win = ChannelCounts {
+            window_global: 3,
+            ..Default::default()
+        };
+        h.record(o_ch(&[0, 0], false, win));
+        h.record(o_ch(&[1, 0], true, win));
+        assert_eq!(h.channels().window_global, 6);
+        assert_eq!(h.channels().window(), 6);
+    }
+
+    #[test]
+    fn provenance_tracks_only_weak_outcomes_and_sums_to_their_counts() {
+        let mut h = Histogram::new();
+        let win = ChannelCounts {
+            window_global: 5,
+            ..Default::default()
+        };
+        let stale = ChannelCounts {
+            window_global: 5,
+            l1_stale: 1,
+            ..Default::default()
+        };
+        h.record(o_ch(&[1, 0], true, win));
+        h.record(o_ch(&[1, 0], true, stale));
+        h.record(o_ch(&[1, 1], false, win));
+        assert!(h.provenance(&[1, 1]).is_none(), "strong outcome tracked");
+        let p = h.provenance(&[1, 0]).expect("weak outcome untracked");
+        assert_eq!(p.total(), h.count(&[1, 0]));
+        assert_eq!(p.window_global, 1);
+        assert_eq!(p.l1_stale, 1, "stale hit must win the attribution");
+        assert_eq!(h.provenance_total().total(), h.weak());
+    }
+
+    #[test]
+    fn merge_folds_channels_and_provenance_commutatively() {
+        let win = ChannelCounts {
+            window_global: 2,
+            ..Default::default()
+        };
+        let mut a = Histogram::new();
+        a.record(o_ch(&[1, 0], true, win));
+        let mut b = Histogram::new();
+        b.record(o_ch(&[1, 0], true, win));
+        b.record(o_ch(&[0, 1], true, ChannelCounts::default()));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.channels().window_global, 4);
+        assert_eq!(ab.provenance(&[1, 0]).unwrap().window_global, 2);
+        assert_eq!(ab.provenance(&[0, 1]).unwrap().unattributed, 1);
+        assert_eq!(ab.provenance_total().total(), ab.weak());
     }
 }

@@ -37,7 +37,11 @@ pub fn run_instance(
     let result = gpu.run(&spec, seed);
     let obs = inst.observe(&result);
     let weak = inst.is_weak(&obs);
-    LitmusOutcome { obs, weak }
+    LitmusOutcome {
+        obs,
+        weak,
+        channels: result.channels,
+    }
 }
 
 /// Mix a base seed and a run index into an independent per-run seed

@@ -20,6 +20,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 use wmm_core::cache::{ArtifactCache, CacheStats};
 use wmm_core::campaign::SummaryValue;
+use wmm_obs::{LatencyHistogram, MetricsRegistry};
 
 /// Engine sizing.
 #[derive(Debug, Clone, Copy)]
@@ -58,7 +59,7 @@ pub struct JobResult {
 }
 
 struct State {
-    queue: VecDeque<(u64, JobSpec)>,
+    queue: VecDeque<(u64, JobSpec, Instant)>,
     results: Vec<JobResult>,
     errors: Vec<(u64, String)>,
     next_id: u64,
@@ -75,6 +76,10 @@ struct Shared {
     done: Condvar,
     cache: ArtifactCache,
     job_parallelism: usize,
+    /// Wall-clock telemetry: `queue_wait` / `execute` span histograms
+    /// and the `jobs` counter. Observation only — results and digests
+    /// never read this.
+    metrics: Mutex<MetricsRegistry>,
 }
 
 /// The long-running campaign engine. Start it, submit jobs, [`drain`]
@@ -106,6 +111,7 @@ impl Engine {
             done: Condvar::new(),
             cache: ArtifactCache::new(),
             job_parallelism: config.job_parallelism,
+            metrics: Mutex::new(MetricsRegistry::new()),
         });
         let handles = (0..config.workers.max(1))
             .map(|_| {
@@ -125,7 +131,7 @@ impl Engine {
         }
         let id = st.next_id;
         st.next_id += 1;
-        st.queue.push_back((id, spec));
+        st.queue.push_back((id, spec, Instant::now()));
         st.max_depth = st.max_depth.max(st.queue.len());
         drop(st);
         self.shared.work.notify_one();
@@ -158,6 +164,24 @@ impl Engine {
     /// `cache_hit_rate` source).
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// Snapshot of the engine's wall-clock telemetry: `queue_wait` and
+    /// `execute` span histograms (microseconds) plus the `jobs`
+    /// counter. Values are machine-dependent; only the counter is
+    /// deterministic.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.shared
+            .metrics
+            .lock()
+            .expect("engine metrics poisoned")
+            .clone()
+    }
+
+    /// Snapshot of the shared cache's wall-clock artifact-compile
+    /// latency histogram.
+    pub fn compile_times(&self) -> LatencyHistogram {
+        self.shared.cache.compile_times()
     }
 
     /// High-water mark of the queue depth since start.
@@ -204,10 +228,20 @@ fn worker_loop(shared: &Shared) {
                 st = shared.work.wait(st).expect("engine state poisoned");
             }
         };
-        let Some((id, spec)) = job else { return };
+        let Some((id, spec, submitted)) = job else {
+            return;
+        };
+        let queue_wait = submitted.elapsed();
         let started = Instant::now();
         let outcome = spec.execute(shared.job_parallelism, Some(&shared.cache));
-        let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+        let executed = started.elapsed();
+        let latency_ms = executed.as_secs_f64() * 1e3;
+        {
+            let mut m = shared.metrics.lock().expect("engine metrics poisoned");
+            m.record_span("queue_wait", queue_wait);
+            m.record_span("execute", executed);
+            m.incr("jobs", 1);
+        }
         let mut st = shared.state.lock().expect("engine state poisoned");
         match outcome {
             Ok(summary) => st.results.push(JobResult {
@@ -285,6 +319,13 @@ mod tests {
         assert_eq!(stats.builds, 2, "one build per distinct environment");
         assert_eq!(stats.hits, 22);
         assert!(engine.max_depth() >= 1);
+        // Telemetry: one queue-wait and one execute sample per job, one
+        // compile sample per build.
+        let m = engine.metrics();
+        assert_eq!(m.counter("jobs"), 24);
+        assert_eq!(m.span("queue_wait").unwrap().count(), 24);
+        assert_eq!(m.span("execute").unwrap().count(), 24);
+        assert_eq!(engine.compile_times().count(), 2);
     }
 
     #[test]

@@ -40,5 +40,6 @@ pub mod soak;
 pub use engine::{Engine, EngineConfig, JobResult};
 pub use job::{parse_jobs, EnvKind, JobSpec, WorkloadSpec};
 pub use soak::{
-    run_soak, run_soak_mix, GateReport, SoakConfig, SoakGates, SoakMix, SoakProfile, SoakReport,
+    run_soak, run_soak_mix, GateReport, SoakConfig, SoakGates, SoakMetrics, SoakMix, SoakProfile,
+    SoakReport,
 };

@@ -33,6 +33,7 @@ use wmm_core::cache::CacheStats;
 use wmm_core::campaign::Fnv64;
 use wmm_gen::Shape;
 use wmm_litmus::runner::mix_seed;
+use wmm_obs::{ChannelCounts, LatencyHistogram, Provenance};
 
 /// The three soak intensities, after the exemplar harness shape:
 /// `--quick` for CI smoke, `--extended` for nightly runs, `--stress`
@@ -269,6 +270,27 @@ pub struct GateReport {
     pub pass: bool,
 }
 
+/// The telemetry block of a [`SoakReport`], split the way the JSON
+/// renders it: deterministic channel counters aggregated over every
+/// litmus result, and wall-clock span histograms from the engine and
+/// the artifact cache.
+#[derive(Debug, Clone, Default)]
+pub struct SoakMetrics {
+    /// Per-channel weakness-event totals over every litmus run in the
+    /// batch — deterministic in `(mix, seed)`, like the digest.
+    pub channels: ChannelCounts,
+    /// Weak-run attribution summed over every litmus job; its total is
+    /// the batch's weak-outcome count (deterministic).
+    pub provenance: Provenance,
+    /// Wall-clock per-job queue wait (machine-dependent).
+    pub queue_wait: LatencyHistogram,
+    /// Wall-clock per-job execute span (machine-dependent).
+    pub execute: LatencyHistogram,
+    /// Wall-clock artifact-compile span per cache build
+    /// (machine-dependent).
+    pub compile: LatencyHistogram,
+}
+
 /// Everything a soak run measured. `results_digest` and the
 /// determinism fields are deterministic in `(mix, seed)`; the timing
 /// fields are the run's actual performance.
@@ -307,6 +329,8 @@ pub struct SoakReport {
     pub determinism_checked: usize,
     /// Of which disagreed with their queued result (must be 0).
     pub determinism_mismatches: usize,
+    /// Channel counters and span histograms (see [`SoakMetrics`]).
+    pub metrics: SoakMetrics,
     /// Gate outcomes.
     pub gates: GateReport,
 }
@@ -367,7 +391,31 @@ pub fn run_soak_mix(cfg: &SoakConfig, mix: &SoakMix) -> Result<SoakReport, Strin
     let elapsed_sec = started.elapsed().as_secs_f64();
     let cache = engine.cache_stats();
     let max_queue_depth = engine.max_depth();
+    let engine_metrics = engine.metrics();
+    let compile = engine.compile_times();
     engine.shutdown();
+
+    // Deterministic telemetry: fold every litmus result's channel
+    // totals and weak-run attribution (pure counts, so — like the
+    // digest — a function of `(mix, seed)` alone).
+    let mut channels = ChannelCounts::default();
+    let mut provenance = Provenance::default();
+    for r in &results {
+        if let Some(h) = r.summary.as_litmus() {
+            channels.add(h.channels());
+            provenance.add(&h.provenance_total());
+        }
+    }
+    let metrics = SoakMetrics {
+        channels,
+        provenance,
+        queue_wait: engine_metrics
+            .span("queue_wait")
+            .cloned()
+            .unwrap_or_default(),
+        execute: engine_metrics.span("execute").cloned().unwrap_or_default(),
+        compile,
+    };
 
     let mut latencies: Vec<f64> = results.iter().map(|r| r.latency_ms).collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -412,6 +460,7 @@ pub fn run_soak_mix(cfg: &SoakConfig, mix: &SoakMix) -> Result<SoakReport, Strin
         results_digest: format!("{:016x}", results_digest(&results)),
         determinism_checked: checked,
         determinism_mismatches: mismatches,
+        metrics,
         gates: GateReport {
             min_jobs_per_sec: cfg.gates.min_jobs_per_sec,
             min_cache_hit_rate: cfg.gates.min_cache_hit_rate,
@@ -470,6 +519,14 @@ impl SoakReport {
             "  \"determinism_gate\": {{\"checked\": {}, \"mismatches\": {}, \"ok\": {}}},\n",
             self.determinism_checked, self.determinism_mismatches, self.gates.determinism_ok
         ));
+        s.push_str(&format!(
+            "  \"metrics\": {{\"deterministic\": {{\"channels\": {}, \"provenance\": {}}}, \"wall_clock_us\": {{\"queue_wait\": {}, \"execute\": {}, \"compile\": {}}}}},\n",
+            self.metrics.channels.to_json(),
+            self.metrics.provenance.to_json(),
+            self.metrics.queue_wait.to_json(),
+            self.metrics.execute.to_json(),
+            self.metrics.compile.to_json()
+        ));
         s.push_str(&format!("  \"pass\": {}\n", self.gates.pass));
         s.push_str("}\n");
         s
@@ -495,7 +552,7 @@ impl SoakReport {
     /// `BENCH_soak.json`.
     pub fn trajectory_point(&self) -> String {
         format!(
-            "{{\"source\": \"soak\", \"profile\": \"{}\", \"seed\": {}, \"workers\": {}, \"jobs\": {}, \"jobs_per_sec\": {:.1}, \"latency_ms_p50\": {:.3}, \"cache_hit_rate\": {:.4}, \"results_digest\": \"{}\", \"pass\": {}}}",
+            "{{\"source\": \"soak\", \"profile\": \"{}\", \"seed\": {}, \"workers\": {}, \"jobs\": {}, \"jobs_per_sec\": {:.1}, \"latency_ms_p50\": {:.3}, \"cache_hit_rate\": {:.4}, \"results_digest\": \"{}\", \"channels\": {}, \"pass\": {}}}",
             self.profile,
             self.seed,
             self.workers,
@@ -504,6 +561,7 @@ impl SoakReport {
             self.latency_ms_p50,
             self.cache.hit_rate(),
             self.results_digest,
+            self.metrics.channels.to_json(),
             self.gates.pass
         )
     }
@@ -630,10 +688,59 @@ mod tests {
             "\"cache_gate\"",
             "\"determinism_gate\"",
             "\"results_digest\"",
+            "\"metrics\"",
             "\"pass\": true",
         ] {
             assert!(json.contains(field), "missing {field} in:\n{json}");
         }
+        // The metrics entry is a single greppable line separating the
+        // deterministic counters from the wall-clock spans.
+        let metrics_line = json
+            .lines()
+            .find(|l| l.contains("\"metrics\""))
+            .expect("metrics line");
+        assert!(metrics_line.contains("\"deterministic\""));
+        assert!(metrics_line.contains("\"channels\""));
+        assert!(metrics_line.contains("\"provenance\""));
+        assert!(metrics_line.contains("\"wall_clock_us\""));
+        assert!(metrics_line.contains("\"queue_wait\""));
+    }
+
+    #[test]
+    fn soak_channel_counters_are_worker_count_invariant_and_live() {
+        let mix = tiny_mix();
+        let a = run_soak_mix(&tiny_cfg(1), &mix).unwrap();
+        let b = run_soak_mix(&tiny_cfg(3), &mix).unwrap();
+        assert_eq!(a.metrics.channels, b.metrics.channels);
+        assert_eq!(a.metrics.provenance, b.metrics.provenance);
+        // Liveness needs a channel that fires essentially every run —
+        // the tiny mix's 4-exec cells are too small for the low-rate
+        // window channel. CoRR on the incoherent-L1 Tesla pressures
+        // the structural L1 channel on nearly every stressed execution.
+        let live_mix = SoakMix {
+            litmus_chips: vec!["C2075".to_string()],
+            app_chips: vec![],
+            envs: vec![EnvKind::L1StrPlus],
+            shapes: vec![Shape::CoRR],
+            distances: vec![64],
+            execs: 24,
+            apps: vec![],
+            app_runs: 0,
+        };
+        let live = run_soak_mix(&tiny_cfg(2), &live_mix).unwrap();
+        assert!(
+            live.metrics.channels.l1_stale > 0,
+            "no L1 events: {}",
+            live.metrics.channels
+        );
+        // Wall-clock spans sample every job regardless of worker count.
+        assert_eq!(a.metrics.execute.count(), a.jobs as u64);
+        assert_eq!(a.metrics.queue_wait.count(), a.jobs as u64);
+        assert!(a.metrics.compile.count() > 0);
+        // ...and the trajectory point carries the channel counters.
+        let point = a.trajectory_point();
+        assert!(point.contains("\"channels\": {\"window_global\":"));
+        assert!(!point.contains('\n'));
     }
 
     #[test]

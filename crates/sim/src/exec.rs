@@ -59,6 +59,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use wmm_obs::ChannelCounts;
 
 /// Threads per warp, as on all NVIDIA architectures in the study.
 pub const WARP_SIZE: u32 = 32;
@@ -190,7 +191,14 @@ pub struct RunResult {
     /// Instructions executed across all threads.
     pub instructions: u64,
     /// Out-of-order completions that occurred (weak-memory events).
+    /// Always equals `channels.window()` — kept as the coarse aggregate
+    /// the per-channel split refines.
     pub bypasses: u64,
+    /// Per-channel provenance counters: which weakness (and
+    /// strengthening) channels fired during this run, and how often.
+    /// Pure counts at existing decision points — no extra RNG draws —
+    /// so they are exactly as deterministic as the run itself.
+    pub channels: ChannelCounts,
     /// Simulated kernel runtime in milliseconds (cycles / clock).
     pub runtime_ms: f64,
     /// Estimated energy in joules — `None` on chips without power-query
@@ -444,6 +452,7 @@ struct Run<'a> {
     turn: u64,
     instructions: u64,
     bypasses: u64,
+    channels: ChannelCounts,
     next_op_id: u32,
     status: Option<RunStatus>,
     app_turns: u64,
@@ -513,6 +522,7 @@ impl<'a> Run<'a> {
             turn: 0,
             instructions: 0,
             bypasses: 0,
+            channels: ChannelCounts::default(),
             next_op_id: 1,
             status: None,
             app_turns: 0,
@@ -567,6 +577,7 @@ impl<'a> Run<'a> {
     }
 
     fn into_result(mut self) -> RunResult {
+        debug_assert_eq!(self.bypasses, self.channels.window());
         let status = self.status.clone().unwrap_or(RunStatus::TimedOut);
         let runtime_ms = self.app_turns as f64 / (self.chip.clock_ghz * 1e6);
         let energy_j = self
@@ -580,6 +591,7 @@ impl<'a> Run<'a> {
             total_turns: self.turn,
             instructions: self.instructions,
             bypasses: self.bypasses,
+            channels: self.channels,
             runtime_ms,
             energy_j,
         }
@@ -868,7 +880,7 @@ impl<'a> Run<'a> {
                         self.threads[t as usize].win[i].stall += BYPASS_DELAY_TURNS;
                     }
                     self.complete_slot(t, j);
-                    self.bypasses += 1;
+                    self.note_bypass(sj.space);
                     return;
                 }
             }
@@ -908,7 +920,7 @@ impl<'a> Run<'a> {
                         self.threads[t as usize].win[i].stall += BYPASS_DELAY_TURNS;
                     }
                     self.complete_slot(t, j);
-                    self.bypasses += 1;
+                    self.note_bypass(sj.space);
                     return;
                 }
             }
@@ -923,6 +935,16 @@ impl<'a> Run<'a> {
         let full = len == self.chip.window;
         if in_order || full || self.rng.gen::<f64>() < self.chip.drain_q {
             self.complete_slot(t, 0);
+        }
+    }
+
+    /// Count one in-flight-window bypass, split by the completing
+    /// slot's space — the per-channel refinement of `bypasses`.
+    fn note_bypass(&mut self, space: Space) {
+        self.bypasses += 1;
+        match space {
+            Space::Global => self.channels.window_global += 1,
+            Space::Shared => self.channels.window_shared += 1,
         }
     }
 
@@ -1011,6 +1033,7 @@ impl<'a> Run<'a> {
             SlotKind::Fence => {
                 if let Some(l1) = self.l1.as_mut() {
                     l1.note_fence(home);
+                    self.channels.fence_inval += 1;
                 }
                 Ok(None)
             }
@@ -1020,6 +1043,7 @@ impl<'a> Run<'a> {
                 if let Some(l1) = self.l1.as_mut() {
                     if let Some((stale, p)) = l1.stale_candidate(slot.addr, home, self.turn) {
                         if self.rng.gen::<f64>() < p {
+                            self.channels.l1_stale += 1;
                             return Ok(Some(stale));
                         }
                     }
@@ -1039,6 +1063,9 @@ impl<'a> Run<'a> {
                 Ok(None)
             }
             SlotKind::Cas => {
+                if self.l1.is_some() {
+                    self.channels.atomic_read_through += 1;
+                }
                 let old = self.mem.read(slot.addr)?;
                 if old == slot.v1 {
                     self.mem.write(slot.addr, slot.v2)?;
@@ -1049,6 +1076,9 @@ impl<'a> Run<'a> {
                 Ok(Some(old))
             }
             SlotKind::Exch => {
+                if self.l1.is_some() {
+                    self.channels.atomic_read_through += 1;
+                }
                 let old = self.mem.read(slot.addr)?;
                 self.mem.write(slot.addr, slot.v1)?;
                 if let Some(l1) = self.l1.as_mut() {
@@ -1057,6 +1087,9 @@ impl<'a> Run<'a> {
                 Ok(Some(old))
             }
             SlotKind::Add => {
+                if self.l1.is_some() {
+                    self.channels.atomic_read_through += 1;
+                }
                 let old = self.mem.read(slot.addr)?;
                 self.mem.write(slot.addr, old.wrapping_add(slot.v1))?;
                 if let Some(l1) = self.l1.as_mut() {
@@ -1870,6 +1903,7 @@ mod tests {
         assert_eq!(a.memory, b2.memory);
         assert_eq!(a.total_turns, b2.total_turns);
         assert_eq!(a.bypasses, b2.bypasses);
+        assert_eq!(a.channels, b2.channels);
     }
 
     #[test]
@@ -2256,6 +2290,7 @@ mod tests {
         for seed in 0..50 {
             let r = gpu.run(&LaunchSpec::app(p.clone(), 2, 32, 128), seed);
             assert_eq!(r.bypasses, 0, "seed {seed}");
+            assert!(r.channels.is_zero(), "seed {seed}: {}", r.channels);
         }
     }
 
@@ -2432,6 +2467,59 @@ mod tests {
             assert_eq!(ra.memory, rb.memory, "seed {seed}");
             assert_eq!(ra.total_turns, rb.total_turns, "seed {seed}");
             assert_eq!(ra.bypasses, rb.bypasses, "seed {seed}");
+            assert_eq!(ra.channels, rb.channels, "seed {seed}");
+            // The coherent (rate-zeroed) path never consults the L1, so
+            // every L1-specific channel must stay exactly zero.
+            assert_eq!(ra.channels.l1_stale, 0, "seed {seed}");
+            assert_eq!(ra.channels.fence_inval, 0, "seed {seed}");
+            assert_eq!(ra.channels.atomic_read_through, 0, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn channels_refine_the_bypass_aggregate() {
+        // On an incoherent-L1 chip under cross-SM write stress the CoRR
+        // kernel exercises both the window and the structural channel;
+        // the per-channel split must always partition `bypasses`, and
+        // the stale-hit counter must light up over enough seeds.
+        let spec = LaunchSpec {
+            groups: vec![
+                KernelGroup {
+                    program: Arc::new(corr_kernel(false)),
+                    blocks: 2,
+                    threads_per_block: 32,
+                    role: Role::App,
+                },
+                KernelGroup {
+                    program: Arc::new(write_stress_kernel()),
+                    blocks: 2,
+                    threads_per_block: 32,
+                    role: Role::Stress,
+                },
+            ],
+            global_words: 1024,
+            shared_words: 0,
+            init_image: vec![],
+            init: vec![],
+            max_turns: 4_000_000,
+            randomize_ids: false,
+        };
+        let mut gpu = Gpu::new(Chip::by_short("C2075").unwrap());
+        let mut total = ChannelCounts::default();
+        for seed in 0..200 {
+            let r = gpu.run(&spec, seed);
+            assert_eq!(
+                r.bypasses,
+                r.channels.window(),
+                "seed {seed}: the split must partition the aggregate"
+            );
+            total.add(&r.channels);
+        }
+        assert!(total.l1_stale > 0, "stale hits never fired: {total}");
+        // The fenced variant exercises the invalidation channel.
+        let mut fence_spec = spec.clone();
+        fence_spec.groups[0].program = Arc::new(corr_kernel(true));
+        let r = gpu.run(&fence_spec, 7);
+        assert!(r.channels.fence_inval > 0, "device fence not counted");
     }
 }

@@ -26,7 +26,11 @@
 //! * [`server`] — campaign-as-a-service: a batched job-queue engine
 //!   draining deterministic campaign jobs through a fixed worker pool
 //!   with structurally-cached stress artifacts, plus the seeded
-//!   soak/throughput harness behind `repro soak`.
+//!   soak/throughput harness behind `repro soak`;
+//! * [`obs`] — the deterministic observability layer: per-channel
+//!   weakness provenance counters threaded from the executor into every
+//!   histogram, wall-clock span histograms for the server, and the
+//!   bounded event log behind `repro trace`.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results. The
@@ -38,5 +42,6 @@ pub use wmm_core as core;
 pub use wmm_gen as gen;
 pub use wmm_lang as lang;
 pub use wmm_litmus as litmus;
+pub use wmm_obs as obs;
 pub use wmm_server as server;
 pub use wmm_sim as sim;

@@ -217,6 +217,62 @@ fn l1_stress_campaigns_match_the_legacy_path_bit_for_bit() {
     }
 }
 
+/// Zero-cost when off: on chips where every weakness channel is
+/// structurally disabled the provenance counters read exactly zero —
+/// the telemetry never invents activity on the legacy bit-identical
+/// paths.
+#[test]
+fn channel_counters_vanish_when_every_channel_is_off() {
+    let pad = Scratchpad::new(2048, 2048);
+    // An SC chip has no store window and no stale L1: every counter
+    // stays pinned at zero even under systematic stress.
+    let sc = Chip::by_short("K20").unwrap().sequentially_consistent();
+    let env = Environment::sys_str_plus(&sc);
+    for test in [Shape::Mp, Shape::MpShared, Shape::MpCas] {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+        let h = CampaignBuilder::new(&sc)
+            .environment(&env, pad, 40)
+            .count(32)
+            .base_seed(3)
+            .build()
+            .run_litmus(&inst);
+        assert_eq!(h.weak(), 0, "{test} on SC chip: {h}");
+        assert!(
+            h.channels().is_zero(),
+            "{test} on SC chip: counters invented activity: {:?}",
+            h.channels()
+        );
+        assert_eq!(h.provenance_total().total(), 0);
+    }
+    // Zeroed staleness knobs disengage the L1 entirely (the legacy
+    // pre-topology load path, bit for bit): the three structural
+    // counters read exactly zero while the window channel still counts.
+    let mut coherent = Chip::by_short("C2075").unwrap();
+    coherent.l1.stale_base = 0.0;
+    coherent.l1.stale_gain = 0.0;
+    let env = Environment::l1_str_plus();
+    for test in [Shape::CoRR, Shape::MpCas] {
+        let inst = test.instance(LitmusLayout::standard(64, pad.required_words()));
+        let h = CampaignBuilder::new(&coherent)
+            .environment(&env, pad, 40)
+            .count(32)
+            .base_seed(0x11CA)
+            .build()
+            .run_litmus(&inst);
+        let c = h.channels();
+        assert_eq!(c.l1_stale, 0, "{test}: stale hits on a disengaged L1");
+        assert_eq!(
+            c.fence_inval, 0,
+            "{test}: fence invalidations without an L1"
+        );
+        assert_eq!(
+            c.atomic_read_through, 0,
+            "{test}: atomic read-throughs without an L1"
+        );
+        assert_eq!(h.provenance_total().l1_stale, 0);
+    }
+}
+
 /// A miniature lock-protected accumulator (the idiom of the paper's
 /// Fig. 1 running example): weak-memory-buggy by design, so stressed
 /// campaigns produce a mix of verdicts worth comparing.

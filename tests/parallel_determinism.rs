@@ -191,6 +191,91 @@ fn campaign_l1_stressed_is_worker_count_invariant() {
     }
 }
 
+/// The provenance telemetry obeys the same law as the histograms it
+/// tags: per-channel counters and the per-weak-outcome attribution fold
+/// commutatively over runs, so 1-, 2- and 8-worker campaigns report
+/// bit-identical channel totals — all-window on a coherent-L1 Kepler
+/// under `sys-str+`, and with the structural `l1_stale` channel live on
+/// the incoherent-L1 Tesla under `l1-str+`.
+#[test]
+fn provenance_counters_are_worker_count_invariant() {
+    use gpu_wmm::core::env::Environment;
+    let pad = Scratchpad::new(2048, 2048);
+    let titan = Chip::by_short("Titan").unwrap();
+    let c2075 = Chip::by_short("C2075").unwrap();
+    let cases = [
+        (&titan, Environment::sys_str_plus(&titan), Shape::Mp),
+        (&c2075, Environment::l1_str_plus(), Shape::CoRR),
+    ];
+    for (chip, env, shape) in cases {
+        let inst = shape.instance(LitmusLayout::standard(64, pad.required_words()));
+        let run = |parallelism: usize| {
+            CampaignBuilder::new(chip)
+                .environment(&env, pad, 40)
+                .count(96)
+                .base_seed(0x0B5)
+                .parallelism(parallelism)
+                .build()
+                .run_litmus(&inst)
+        };
+        let reference = run(WORKER_COUNTS[0]);
+        assert!(
+            reference.weak() > 0,
+            "{shape} on {}: provenance comparison is vacuous: {reference}",
+            chip.short
+        );
+        // Every weak outcome's attribution sums exactly to its count.
+        for (obs, n) in reference.iter() {
+            if let Some(p) = reference.provenance(obs) {
+                assert_eq!(p.total(), n, "{shape}: breakdown must sum to the count");
+            }
+        }
+        assert_eq!(reference.provenance_total().total(), reference.weak());
+        for workers in &WORKER_COUNTS[1..] {
+            let h = run(*workers);
+            assert_eq!(
+                h.channels(),
+                reference.channels(),
+                "{shape} on {}: channel counters diverged at {workers} workers",
+                chip.short
+            );
+            assert_eq!(
+                h.provenance_total(),
+                reference.provenance_total(),
+                "{shape} on {}: provenance diverged at {workers} workers",
+                chip.short
+            );
+            assert_eq!(h, reference);
+        }
+    }
+    // The channel split matches each case's physics: the Kepler relaxes
+    // through the store window only; the Tesla's CoRR weakness is the
+    // structural stale-L1 channel.
+    let mp = {
+        let inst = Shape::Mp.instance(LitmusLayout::standard(64, pad.required_words()));
+        CampaignBuilder::new(&titan)
+            .environment(&Environment::sys_str_plus(&titan), pad, 40)
+            .count(96)
+            .base_seed(0x0B5)
+            .build()
+            .run_litmus(&inst)
+    };
+    assert!(mp.channels().window_global > 0);
+    assert_eq!(mp.channels().l1_stale, 0);
+    assert_eq!(mp.provenance_total().l1_stale, 0);
+    let corr = {
+        let inst = Shape::CoRR.instance(LitmusLayout::standard(64, pad.required_words()));
+        CampaignBuilder::new(&c2075)
+            .environment(&Environment::l1_str_plus(), pad, 40)
+            .count(96)
+            .base_seed(0x0B5)
+            .build()
+            .run_litmus(&inst)
+    };
+    assert!(corr.channels().l1_stale > 0);
+    assert!(corr.provenance_total().l1_stale > 0);
+}
+
 /// Different seeds must not produce identical streams (sanity check that
 /// the invariance above isn't vacuous).
 #[test]
